@@ -1,0 +1,97 @@
+package incprof_test
+
+// One benchmark per evaluation artifact: Table I (setup & overhead),
+// Tables II-VI (per-application instrumentation sites), Figures 2-6
+// (heartbeat series), and the A1-A5 ablations from DESIGN.md. Each
+// benchmark regenerates its artifact end to end — application run,
+// collection, analysis, rendering — and reports the reproduction's headline
+// numbers as custom metrics so `go test -bench` output doubles as the
+// experiment log.
+//
+// benchScale shrinks the applications so a full -bench=. pass stays fast;
+// run cmd/evaluate at -scale 1.0 for paper-sized runs.
+
+import (
+	"io"
+	"testing"
+
+	"github.com/incprof/incprof/internal/harness"
+)
+
+const benchScale = 0.1
+
+func benchConfig() harness.Config {
+	return harness.Config{Scale: benchScale, Width: 80, Seed: 1}
+}
+
+func BenchmarkTable1_SetupAndOverhead(b *testing.B) {
+	var rows []harness.Table1Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.Table1(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.PhasesDiscovered), r.App+"_phases")
+		b.ReportMetric(r.IncProfOvhdPct, r.App+"_incprof_ovhd_pct")
+	}
+}
+
+func benchSiteTable(b *testing.B, app string) {
+	var res *harness.SiteTableResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = harness.SiteTable(io.Discard, app, benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.K), "phases")
+	sites := 0
+	for _, p := range res.Experiment.Analysis.Detection.Phases {
+		sites += len(p.Sites)
+	}
+	b.ReportMetric(float64(sites), "sites")
+}
+
+func BenchmarkTable2_Graph500Sites(b *testing.B) { benchSiteTable(b, "graph500") }
+func BenchmarkTable3_MiniFESites(b *testing.B)   { benchSiteTable(b, "minife") }
+func BenchmarkTable4_MiniAMRSites(b *testing.B)  { benchSiteTable(b, "miniamr") }
+func BenchmarkTable5_LAMMPSSites(b *testing.B)   { benchSiteTable(b, "lammps") }
+func BenchmarkTable6_GadgetSites(b *testing.B)   { benchSiteTable(b, "gadget") }
+
+func benchFigure(b *testing.B, app string) {
+	var res *harness.FigureResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = harness.Figure(io.Discard, app, benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.Discovered)), "discovered_heartbeats")
+	b.ReportMetric(float64(len(res.Manual)), "manual_heartbeats")
+	b.ReportMetric(float64(res.Intervals), "intervals")
+}
+
+func BenchmarkFigure2_Graph500Heartbeats(b *testing.B) { benchFigure(b, "graph500") }
+func BenchmarkFigure3_MiniFEHeartbeats(b *testing.B)   { benchFigure(b, "minife") }
+func BenchmarkFigure4_MiniAMRHeartbeats(b *testing.B)  { benchFigure(b, "miniamr") }
+func BenchmarkFigure5_LAMMPSHeartbeats(b *testing.B)   { benchFigure(b, "lammps") }
+func BenchmarkFigure6_GadgetHeartbeats(b *testing.B)   { benchFigure(b, "gadget") }
+
+func benchAblation(b *testing.B, name string) {
+	for i := 0; i < b.N; i++ {
+		if err := harness.Ablation(io.Discard, name, benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationKSelection(b *testing.B) { benchAblation(b, "kselect") }
+func BenchmarkAblationDBSCAN(b *testing.B)     { benchAblation(b, "dbscan") }
+func BenchmarkAblationFeatures(b *testing.B)   { benchAblation(b, "features") }
+func BenchmarkAblationCoverage(b *testing.B)   { benchAblation(b, "coverage") }
+func BenchmarkAblationSampling(b *testing.B)   { benchAblation(b, "sampling") }

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/incprof/incprof/internal/phase"
+)
+
+func TestParseSites(t *testing.T) {
+	sites, err := parseSites("cg_solve:loop:1,matvec:body:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 2 {
+		t.Fatalf("sites = %+v", sites)
+	}
+	if sites[0].Function != "cg_solve" || sites[0].Type != phase.Loop || sites[0].ID != 1 {
+		t.Fatalf("first = %+v", sites[0])
+	}
+	if sites[1].Function != "matvec" || sites[1].Type != phase.Body || sites[1].ID != 2 {
+		t.Fatalf("second = %+v", sites[1])
+	}
+}
+
+func TestParseSitesErrors(t *testing.T) {
+	for _, bad := range []string{
+		"justafunction",
+		"fn:loop",
+		"fn:neither:1",
+		"fn:body:notanumber",
+		"fn:body:1,broken",
+	} {
+		if _, err := parseSites(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}

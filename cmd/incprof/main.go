@@ -1,0 +1,103 @@
+// Command incprof runs one of the evaluation applications under the IncProf
+// collector, writing one cumulative profile dump per interval per rank —
+// the collection half of the paper's Figure 1.
+//
+// Output layout, mirroring the paper's renamed gmon files:
+//
+//	<out>/rank<N>/gmon.out.<seq>        binary snapshots
+//	<out>/rank<N>/gprof.txt.<seq>       gprof-style flat profiles (-text)
+//
+// Usage:
+//
+//	incprof -app graph500 -out profiles/
+//	incprof -app minife -scale 0.2 -interval 500ms -text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/incprof/incprof/internal/apps"
+	"github.com/incprof/incprof/internal/incprof"
+	"github.com/incprof/incprof/internal/mpi"
+	"github.com/incprof/incprof/internal/profiler"
+
+	_ "github.com/incprof/incprof/internal/apps/gadget"
+	_ "github.com/incprof/incprof/internal/apps/graph500"
+	_ "github.com/incprof/incprof/internal/apps/lammps"
+	_ "github.com/incprof/incprof/internal/apps/miniamr"
+	_ "github.com/incprof/incprof/internal/apps/minife"
+)
+
+func main() {
+	appName := flag.String("app", "", "application to run: "+strings.Join(apps.Names(), ", "))
+	scale := flag.Float64("scale", 1.0, "application scale in (0, 1]")
+	out := flag.String("out", "profiles", "output directory")
+	interval := flag.Duration("interval", time.Second, "snapshot interval (the paper uses 1s)")
+	sample := flag.Duration("sample", 10*time.Millisecond, "profiling clock period")
+	text := flag.Bool("text", false, "also write gprof-style flat-profile text next to each dump")
+	callGraph := flag.Bool("callgraph", false, "also write rank 0's final gprof-style call-graph report (callgraph.txt)")
+	gmonout := flag.Bool("gmonout", false, "write dumps in the real GNU gmon.out wire format (with symbols.out.N sidecars) instead of the compact format")
+	flag.Parse()
+
+	if *appName == "" {
+		fmt.Fprintln(os.Stderr, "incprof: -app is required; choices:", strings.Join(apps.Names(), ", "))
+		os.Exit(2)
+	}
+	app, err := apps.New(*appName, *scale)
+	fail(err)
+
+	ranks := app.Meta().Ranks
+	stores := make([]incprof.Store, ranks)
+	for id := 0; id < ranks; id++ {
+		dir := filepath.Join(*out, fmt.Sprintf("rank%d", id))
+		if *gmonout {
+			st, err := incprof.NewGmonOutStore(dir)
+			fail(err)
+			stores[id] = st
+		} else {
+			st, err := incprof.NewDirStore(dir, *text)
+			fail(err)
+			stores[id] = st
+		}
+	}
+
+	start := time.Now()
+	err = mpi.Run(mpi.Config{Size: ranks}, nil, func(r *mpi.Rank) {
+		p := profiler.New(r.Runtime(), *sample)
+		c := incprof.New(r.Runtime(), p, incprof.Options{Interval: *interval, Store: stores[r.ID()]})
+		defer c.Close()
+		app.Run(r)
+		if r.ID() == 0 {
+			fmt.Printf("%s: %d ranks, %s of virtual time\n",
+				app.Name(), ranks, r.Runtime().Now())
+		}
+	})
+	fail(err)
+	if snaps, err := stores[0].Snapshots(); err == nil {
+		fmt.Printf("%d dumps per rank\n", len(snaps))
+	}
+	if *callGraph {
+		snaps, err := stores[0].Snapshots()
+		fail(err)
+		if len(snaps) > 0 {
+			f, err := os.Create(filepath.Join(*out, "callgraph.txt"))
+			fail(err)
+			fail(snaps[len(snaps)-1].CallGraphReport(f))
+			fail(f.Close())
+		}
+	}
+	fmt.Printf("collection finished in %v (host); profiles under %s/\n",
+		time.Since(start).Round(time.Millisecond), *out)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "incprof:", err)
+		os.Exit(1)
+	}
+}

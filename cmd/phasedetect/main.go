@@ -1,0 +1,207 @@
+// Command phasedetect runs the paper's phase analysis (§V) over stored
+// IncProf snapshots: difference the cumulative dumps into interval profiles,
+// cluster with k-means for k = 1..kmax, select k with the Elbow method, and
+// run Algorithm 1 to choose per-phase instrumentation sites.
+//
+// Usage:
+//
+//	phasedetect -dir profiles/rank0
+//	phasedetect -dir profiles/rank0 -text          # parse gprof.txt.N instead
+//	phasedetect -dir profiles/rank0 -selection silhouette -threshold 0.9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/incprof/incprof/internal/callgraph"
+	"github.com/incprof/incprof/internal/cluster"
+	"github.com/incprof/incprof/internal/fastphase"
+	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/incprof"
+	"github.com/incprof/incprof/internal/interval"
+	"github.com/incprof/incprof/internal/mpi"
+	"github.com/incprof/incprof/internal/online"
+	"github.com/incprof/incprof/internal/phase"
+	"github.com/incprof/incprof/internal/report"
+)
+
+func main() {
+	dir := flag.String("dir", "", "directory holding gmon.out.N snapshots (one rank)")
+	text := flag.Bool("text", false, "ingest gprof.txt.N flat-profile text instead of binary dumps")
+	gmonout := flag.Bool("gmonout", false, "ingest real-format gmon.out.N dumps (with symbols.out.N sidecars)")
+	kmax := flag.Int("kmax", 8, "maximum k for the k-means sweep")
+	threshold := flag.Float64("threshold", 0.95, "Algorithm 1 coverage threshold")
+	selection := flag.String("selection", "elbow", "k selection: elbow or silhouette")
+	algorithm := flag.String("algorithm", "kmeans", "clustering: kmeans or dbscan")
+	seed := flag.Uint64("seed", 1, "clustering seed")
+	includeMPI := flag.Bool("include-mpi", false, "keep MPI pseudo-functions in the feature space")
+	fast := flag.Bool("fast", false, "also run fast-phase analysis (call-count loop grouping + periodicity)")
+	onlineFlag := flag.Bool("online", false, "also replay the intervals through the streaming phase tracker")
+	promote := flag.Bool("promote", false, "apply call-graph site promotion to the selected sites")
+	merge := flag.Bool("merge", false, "merge phases with identical site sets")
+	flag.Parse()
+
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "phasedetect: -dir is required")
+		os.Exit(2)
+	}
+	var snaps []*gmon.Snapshot
+	var err error
+	switch {
+	case *text:
+		snaps, err = incprof.LoadTextReports(*dir)
+	case *gmonout:
+		var st *incprof.GmonOutStore
+		st, err = incprof.NewGmonOutStore(*dir)
+		if err == nil {
+			snaps, err = st.Snapshots()
+		}
+	default:
+		var st *incprof.DirStore
+		st, err = incprof.NewDirStore(*dir, false)
+		if err == nil {
+			snaps, err = st.Snapshots()
+		}
+	}
+	fail(err)
+	if len(snaps) == 0 {
+		fail(fmt.Errorf("no snapshots found in %s", *dir))
+	}
+
+	profiles, err := interval.Difference(snaps)
+	fail(err)
+
+	opts := phase.Options{
+		KMax:              *kmax,
+		CoverageThreshold: *threshold,
+		Cluster:           cluster.Options{Seed: *seed},
+	}
+	if !*includeMPI {
+		opts.Features.Exclude = mpi.IsMPIFunc
+	}
+	switch *selection {
+	case "elbow":
+		opts.Selection = phase.Elbow
+	case "silhouette":
+		opts.Selection = phase.Silhouette
+	default:
+		fail(fmt.Errorf("unknown selection %q", *selection))
+	}
+	switch *algorithm {
+	case "kmeans":
+		opts.Algorithm = phase.KMeansAlg
+	case "dbscan":
+		opts.Algorithm = phase.DBSCANAlg
+	default:
+		fail(fmt.Errorf("unknown algorithm %q", *algorithm))
+	}
+
+	det, err := phase.Detect(profiles, opts)
+	fail(err)
+	if *promote {
+		g := callgraph.FromSnapshot(snaps[len(snaps)-1])
+		n := callgraph.PromoteDetection(det, g, callgraph.PromoteOptions{Exclude: mpi.IsMPIFunc})
+		fmt.Printf("call-graph promotion changed %d sites\n", n)
+	}
+	if *merge {
+		if n := det.MergeDuplicatePhases(); n > 0 {
+			fmt.Printf("merged %d duplicate phases\n", n)
+		}
+	}
+
+	fmt.Printf("%d intervals, %d feature dimensions, %d phases (%s/%s)\n",
+		len(profiles), det.Matrix.Dims(), len(det.Phases), *algorithm, *selection)
+	if len(det.WCSS) > 0 {
+		fmt.Print("WCSS sweep:")
+		for k, w := range det.WCSS {
+			fmt.Printf(" k%d=%.3g", k+1, w)
+		}
+		fmt.Println()
+	}
+	if len(det.NoiseIntervals) > 0 {
+		fmt.Printf("DBSCAN noise intervals: %v\n", det.NoiseIntervals)
+	}
+
+	tb := report.NewTable("Phases and instrumentation sites (Algorithm 1)",
+		"Phase ID", "Intervals", "Span", "Site Function", "Phase %", "App %", "Inst. Type")
+	for _, p := range det.Phases {
+		span := fmt.Sprintf("%d..%d", p.Intervals[0], p.Intervals[len(p.Intervals)-1])
+		dur := p.Duration(time.Second)
+		for i, s := range p.Sites {
+			id, count, spanCell := "", "", ""
+			if i == 0 {
+				id = fmt.Sprint(p.ID)
+				count = fmt.Sprintf("%d (%s)", len(p.Intervals), dur)
+				spanCell = span
+			}
+			tb.AddRow(id, count, spanCell,
+				s.Function,
+				fmt.Sprintf("%.1f", s.PhasePct),
+				fmt.Sprintf("%.1f", s.AppPct),
+				s.Type.String(),
+			)
+		}
+		if len(p.Sites) == 0 {
+			tb.AddRow(fmt.Sprint(p.ID), fmt.Sprint(len(p.Intervals)), span, "(none)", "", "", "")
+		}
+	}
+	fail(tb.Render(os.Stdout))
+	assign := make([]int, len(profiles))
+	for i := range assign {
+		assign[i] = -1
+	}
+	for _, p := range det.Phases {
+		for _, idx := range p.Intervals {
+			assign[idx] = p.ID
+		}
+	}
+	fmt.Println()
+	fail(report.RenderPhaseTimeline(os.Stdout, "Phase timeline:", assign, 100))
+
+	if *fast {
+		res := fastphase.Analyze(profiles, fastphase.Options{Exclude: mpi.IsMPIFunc})
+		fmt.Println()
+		ft := report.NewTable("Fast-phase analysis (call-count loop groups)",
+			"Group", "Function", "Loop rate (iters/interval)")
+		for i, g := range res.Groups {
+			for j, fn := range g.Functions {
+				id, rate := "", ""
+				if j == 0 {
+					id = fmt.Sprint(i)
+					rate = fmt.Sprintf("%.2f", g.RatePerInterval)
+				}
+				ft.AddRow(id, fn, rate)
+			}
+		}
+		fail(ft.Render(os.Stdout))
+		pt := report.NewTable("Periodicities (autocorrelation peaks)",
+			"Function", "Period (intervals)", "Strength")
+		for _, p := range res.Periodicities {
+			pt.AddRow(p.Function, fmt.Sprint(p.Period), fmt.Sprintf("%.2f", p.Strength))
+		}
+		fmt.Println()
+		fail(pt.Render(os.Stdout))
+	}
+
+	if *onlineFlag {
+		tr := online.New(online.Options{Exclude: mpi.IsMPIFunc})
+		events := tr.ObserveAll(profiles)
+		fmt.Printf("\nstreaming tracker: %d phases, transitions at %v\n",
+			tr.Phases(), tr.Transitions())
+		for _, ev := range events {
+			if ev.NewPhase {
+				fmt.Printf("  interval %d founds phase %d\n", ev.Interval, ev.Phase)
+			}
+		}
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phasedetect:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,50 @@
+// Package incprof is a Go reproduction of "IncProf: Efficient
+// Source-Oriented Phase Identification for Application Behavior
+// Understanding" (Aaziz, Al-Tahat, Trecakov, Cook — IEEE CLUSTER 2022).
+//
+// The package root is the public API surface; it re-exports the pieces a
+// downstream user composes:
+//
+//   - An instrumented virtual-time execution runtime (NewRuntime) on which
+//     workloads run, with gprof-model profiling (NewProfiler) and the
+//     IncProf interval snapshot collector (NewCollector) attached as
+//     observers.
+//   - The analysis pipeline: DifferenceSnapshots turns cumulative dumps
+//     into per-interval profiles, and Detect clusters them into phases and
+//     selects per-phase instrumentation sites with the paper's Algorithm 1.
+//   - AppEKG (NewEKG): the begin/end heartbeat instrumentation framework
+//     with per-interval accumulation, usable in deterministic virtual time
+//     or stand-alone on real time.
+//
+// The five applications of the paper's evaluation (Graph500, MiniFE,
+// MiniAMR, LAMMPS, Gadget2), the MPI-like rank substrate, the LDMS-lite
+// metric collector, and the harness that regenerates every table and
+// figure live under internal/; the cmd/ tools (incprof, phasedetect,
+// appekg, evaluate) and examples/ show them in use.
+//
+// # Quickstart
+//
+//	rt := incprof.NewRuntime(nil)
+//	prof := incprof.NewProfiler(rt, 0)
+//	col := incprof.NewCollector(rt, prof, incprof.CollectorOptions{})
+//
+//	step := rt.Register("step")
+//	solve := rt.Register("solve")
+//	main := rt.Register("main")
+//	rt.Call(main, func() {
+//		for i := 0; i < 10; i++ {
+//			rt.Call(step, func() { rt.Work(300 * time.Millisecond) })
+//		}
+//		rt.Call(solve, func() { rt.Work(5 * time.Second) })
+//	})
+//	col.Close()
+//
+//	snaps, _ := col.Store().Snapshots()
+//	profiles, _ := incprof.DifferenceSnapshots(snaps)
+//	det, _ := incprof.Detect(profiles, incprof.DetectOptions{})
+//	for _, p := range det.Phases {
+//		fmt.Println(p.ID, p.Sites)
+//	}
+//
+// See examples/quickstart for the complete program.
+package incprof

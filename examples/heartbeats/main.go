@@ -1,0 +1,106 @@
+// Heartbeats shows AppEKG in stand-alone (real-time) mode, the way a
+// production service would embed it, and wires its cumulative totals into
+// the LDMS-lite aggregator over TCP — the paper's deployment story (§III-A).
+//
+//	go run ./examples/heartbeats
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	incprof "github.com/incprof/incprof"
+	"github.com/incprof/incprof/internal/heartbeat"
+	"github.com/incprof/incprof/internal/ldms"
+)
+
+// Heartbeat IDs for our two application phases.
+const (
+	hbIngest incprof.HeartbeatID = 1
+	hbSolve  incprof.HeartbeatID = 2
+)
+
+func main() {
+	// Stand-alone mode: no virtual clock; timestamps come from real
+	// time and the owner drives flushing.
+	csv := heartbeat.NewCSVSink(os.Stdout)
+	ekg := incprof.NewEKG(incprof.EKGOptions{
+		Interval: 50 * time.Millisecond,
+		Sinks:    []incprof.HeartbeatSink{csv},
+	})
+	ekg.Name(hbIngest, "ingest")
+	ekg.Name(hbSolve, "solve")
+
+	// Expose the EKG's cumulative totals as an LDMS sampler over TCP.
+	sampler := ldms.SamplerFunc(func() (ldms.MetricSet, error) {
+		set := ldms.MetricSet{Producer: "example", Name: "appekg"}
+		for _, tot := range ekg.Totals() {
+			set.Metrics = append(set.Metrics,
+				ldms.Metric{Name: fmt.Sprintf("%s_count", ekg.NameOf(tot.HB)), Value: float64(tot.Count)},
+				ldms.Metric{Name: fmt.Sprintf("%s_total_s", ekg.NameOf(tot.HB)), Value: tot.TotalDuration.Seconds()},
+			)
+		}
+		set.Normalize()
+		return set, nil
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+	go ldms.Serve(l, sampler)
+
+	// An "aggregator host" pulls over TCP into a memory store.
+	remote, closer, err := ldms.Dial(l.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer closer.Close()
+	agg := ldms.NewAggregator(nil, 0)
+	store := ldms.NewMemStore()
+	agg.AddStore(store)
+	agg.AddSampler(remote)
+
+	// The "application": alternating ingest and solve phases, beating
+	// as it goes; every few iterations the aggregator pulls.
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 20; i++ {
+			ekg.Begin(hbIngest)
+			busyWait(200 * time.Microsecond)
+			ekg.End(hbIngest)
+		}
+		ekg.Begin(hbSolve)
+		busyWait(3 * time.Millisecond)
+		ekg.End(hbSolve)
+		ekg.Flush()
+		if round%2 == 1 {
+			if err := agg.CollectOnce(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if err := ekg.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Println("LDMS pulls (cumulative totals as seen by the aggregator):")
+	for i, set := range store.Sets() {
+		fmt.Printf("  pull %d:", i)
+		for _, m := range set.Metrics {
+			fmt.Printf(" %s=%.4g", m.Name, m.Value)
+		}
+		fmt.Println()
+	}
+}
+
+// busyWait spins for roughly d so heartbeat durations are non-zero without
+// depending on timer resolution.
+func busyWait(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}

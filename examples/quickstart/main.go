@@ -1,0 +1,62 @@
+// Quickstart: instrument a toy two-phase workload, collect IncProf interval
+// snapshots, detect phases, and print the discovered instrumentation sites.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	incprof "github.com/incprof/incprof"
+)
+
+func main() {
+	// A Runtime executes the workload in virtual time; the profiler and
+	// collector observe it exactly as gprof + IncProf observe a real
+	// binary.
+	rt := incprof.NewRuntime(nil)
+	prof := incprof.NewProfiler(rt, 0)                                // 100 Hz profiling clock
+	col := incprof.NewCollector(rt, prof, incprof.CollectorOptions{}) // 1 s dumps
+
+	// The "application": a setup loop of short steps, then one long
+	// solve. Function structure is all the analysis ever sees.
+	main := rt.Register("main")
+	step := rt.Register("step")
+	solve := rt.Register("solve")
+	rt.Call(main, func() {
+		for i := 0; i < 41; i++ {
+			rt.Call(step, func() { rt.Work(250 * time.Millisecond) })
+		}
+		rt.Call(solve, func() { rt.Work(12 * time.Second) })
+	})
+	if err := col.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Analysis: difference the cumulative dumps, cluster the intervals,
+	// pick instrumentation sites (Algorithm 1).
+	snaps, err := col.Store().Snapshots()
+	if err != nil {
+		log.Fatal(err)
+	}
+	profiles, err := incprof.DifferenceSnapshots(snaps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	det, err := incprof.Detect(profiles, incprof.DetectOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("run: %s of virtual time, %d intervals, %d phases\n",
+		rt.Now(), len(profiles), len(det.Phases))
+	for _, p := range det.Phases {
+		fmt.Printf("phase %d: intervals %d..%d\n", p.ID, p.Intervals[0], p.Intervals[len(p.Intervals)-1])
+		for _, s := range p.Sites {
+			fmt.Printf("  instrument %s (%s) — covers %.0f%% of the phase, %.0f%% of the run\n",
+				s.Function, s.Type, s.PhasePct, s.AppPct)
+		}
+	}
+}

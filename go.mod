@@ -1,0 +1,3 @@
+module github.com/incprof/incprof
+
+go 1.22

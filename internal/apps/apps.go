@@ -1,0 +1,92 @@
+// Package apps defines the application suite of the paper's evaluation
+// (§VI): Graph500, MiniFE, MiniAMR, LAMMPS, and Gadget2, reimplemented as
+// instrumented Go workloads over the mpi/exec substrate.
+//
+// Each application executes its real algorithm at laptop scale (the BFS
+// really searches, the CG solver really converges, the LJ forces are really
+// computed) while charging calibrated virtual costs so a run spans the same
+// span of virtual seconds as the paper's 5-10 minute runs. The function
+// structure — names, calling patterns, which functions dominate which part
+// of the run — mirrors the originals, because that structure is exactly what
+// the phase analysis observes.
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/incprof/incprof/internal/heartbeat"
+	"github.com/incprof/incprof/internal/mpi"
+)
+
+// Meta describes an application and its paper-reported reference numbers
+// (Table I), used by the evaluation harness for side-by-side reporting.
+type Meta struct {
+	// Name is the application's short name.
+	Name string
+	// Description summarizes the workload.
+	Description string
+	// PaperRuntimeSec is Table I's uninstrumented runtime.
+	PaperRuntimeSec float64
+	// PaperProcs and PaperNodes are Table I's scale.
+	PaperProcs, PaperNodes int
+	// PaperPhases is Table I's number of discovered phases.
+	PaperPhases int
+	// PaperIncProfOvhdPct and PaperHeartbeatOvhdPct are Table I's
+	// overheads.
+	PaperIncProfOvhdPct   float64
+	PaperHeartbeatOvhdPct float64
+	// Ranks is the rank count this reproduction runs with.
+	Ranks int
+}
+
+// App is one evaluation application.
+type App interface {
+	// Name returns the application's short name (e.g. "graph500").
+	Name() string
+	// Meta returns the descriptive metadata.
+	Meta() Meta
+	// Run executes the full application body on one rank. It must be
+	// safe to run on Meta().Ranks concurrent ranks.
+	Run(r *mpi.Rank)
+	// ManualSites returns the paper's manual "best" heartbeat
+	// instrumentation sites for comparison with the discovered ones.
+	ManualSites() []heartbeat.SiteSpec
+}
+
+// Factory constructs an app; scale in (0, 1] shrinks the run proportionally
+// (1.0 reproduces the paper-sized run in virtual time).
+type Factory func(scale float64) App
+
+var registry = map[string]Factory{}
+
+// Register adds a factory under name; it panics on duplicates and is meant
+// to be called from app package init functions.
+func Register(name string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("apps: duplicate registration of %q", name))
+	}
+	registry[name] = f
+}
+
+// New constructs the named app at the given scale.
+func New(name string, scale float64) (App, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("apps: unknown application %q (have %v)", name, Names())
+	}
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("apps: scale %v out of (0, 1]", scale)
+	}
+	return f(scale), nil
+}
+
+// Names lists the registered applications in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,70 @@
+package apps_test
+
+import (
+	"testing"
+
+	"github.com/incprof/incprof/internal/apps"
+	_ "github.com/incprof/incprof/internal/apps/gadget"
+	_ "github.com/incprof/incprof/internal/apps/graph500"
+	_ "github.com/incprof/incprof/internal/apps/lammps"
+	_ "github.com/incprof/incprof/internal/apps/miniamr"
+	_ "github.com/incprof/incprof/internal/apps/minife"
+)
+
+func TestAllFivePaperAppsRegistered(t *testing.T) {
+	want := []string{"gadget", "graph500", "lammps", "miniamr", "minife"}
+	got := apps.Names()
+	if len(got) != len(want) {
+		t.Fatalf("registered apps = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registered apps = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNewValidatesArguments(t *testing.T) {
+	if _, err := apps.New("nosuch", 1); err == nil {
+		t.Fatal("accepted unknown app")
+	}
+	if _, err := apps.New("graph500", 0); err == nil {
+		t.Fatal("accepted scale 0")
+	}
+	if _, err := apps.New("graph500", 1.5); err == nil {
+		t.Fatal("accepted scale > 1")
+	}
+	app, err := apps.New("graph500", 1)
+	if err != nil || app == nil {
+		t.Fatalf("valid construction failed: %v", err)
+	}
+}
+
+func TestMetaConsistency(t *testing.T) {
+	// Table I reference values are encoded in each app's Meta.
+	wantRuntime := map[string]float64{
+		"graph500": 188, "minife": 617, "miniamr": 459, "lammps": 307, "gadget": 421,
+	}
+	wantPhases := map[string]int{
+		"graph500": 4, "minife": 5, "miniamr": 2, "lammps": 4, "gadget": 3,
+	}
+	for _, name := range apps.Names() {
+		app, err := apps.New(name, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := app.Meta()
+		if m.PaperRuntimeSec != wantRuntime[name] {
+			t.Fatalf("%s paper runtime = %v, want %v", name, m.PaperRuntimeSec, wantRuntime[name])
+		}
+		if m.PaperPhases != wantPhases[name] {
+			t.Fatalf("%s paper phases = %d, want %d", name, m.PaperPhases, wantPhases[name])
+		}
+		if m.Ranks < 1 {
+			t.Fatalf("%s ranks = %d", name, m.Ranks)
+		}
+		if len(app.ManualSites()) == 0 {
+			t.Fatalf("%s has no manual sites", name)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package gadget
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/incprof/incprof/internal/apps"
+	"github.com/incprof/incprof/internal/mpi"
+	"github.com/incprof/incprof/internal/xmath"
+)
+
+func TestInitialConditionsMassNormalized(t *testing.T) {
+	parts := initialConditions(xmath.NewRNG(1), 100)
+	var m float64
+	for _, p := range parts {
+		m += p.mass
+	}
+	if math.Abs(m-1) > 1e-9 {
+		t.Fatalf("total mass = %g, want 1", m)
+	}
+}
+
+func TestOctreeMassConservation(t *testing.T) {
+	parts := initialConditions(xmath.NewRNG(2), 200)
+	root := buildOctree(parts)
+	if math.Abs(root.mass-1) > 1e-9 {
+		t.Fatalf("tree mass = %g, want 1", root.mass)
+	}
+	// The root COM equals the particle COM.
+	var com [3]float64
+	for _, p := range parts {
+		for d := 0; d < 3; d++ {
+			com[d] += p.mass * p.pos[d]
+		}
+	}
+	for d := 0; d < 3; d++ {
+		if math.Abs(root.com[d]-com[d]) > 1e-9 {
+			t.Fatalf("root COM %v, want %v", root.com, com)
+		}
+	}
+}
+
+func TestOctreeHandlesCoincidentParticles(t *testing.T) {
+	parts := []body{
+		{pos: [3]float64{0.5, 0.5, 0.5}, mass: 0.5},
+		{pos: [3]float64{0.5, 0.5, 0.5}, mass: 0.5},
+	}
+	root := buildOctree(parts) // must not recurse forever
+	if math.Abs(root.mass-1) > 1e-9 {
+		t.Fatalf("coincident mass lost: %g", root.mass)
+	}
+}
+
+func TestTreeForcesMatchDirectSummation(t *testing.T) {
+	parts := initialConditions(xmath.NewRNG(3), 60)
+	const soft2 = 1e-4
+	// Direct O(n^2) reference.
+	ref := make([][3]float64, len(parts))
+	for i := range parts {
+		for j := range parts {
+			if i == j {
+				continue
+			}
+			dx := parts[j].pos[0] - parts[i].pos[0]
+			dy := parts[j].pos[1] - parts[i].pos[1]
+			dz := parts[j].pos[2] - parts[i].pos[2]
+			r2 := dx*dx + dy*dy + dz*dz + soft2
+			inv := 1 / math.Sqrt(r2)
+			f := parts[j].mass * inv * inv * inv
+			ref[i][0] += f * dx
+			ref[i][1] += f * dy
+			ref[i][2] += f * dz
+		}
+	}
+	root := buildOctree(parts)
+	// Theta=0 forces exact leaf-by-leaf evaluation.
+	treeForces(root, parts, 0)
+	for i := range parts {
+		for d := 0; d < 3; d++ {
+			if math.Abs(parts[i].acc[d]-ref[i][d]) > 1e-6*(1+math.Abs(ref[i][d])) {
+				t.Fatalf("particle %d dim %d: tree %g direct %g", i, d, parts[i].acc[d], ref[i][d])
+			}
+		}
+	}
+}
+
+func TestTreeForcesApproximationReasonable(t *testing.T) {
+	parts := initialConditions(xmath.NewRNG(4), 150)
+	root := buildOctree(parts)
+	treeForces(root, parts, 0)
+	exact := make([][3]float64, len(parts))
+	for i := range parts {
+		exact[i] = parts[i].acc
+	}
+	treeForces(root, parts, 0.7)
+	var relErr, count float64
+	for i := range parts {
+		en := math.Sqrt(exact[i][0]*exact[i][0] + exact[i][1]*exact[i][1] + exact[i][2]*exact[i][2])
+		if en < 1e-6 {
+			continue
+		}
+		var d2 float64
+		for d := 0; d < 3; d++ {
+			diff := parts[i].acc[d] - exact[i][d]
+			d2 += diff * diff
+		}
+		relErr += math.Sqrt(d2) / en
+		count++
+	}
+	if mean := relErr / count; mean > 0.15 {
+		t.Fatalf("mean relative force error at theta=0.7: %v, want < 15%%", mean)
+	}
+}
+
+func TestPMKernelDepositsAllMass(t *testing.T) {
+	parts := initialConditions(xmath.NewRNG(5), 100)
+	gn := 8
+	grid := make([]float64, gn*gn*gn)
+	pmKernel(parts, grid, gn, 0)
+	if got := xmath.Sum(grid); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("deposited mass = %g, want 1", got)
+	}
+	// Smoothing sweeps keep interior mass bounded.
+	pmKernel(parts, grid, gn, 1)
+	if got := xmath.Sum(grid); got > 1+1e-9 {
+		t.Fatalf("smoothing created mass: %g", got)
+	}
+}
+
+func TestDriftKick(t *testing.T) {
+	parts := []body{{pos: [3]float64{0, 0, 0}, vel: [3]float64{1, 2, 3}, mass: 1}}
+	drift(parts, 0.5)
+	if parts[0].pos != [3]float64{0.5, 1, 1.5} {
+		t.Fatalf("drift: %v", parts[0].pos)
+	}
+	parts[0].acc = [3]float64{2, 0, 0}
+	kick(parts, 0.5)
+	if parts[0].vel != [3]float64{2, 2, 3} {
+		t.Fatalf("kick: %v", parts[0].vel)
+	}
+}
+
+func TestRegisteredWithSuite(t *testing.T) {
+	app, err := apps.New("gadget", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Meta().PaperPhases != 3 {
+		t.Fatal("paper phase count")
+	}
+	if len(app.ManualSites()) != 4 {
+		t.Fatalf("manual sites = %d, want 4 (Table VI)", len(app.ManualSites()))
+	}
+}
+
+func TestSmallParallelRunCompletes(t *testing.T) {
+	p := DefaultParams(0.08)
+	p.Ranks = 4
+	app := New(p)
+	var vt time.Duration
+	err := mpi.Run(mpi.Config{Size: 4}, nil, func(r *mpi.Rank) {
+		app.Run(r)
+		if r.ID() == 0 {
+			vt = r.Runtime().Now().Duration()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vt < 15*time.Second || vt > 80*time.Second {
+		t.Fatalf("virtual runtime = %v", vt)
+	}
+}

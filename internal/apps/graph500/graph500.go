@@ -1,0 +1,360 @@
+// Package graph500 reimplements the Graph500 benchmark (mpi_simple flavor,
+// paper §VI-A): Kronecker (R-MAT) edge generation, graph construction, then
+// repeated breadth-first searches each followed by result validation.
+//
+// The function names and calling structure follow the reference benchmark —
+// generate_kronecker_range calls make_one_edge per edge,
+// make_graph_data_structure builds the CSR adjacency, and each search is a
+// run_bfs followed by validate_bfs_result — because those are the names the
+// paper's phase discovery surfaces (Table II). Virtual costs are calibrated
+// so a full-scale run spans roughly the paper's 188 s: ~20 s generation,
+// ~0.75 s per BFS and ~1.8 s per validation over 64 roots, with validation
+// dominating (~62% of the run) exactly as in Table II.
+package graph500
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/incprof/incprof/internal/apps"
+	"github.com/incprof/incprof/internal/exec"
+	"github.com/incprof/incprof/internal/heartbeat"
+	"github.com/incprof/incprof/internal/mpi"
+	"github.com/incprof/incprof/internal/phase"
+	"github.com/incprof/incprof/internal/xmath"
+)
+
+// R-MAT quadrant probabilities of the Graph500 generator.
+const (
+	rmatA = 0.57
+	rmatB = 0.19
+	rmatC = 0.19
+)
+
+// Params sizes a run.
+type Params struct {
+	// LogVertices is the Graph500 "scale": the graph has 2^LogVertices
+	// vertices.
+	LogVertices int
+	// EdgeFactor is the number of generated edges per vertex.
+	EdgeFactor int
+	// Roots is the number of BFS searches (64 in the benchmark spec).
+	Roots int
+	// Seed drives the generator.
+	Seed uint64
+
+	// Target virtual durations (calibration to the paper's run).
+	GenTime      time.Duration // total edge-generation time
+	BuildTime    time.Duration // graph-construction time
+	BFSTime      time.Duration // per-search time
+	ValidateTime time.Duration // per-validation time
+}
+
+// DefaultParams returns the paper-scale configuration, shrunk by scale in
+// (0, 1]: the number of searches scales down (keeping per-search durations),
+// as does generation time.
+func DefaultParams(scale float64) Params {
+	roots := int(64*scale + 0.5)
+	if roots < 2 {
+		roots = 2
+	}
+	logV := 14
+	if scale < 0.5 {
+		logV = 11
+	}
+	return Params{
+		LogVertices:  logV,
+		EdgeFactor:   16,
+		Roots:        roots,
+		Seed:         0xBF5,
+		GenTime:      time.Duration(20 * scale * float64(time.Second)),
+		BuildTime:    time.Duration(2 * scale * float64(time.Second)),
+		BFSTime:      750 * time.Millisecond,
+		ValidateTime: 1830 * time.Millisecond,
+	}
+}
+
+// App is the Graph500 workload.
+type App struct {
+	p Params
+}
+
+// New creates a Graph500 app with the given parameters.
+func New(p Params) *App { return &App{p: p} }
+
+func init() {
+	apps.Register("graph500", func(scale float64) apps.App {
+		return New(DefaultParams(scale))
+	})
+}
+
+// Name implements apps.App.
+func (a *App) Name() string { return "graph500" }
+
+// Meta implements apps.App.
+func (a *App) Meta() apps.Meta {
+	return apps.Meta{
+		Name:                  "graph500",
+		Description:           "Kronecker graph generation, BFS, and validation (mpi_simple)",
+		PaperRuntimeSec:       188,
+		PaperProcs:            1,
+		PaperNodes:            1,
+		PaperPhases:           4,
+		PaperIncProfOvhdPct:   10.1,
+		PaperHeartbeatOvhdPct: 1.6,
+		Ranks:                 1,
+	}
+}
+
+// ManualSites implements apps.App with the paper's manual choices
+// (Table II, bottom).
+func (a *App) ManualSites() []heartbeat.SiteSpec {
+	return []heartbeat.SiteSpec{
+		{Function: "make_graph_data_structure", Type: phase.Body, ID: 101},
+		{Function: "generate_kronecker_range", Type: phase.Body, ID: 102},
+		{Function: "run_bfs", Type: phase.Body, ID: 103},
+		{Function: "validate_bfs_result", Type: phase.Body, ID: 104},
+	}
+}
+
+// edge is one generated (src, dst) pair.
+type edge struct{ src, dst int32 }
+
+// graph is a CSR adjacency structure.
+type graph struct {
+	n    int
+	xadj []int32
+	adj  []int32
+}
+
+// Run implements apps.App: the full benchmark body on one rank.
+func (a *App) Run(r *mpi.Rank) {
+	rt := r.Runtime()
+	fnMain := rt.Register("main")
+	fnGenRange := rt.Register("generate_kronecker_range")
+	fnMakeEdge := rt.Register("make_one_edge")
+	fnBuild := rt.Register("make_graph_data_structure")
+	fnBFS := rt.Register("run_bfs")
+	fnValidate := rt.Register("validate_bfs_result")
+
+	rt.Call(fnMain, func() {
+		n := 1 << a.p.LogVertices
+		numEdges := n * a.p.EdgeFactor
+		rng := xmath.NewRNG(a.p.Seed + uint64(r.ID()))
+
+		// --- Generation: generate_kronecker_range -> make_one_edge ---
+		edges := make([]edge, 0, numEdges)
+		perEdgeCost := time.Duration(int64(a.p.GenTime) / int64(numEdges))
+		rt.Call(fnGenRange, func() {
+			for i := 0; i < numEdges; i++ {
+				rt.Call(fnMakeEdge, func() {
+					edges = append(edges, makeOneEdge(rng, a.p.LogVertices))
+					rt.Work(perEdgeCost)
+				})
+			}
+		})
+
+		// --- Construction: make_graph_data_structure ---
+		var g *graph
+		rt.Call(fnBuild, func() {
+			g = buildCSR(n, edges)
+			rt.Work(a.p.BuildTime)
+		})
+
+		// --- Search + validation rounds ---
+		// Per-root durations vary around the calibrated targets the way
+		// real searches vary with the root's position in the graph.
+		baseBFSVisit := float64(a.p.BFSTime) / float64(2*len(edges)+n)
+		baseValCheck := float64(a.p.ValidateTime) / float64(2*len(edges)+n)
+		for root := 0; root < a.p.Roots; root++ {
+			jb := 0.75 + 0.5*rng.Float64()
+			jv := 0.75 + 0.5*rng.Float64()
+			perBFSVisit := time.Duration(baseBFSVisit * jb)
+			perValCheck := time.Duration(baseValCheck * jv)
+			src := int32(rng.Intn(n))
+			// The spec requires roots with at least one edge.
+			for g.degree(src) == 0 {
+				src = int32(rng.Intn(n))
+			}
+			var parent []int32
+			var level []int32
+			rt.Call(fnBFS, func() {
+				parent, level = runBFS(rt, g, src, perBFSVisit)
+			})
+			rt.Call(fnValidate, func() {
+				if err := validateBFS(rt, g, edges, src, parent, level, perValCheck); err != nil {
+					panic(fmt.Sprintf("graph500: BFS validation failed: %v", err))
+				}
+			})
+		}
+	})
+}
+
+// makeOneEdge samples one R-MAT edge, recursing one quadrant per scale bit.
+func makeOneEdge(rng *xmath.RNG, logV int) edge {
+	var src, dst int32
+	for bit := 0; bit < logV; bit++ {
+		u := rng.Float64()
+		switch {
+		case u < rmatA:
+			// top-left: neither bit set
+		case u < rmatA+rmatB:
+			dst |= 1 << bit
+		case u < rmatA+rmatB+rmatC:
+			src |= 1 << bit
+		default:
+			src |= 1 << bit
+			dst |= 1 << bit
+		}
+	}
+	return edge{src, dst}
+}
+
+// buildCSR constructs the undirected adjacency structure, dropping
+// self-loops as the benchmark's construction does.
+func buildCSR(n int, edges []edge) *graph {
+	deg := make([]int32, n)
+	for _, e := range edges {
+		if e.src == e.dst {
+			continue
+		}
+		deg[e.src]++
+		deg[e.dst]++
+	}
+	xadj := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		xadj[i+1] = xadj[i] + deg[i]
+	}
+	adj := make([]int32, xadj[n])
+	pos := make([]int32, n)
+	copy(pos, xadj[:n])
+	for _, e := range edges {
+		if e.src == e.dst {
+			continue
+		}
+		adj[pos[e.src]] = e.dst
+		pos[e.src]++
+		adj[pos[e.dst]] = e.src
+		pos[e.dst]++
+	}
+	return &graph{n: n, xadj: xadj, adj: adj}
+}
+
+func (g *graph) degree(v int32) int32 { return g.xadj[v+1] - g.xadj[v] }
+
+// runBFS performs a level-synchronous BFS from src, charging perVisit for
+// each adjacency entry scanned. It returns the parent and level arrays (-1
+// for unreached vertices).
+func runBFS(rt *exec.Runtime, g *graph, src int32, perVisit time.Duration) (parent, level []int32) {
+	parent = make([]int32, g.n)
+	level = make([]int32, g.n)
+	for i := range parent {
+		parent[i] = -1
+		level[i] = -1
+	}
+	parent[src] = src
+	level[src] = 0
+	frontier := []int32{src}
+	var next []int32
+	depth := int32(0)
+	// Charge in batches to keep the virtual clock advancing smoothly
+	// through the search without a Work call per edge.
+	const batch = 4096
+	pending := 0
+	flush := func() {
+		if pending > 0 {
+			rt.Work(time.Duration(pending) * perVisit)
+			pending = 0
+		}
+	}
+	for len(frontier) > 0 {
+		depth++
+		next = next[:0]
+		for _, v := range frontier {
+			for _, w := range g.adj[g.xadj[v]:g.xadj[v+1]] {
+				pending++
+				if pending >= batch {
+					flush()
+				}
+				if parent[w] == -1 {
+					parent[w] = v
+					level[w] = depth
+					next = append(next, w)
+				}
+			}
+		}
+		frontier, next = next, frontier
+	}
+	flush()
+	return parent, level
+}
+
+// validateBFS performs the benchmark's result checks: the root is its own
+// parent; every reached vertex has a reached parent exactly one level up;
+// and no graph edge spans more than one level. perCheck is charged per edge
+// endpoint examined.
+func validateBFS(rt *exec.Runtime, g *graph, edges []edge, src int32, parent, level []int32, perCheck time.Duration) error {
+	const batch = 4096
+	pending := 0
+	flush := func() {
+		if pending > 0 {
+			rt.Work(time.Duration(pending) * perCheck)
+			pending = 0
+		}
+	}
+	defer flush()
+	if parent[src] != src || level[src] != 0 {
+		return fmt.Errorf("root %d not its own parent at level 0", src)
+	}
+	for v := int32(0); v < int32(g.n); v++ {
+		pending++
+		if pending >= batch {
+			flush()
+		}
+		if parent[v] == -1 {
+			continue
+		}
+		if v == src {
+			continue
+		}
+		p := parent[v]
+		if parent[p] == -1 {
+			return fmt.Errorf("vertex %d has unreached parent %d", v, p)
+		}
+		if level[v] != level[p]+1 {
+			return fmt.Errorf("vertex %d at level %d but parent %d at level %d", v, level[v], p, level[p])
+		}
+		// The tree edge must exist in the graph.
+		found := false
+		for _, w := range g.adj[g.xadj[v]:g.xadj[v+1]] {
+			pending++
+			if w == p {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("tree edge %d-%d not in graph", v, p)
+		}
+	}
+	for _, e := range edges {
+		pending += 2
+		if pending >= batch {
+			flush()
+		}
+		if e.src == e.dst {
+			continue
+		}
+		ls, ld := level[e.src], level[e.dst]
+		if (ls == -1) != (ld == -1) {
+			return fmt.Errorf("edge %d-%d spans reached/unreached", e.src, e.dst)
+		}
+		if ls != -1 && ld != -1 {
+			d := ls - ld
+			if d < -1 || d > 1 {
+				return fmt.Errorf("edge %d-%d spans %d levels", e.src, e.dst, d)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package graph500
+
+import (
+	"testing"
+	"time"
+
+	"github.com/incprof/incprof/internal/apps"
+	"github.com/incprof/incprof/internal/exec"
+	"github.com/incprof/incprof/internal/mpi"
+	"github.com/incprof/incprof/internal/xmath"
+)
+
+func TestMakeOneEdgeInRange(t *testing.T) {
+	rng := xmath.NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		e := makeOneEdge(rng, 10)
+		if e.src < 0 || e.src >= 1024 || e.dst < 0 || e.dst >= 1024 {
+			t.Fatalf("edge out of range: %+v", e)
+		}
+	}
+}
+
+func TestMakeOneEdgeSkewed(t *testing.T) {
+	// R-MAT graphs are skewed: low-numbered vertices appear far more
+	// often than high-numbered ones.
+	rng := xmath.NewRNG(2)
+	low, high := 0, 0
+	for i := 0; i < 20000; i++ {
+		e := makeOneEdge(rng, 10)
+		if e.src < 512 {
+			low++
+		} else {
+			high++
+		}
+	}
+	if low <= high {
+		t.Fatalf("no skew: low=%d high=%d", low, high)
+	}
+}
+
+func TestBuildCSRSymmetricAndLoopFree(t *testing.T) {
+	edges := []edge{{0, 1}, {1, 2}, {2, 2}, {0, 3}}
+	g := buildCSR(4, edges)
+	if g.degree(2) != 1 {
+		t.Fatalf("self-loop not dropped: degree(2) = %d", g.degree(2))
+	}
+	if g.degree(0) != 2 || g.degree(1) != 2 || g.degree(3) != 1 {
+		t.Fatalf("degrees wrong: %d %d %d", g.degree(0), g.degree(1), g.degree(3))
+	}
+	// Total adjacency entries = 2 * (edges minus self-loops).
+	if len(g.adj) != 6 {
+		t.Fatalf("adj len = %d, want 6", len(g.adj))
+	}
+}
+
+func TestBFSAndValidationOnKnownGraph(t *testing.T) {
+	rt := exec.New(nil)
+	f := rt.Register("f")
+	edges := []edge{{0, 1}, {1, 2}, {3, 4}}
+	g := buildCSR(5, edges)
+	rt.Call(f, func() {
+		parent, level := runBFS(rt, g, 0, time.Microsecond)
+		if level[0] != 0 || level[1] != 1 || level[2] != 2 {
+			t.Fatalf("levels = %v", level)
+		}
+		if level[3] != -1 || level[4] != -1 {
+			t.Fatalf("disconnected component reached: %v", level)
+		}
+		if err := validateBFS(rt, g, edges, 0, parent, level, time.Microsecond); err != nil {
+			t.Fatalf("valid BFS rejected: %v", err)
+		}
+		// Corrupt the tree: validation must catch it.
+		parent[2] = 0
+		level[2] = 5
+		if err := validateBFS(rt, g, edges, 0, parent, level, time.Microsecond); err == nil {
+			t.Fatal("corrupted BFS accepted")
+		}
+	})
+}
+
+func TestValidationCatchesLevelSpanningEdge(t *testing.T) {
+	rt := exec.New(nil)
+	f := rt.Register("f")
+	// Path 0-1-2 plus a shortcut edge 0-2 that BFS would normally use;
+	// force levels that make 0-2 span two levels.
+	edges := []edge{{0, 1}, {1, 2}, {0, 2}}
+	g := buildCSR(3, edges)
+	rt.Call(f, func() {
+		parent := []int32{0, 0, 1}
+		level := []int32{0, 1, 2}
+		if err := validateBFS(rt, g, edges, 0, parent, level, time.Microsecond); err == nil {
+			t.Fatal("edge spanning two levels accepted")
+		}
+	})
+}
+
+func TestRegisteredWithSuite(t *testing.T) {
+	app, err := apps.New("graph500", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Name() != "graph500" {
+		t.Fatal("name")
+	}
+	if app.Meta().Ranks != 1 {
+		t.Fatal("graph500 runs on 1 rank in the paper")
+	}
+	if len(app.ManualSites()) != 4 {
+		t.Fatalf("manual sites = %d, want 4 (Table II)", len(app.ManualSites()))
+	}
+}
+
+func TestSmallRunCompletesAndSpansExpectedVirtualTime(t *testing.T) {
+	app := New(DefaultParams(0.1)) // ~6 roots
+	var vt time.Duration
+	err := mpi.Run(mpi.Config{Size: 1}, nil, func(r *mpi.Rank) {
+		app.Run(r)
+		vt = r.Runtime().Now().Duration()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~2s gen + 0.2s build + 6*(0.75+1.83)s = ~17.7s
+	if vt < 12*time.Second || vt > 25*time.Second {
+		t.Fatalf("virtual runtime = %v, want ~18s", vt)
+	}
+}
+
+func TestScaleParamsBounds(t *testing.T) {
+	p := DefaultParams(0.001)
+	if p.Roots < 2 {
+		t.Fatalf("roots floor violated: %d", p.Roots)
+	}
+	p = DefaultParams(1)
+	if p.Roots != 64 || p.LogVertices != 14 {
+		t.Fatalf("full-scale params = %+v", p)
+	}
+}

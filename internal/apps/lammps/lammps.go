@@ -1,0 +1,322 @@
+// Package lammps reimplements the paper's LAMMPS workload (§VI-D): a
+// classical molecular-dynamics simulation of metal-type atoms under the
+// Lennard-Jones force model — velocity initialization, then a timestep loop
+// of LJ force computation (PairLJCut::compute), velocity-Verlet integration,
+// and periodic neighbor-list rebuilds (NPairHalfBinNewton::build).
+//
+// Function names follow LAMMPS's class::method convention as Table V
+// reports them. Calibration targets the paper's 307 s run: force computation
+// ~90% of the run across long (multi-second) timesteps, neighbor rebuilds
+// every RebuildEvery steps (~9%), and a long-running Velocity::create during
+// setup (~1%).
+package lammps
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/incprof/incprof/internal/apps"
+	"github.com/incprof/incprof/internal/heartbeat"
+	"github.com/incprof/incprof/internal/mpi"
+	"github.com/incprof/incprof/internal/phase"
+	"github.com/incprof/incprof/internal/xmath"
+)
+
+// Params sizes a run.
+type Params struct {
+	// Atoms is the number of atoms per rank.
+	Atoms int
+	// Steps is the number of MD timesteps.
+	Steps int
+	// RebuildEvery rebuilds the neighbor list every this many steps.
+	RebuildEvery int
+	// BoxSize is the cubic box edge in reduced units.
+	BoxSize float64
+	// Cutoff is the LJ cutoff radius.
+	Cutoff float64
+	// Dt is the integration timestep in reduced units.
+	Dt float64
+	// Seed drives lattice jitter and velocities.
+	Seed uint64
+
+	// Target virtual durations.
+	SetupTime     time.Duration // atom creation etc.
+	VelocityTime  time.Duration // Velocity::create (runs once, long)
+	ComputeTime   time.Duration // per-step PairLJCut::compute
+	BuildTime     time.Duration // per neighbor rebuild
+	IntegrateTime time.Duration // per-step integration
+
+	// Ranks is the number of MPI ranks.
+	Ranks int
+}
+
+// DefaultParams returns the paper-scale configuration shrunk by scale.
+func DefaultParams(scale float64) Params {
+	steps := int(120*scale + 0.5)
+	if steps < 10 {
+		steps = 10
+	}
+	atoms := 500
+	if scale < 0.5 {
+		atoms = 256
+	}
+	return Params{
+		Atoms:         atoms,
+		Steps:         steps,
+		RebuildEvery:  10,
+		BoxSize:       12,
+		Cutoff:        2.5,
+		Dt:            0.002,
+		Seed:          0x1A3,
+		SetupTime:     600 * time.Millisecond,
+		VelocityTime:  3400 * time.Millisecond,
+		ComputeTime:   2300 * time.Millisecond,
+		BuildTime:     2300 * time.Millisecond,
+		IntegrateTime: 40 * time.Millisecond,
+		Ranks:         16,
+	}
+}
+
+// App is the LAMMPS workload.
+type App struct {
+	p Params
+}
+
+// New creates a LAMMPS app.
+func New(p Params) *App { return &App{p: p} }
+
+func init() {
+	apps.Register("lammps", func(scale float64) apps.App {
+		return New(DefaultParams(scale))
+	})
+}
+
+// Name implements apps.App.
+func (a *App) Name() string { return "lammps" }
+
+// Meta implements apps.App.
+func (a *App) Meta() apps.Meta {
+	return apps.Meta{
+		Name:                  "lammps",
+		Description:           "molecular dynamics, metal atoms with Lennard-Jones forces",
+		PaperRuntimeSec:       307,
+		PaperProcs:            16,
+		PaperNodes:            2,
+		PaperPhases:           4,
+		PaperIncProfOvhdPct:   7.5,
+		PaperHeartbeatOvhdPct: 8.1,
+		Ranks:                 a.p.Ranks,
+	}
+}
+
+// ManualSites implements apps.App (Table V, bottom).
+func (a *App) ManualSites() []heartbeat.SiteSpec {
+	return []heartbeat.SiteSpec{
+		{Function: "PairLJCut::compute", Type: phase.Body, ID: 101},
+		{Function: "NPairHalfBinNewton::build", Type: phase.Body, ID: 102},
+	}
+}
+
+// md holds the per-rank simulation state.
+type md struct {
+	n         int
+	box       float64
+	cutoff2   float64
+	pos, vel  [][3]float64
+	force     [][3]float64
+	neighbors [][]int32
+}
+
+// Run implements apps.App.
+func (a *App) Run(r *mpi.Rank) {
+	rt := r.Runtime()
+	fnMain := rt.Register("main")
+	fnCreateAtoms := rt.Register("CreateAtoms::command")
+	fnVelocity := rt.Register("Velocity::create")
+	fnCompute := rt.Register("PairLJCut::compute")
+	fnBuild := rt.Register("NPairHalfBinNewton::build")
+	fnIntegrate := rt.Register("FixNVE::final_integrate")
+
+	rt.Call(fnMain, func() {
+		rng := xmath.NewRNG(a.p.Seed + uint64(r.ID()))
+		sim := &md{
+			n:       a.p.Atoms,
+			box:     a.p.BoxSize,
+			cutoff2: a.p.Cutoff * a.p.Cutoff,
+			pos:     make([][3]float64, a.p.Atoms),
+			vel:     make([][3]float64, a.p.Atoms),
+			force:   make([][3]float64, a.p.Atoms),
+		}
+
+		// --- Setup: lattice placement, then velocity initialization ---
+		rt.Call(fnCreateAtoms, func() {
+			sim.placeLattice(rng)
+			rt.Work(a.p.SetupTime)
+		})
+		rt.Call(fnVelocity, func() {
+			sim.thermalize(rng, 1.44) // metal-ish reduced temperature
+			rt.Work(a.p.VelocityTime)
+		})
+
+		// --- Timestep loop ---
+		var kinetic0 float64
+		for step := 0; step < a.p.Steps; step++ {
+			if step%a.p.RebuildEvery == 0 {
+				rt.Call(fnBuild, func() {
+					sim.buildNeighbors()
+					rt.Work(a.p.BuildTime)
+				})
+			}
+			rt.Call(fnCompute, func() {
+				sim.computeLJ()
+				rt.Work(a.p.ComputeTime)
+			})
+			rt.Call(fnIntegrate, func() {
+				sim.integrate(a.p.Dt)
+				rt.Work(a.p.IntegrateTime)
+			})
+			// Thermodynamic output every few steps: global kinetic
+			// energy reduction, as LAMMPS's thermo does.
+			if step%5 == 0 {
+				ke := r.Allreduce(mpi.Sum, []float64{sim.kinetic()})[0]
+				if step == 0 {
+					kinetic0 = ke
+				}
+				if math.IsNaN(ke) || (kinetic0 > 0 && ke > 1e6*kinetic0) {
+					panic(fmt.Sprintf("lammps: simulation exploded at step %d (ke=%g)", step, ke))
+				}
+			}
+		}
+	})
+}
+
+// placeLattice arranges atoms on a simple cubic lattice with small jitter.
+func (s *md) placeLattice(rng *xmath.RNG) {
+	side := int(math.Ceil(math.Cbrt(float64(s.n))))
+	spacing := s.box / float64(side)
+	i := 0
+	for z := 0; z < side && i < s.n; z++ {
+		for y := 0; y < side && i < s.n; y++ {
+			for x := 0; x < side && i < s.n; x++ {
+				jitter := 0.05 * spacing
+				s.pos[i] = [3]float64{
+					(float64(x) + 0.5) * spacing * (1 + jitter*(rng.Float64()-0.5)),
+					(float64(y) + 0.5) * spacing * (1 + jitter*(rng.Float64()-0.5)),
+					(float64(z) + 0.5) * spacing * (1 + jitter*(rng.Float64()-0.5)),
+				}
+				i++
+			}
+		}
+	}
+}
+
+// thermalize draws Maxwell-Boltzmann velocities at temperature t and removes
+// the center-of-mass drift, as Velocity::create does.
+func (s *md) thermalize(rng *xmath.RNG, t float64) {
+	var com [3]float64
+	sigma := math.Sqrt(t)
+	for i := range s.vel {
+		for d := 0; d < 3; d++ {
+			s.vel[i][d] = sigma * rng.NormFloat64()
+			com[d] += s.vel[i][d]
+		}
+	}
+	for d := 0; d < 3; d++ {
+		com[d] /= float64(s.n)
+	}
+	for i := range s.vel {
+		for d := 0; d < 3; d++ {
+			s.vel[i][d] -= com[d]
+		}
+	}
+}
+
+// minImage applies the minimum-image convention for periodic boundaries.
+func (s *md) minImage(d float64) float64 {
+	for d > s.box/2 {
+		d -= s.box
+	}
+	for d < -s.box/2 {
+		d += s.box
+	}
+	return d
+}
+
+// buildNeighbors constructs half neighbor lists (each pair stored once) with
+// a skin margin, LAMMPS's NPairHalfBinNewton::build.
+func (s *md) buildNeighbors() {
+	skin2 := s.cutoff2 * 1.3 * 1.3
+	s.neighbors = make([][]int32, s.n)
+	for i := 0; i < s.n; i++ {
+		for j := i + 1; j < s.n; j++ {
+			dx := s.minImage(s.pos[i][0] - s.pos[j][0])
+			dy := s.minImage(s.pos[i][1] - s.pos[j][1])
+			dz := s.minImage(s.pos[i][2] - s.pos[j][2])
+			if dx*dx+dy*dy+dz*dz < skin2 {
+				s.neighbors[i] = append(s.neighbors[i], int32(j))
+			}
+		}
+	}
+}
+
+// computeLJ evaluates 12-6 Lennard-Jones forces over the half lists.
+func (s *md) computeLJ() {
+	for i := range s.force {
+		s.force[i] = [3]float64{}
+	}
+	for i := 0; i < s.n; i++ {
+		for _, j32 := range s.neighbors[i] {
+			j := int(j32)
+			dx := s.minImage(s.pos[i][0] - s.pos[j][0])
+			dy := s.minImage(s.pos[i][1] - s.pos[j][1])
+			dz := s.minImage(s.pos[i][2] - s.pos[j][2])
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 >= s.cutoff2 || r2 == 0 {
+				continue
+			}
+			inv2 := 1 / r2
+			inv6 := inv2 * inv2 * inv2
+			// f/r = 24 eps (2 (sigma/r)^12 - (sigma/r)^6) / r^2
+			fr := 24 * inv2 * inv6 * (2*inv6 - 1)
+			// Cap the force to keep overlapping lattice starts
+			// integrable at this small scale.
+			if fr > 1e4 {
+				fr = 1e4
+			}
+			s.force[i][0] += fr * dx
+			s.force[i][1] += fr * dy
+			s.force[i][2] += fr * dz
+			s.force[j][0] -= fr * dx
+			s.force[j][1] -= fr * dy
+			s.force[j][2] -= fr * dz
+		}
+	}
+}
+
+// integrate advances positions and velocities (Euler-style kick-drift, the
+// final_integrate half of velocity Verlet).
+func (s *md) integrate(dt float64) {
+	for i := 0; i < s.n; i++ {
+		for d := 0; d < 3; d++ {
+			s.vel[i][d] += dt * s.force[i][d]
+			s.pos[i][d] += dt * s.vel[i][d]
+			// Wrap periodic boundaries.
+			if s.pos[i][d] < 0 {
+				s.pos[i][d] += s.box
+			}
+			if s.pos[i][d] >= s.box {
+				s.pos[i][d] -= s.box
+			}
+		}
+	}
+}
+
+// kinetic returns the rank-local kinetic energy.
+func (s *md) kinetic() float64 {
+	var ke float64
+	for i := range s.vel {
+		ke += 0.5 * (s.vel[i][0]*s.vel[i][0] + s.vel[i][1]*s.vel[i][1] + s.vel[i][2]*s.vel[i][2])
+	}
+	return ke
+}

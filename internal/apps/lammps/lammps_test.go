@@ -1,0 +1,152 @@
+package lammps
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/incprof/incprof/internal/apps"
+	"github.com/incprof/incprof/internal/mpi"
+	"github.com/incprof/incprof/internal/xmath"
+)
+
+func newSim(n int, box float64) *md {
+	return &md{
+		n: n, box: box, cutoff2: 2.5 * 2.5,
+		pos:   make([][3]float64, n),
+		vel:   make([][3]float64, n),
+		force: make([][3]float64, n),
+	}
+}
+
+func TestPlaceLatticeInsideBox(t *testing.T) {
+	s := newSim(64, 10)
+	s.placeLattice(xmath.NewRNG(1))
+	for i, p := range s.pos {
+		for d := 0; d < 3; d++ {
+			if p[d] < 0 || p[d] > 10.5 {
+				t.Fatalf("atom %d outside box: %v", i, p)
+			}
+		}
+	}
+}
+
+func TestThermalizeRemovesDrift(t *testing.T) {
+	s := newSim(100, 10)
+	s.thermalize(xmath.NewRNG(2), 1.44)
+	var com [3]float64
+	for _, v := range s.vel {
+		for d := 0; d < 3; d++ {
+			com[d] += v[d]
+		}
+	}
+	for d := 0; d < 3; d++ {
+		if math.Abs(com[d]) > 1e-9 {
+			t.Fatalf("center-of-mass drift %v", com)
+		}
+	}
+	if s.kinetic() <= 0 {
+		t.Fatal("no kinetic energy after thermalize")
+	}
+}
+
+func TestMinImage(t *testing.T) {
+	s := newSim(1, 10)
+	if got := s.minImage(7); got != -3 {
+		t.Fatalf("minImage(7) = %v, want -3", got)
+	}
+	if got := s.minImage(-6); got != 4 {
+		t.Fatalf("minImage(-6) = %v, want 4", got)
+	}
+	if got := s.minImage(3); got != 3 {
+		t.Fatalf("minImage(3) = %v", got)
+	}
+}
+
+func TestNeighborListsHalf(t *testing.T) {
+	s := newSim(3, 20)
+	s.pos[0] = [3]float64{1, 1, 1}
+	s.pos[1] = [3]float64{2, 1, 1}    // close to 0
+	s.pos[2] = [3]float64{15, 15, 15} // far from both
+	s.buildNeighbors()
+	if len(s.neighbors[0]) != 1 || s.neighbors[0][0] != 1 {
+		t.Fatalf("neighbors[0] = %v", s.neighbors[0])
+	}
+	// Half list: pair (0,1) stored once, on the lower index.
+	if len(s.neighbors[1]) != 0 {
+		t.Fatalf("pair stored twice: neighbors[1] = %v", s.neighbors[1])
+	}
+	if len(s.neighbors[2]) != 0 {
+		t.Fatalf("distant atom has neighbors: %v", s.neighbors[2])
+	}
+}
+
+func TestLJForcesNewtonThirdLaw(t *testing.T) {
+	s := newSim(2, 20)
+	s.pos[0] = [3]float64{5, 5, 5}
+	s.pos[1] = [3]float64{6.2, 5, 5}
+	s.buildNeighbors()
+	s.computeLJ()
+	for d := 0; d < 3; d++ {
+		if math.Abs(s.force[0][d]+s.force[1][d]) > 1e-12 {
+			t.Fatalf("forces not equal and opposite: %v vs %v", s.force[0], s.force[1])
+		}
+	}
+	// At r=1.2 > 2^(1/6), the LJ force is attractive: atom 0 pulled +x.
+	if s.force[0][0] <= 0 {
+		t.Fatalf("expected attraction at r=1.2, got fx=%g", s.force[0][0])
+	}
+}
+
+func TestLJRepulsiveUpClose(t *testing.T) {
+	s := newSim(2, 20)
+	s.pos[0] = [3]float64{5, 5, 5}
+	s.pos[1] = [3]float64{5.9, 5, 5} // r=0.9 < 2^(1/6): repulsive
+	s.buildNeighbors()
+	s.computeLJ()
+	if s.force[0][0] >= 0 {
+		t.Fatalf("expected repulsion at r=0.9, got fx=%g", s.force[0][0])
+	}
+}
+
+func TestIntegrateWrapsPeriodically(t *testing.T) {
+	s := newSim(1, 10)
+	s.pos[0] = [3]float64{9.95, 5, 5}
+	s.vel[0] = [3]float64{100, 0, 0}
+	s.integrate(0.001)
+	if s.pos[0][0] < 0 || s.pos[0][0] >= 10 {
+		t.Fatalf("position not wrapped: %v", s.pos[0])
+	}
+}
+
+func TestRegisteredWithSuite(t *testing.T) {
+	app, err := apps.New("lammps", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Meta().PaperPhases != 4 {
+		t.Fatal("paper phase count")
+	}
+	if len(app.ManualSites()) != 2 {
+		t.Fatalf("manual sites = %d, want 2 (Table V)", len(app.ManualSites()))
+	}
+}
+
+func TestSmallParallelRunCompletes(t *testing.T) {
+	p := DefaultParams(0.08)
+	p.Ranks = 4
+	app := New(p)
+	var vt time.Duration
+	err := mpi.Run(mpi.Config{Size: 4}, nil, func(r *mpi.Rank) {
+		app.Run(r)
+		if r.ID() == 0 {
+			vt = r.Runtime().Now().Duration()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vt < 10*time.Second || vt > 60*time.Second {
+		t.Fatalf("virtual runtime = %v", vt)
+	}
+}

@@ -1,0 +1,297 @@
+// Package miniamr reimplements the MiniAMR proxy application (paper §VI-C):
+// a stencil computation over a block-structured mesh that adaptively refines
+// and coarsens as a simulated object moves through it, with periodic bulk
+// communication (pack/unpack) and checksumming.
+//
+// Function names follow miniAMR's sources — stencil_calc, check_sum, comm,
+// pack_block, unpack_block, allocate (the refinement allocator) — as
+// surfaced in Table IV. Calibration targets the paper's 459 s run: ~89% of
+// intervals are "normal" timesteps dominated by check_sum, with smaller
+// periodic deviations (bulk communication steps dominated by pack/unpack)
+// and one large mesh-adaptation deviation in the middle dominated by
+// allocate, matching Figure 4's shape.
+package miniamr
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/incprof/incprof/internal/apps"
+	"github.com/incprof/incprof/internal/heartbeat"
+	"github.com/incprof/incprof/internal/mpi"
+	"github.com/incprof/incprof/internal/phase"
+	"github.com/incprof/incprof/internal/xmath"
+)
+
+// Params sizes a run.
+type Params struct {
+	// Steps is the number of timesteps.
+	Steps int
+	// BlockCells is the edge length of each block (cells per side).
+	BlockCells int
+	// InitialBlocks is the number of mesh blocks before refinement.
+	InitialBlocks int
+	// CommEvery inserts a bulk-communication step every this many steps.
+	CommEvery int
+	// AdaptAtStep is the timestep at which the large mesh adaptation
+	// occurs (negative disables).
+	AdaptAtStep int
+	// Seed drives stencil initialization.
+	Seed uint64
+
+	// Target virtual durations.
+	StencilTime  time.Duration // per normal step
+	CheckSumTime time.Duration // per normal step
+	CommTime     time.Duration // per normal step
+	PackTime     time.Duration // per bulk-comm event
+	UnpackTime   time.Duration // per bulk-comm event
+	AllocateTime time.Duration // for the large adaptation
+
+	// Ranks is the number of MPI ranks.
+	Ranks int
+}
+
+// DefaultParams returns the paper-scale configuration shrunk by scale.
+func DefaultParams(scale float64) Params {
+	steps := int(430*scale + 0.5)
+	if steps < 30 {
+		steps = 30
+	}
+	adapt := steps / 2
+	return Params{
+		Steps:         steps,
+		BlockCells:    8,
+		InitialBlocks: 32,
+		CommEvery:     45,
+		AdaptAtStep:   adapt,
+		Seed:          0xA312,
+		StencilTime:   120 * time.Millisecond,
+		CheckSumTime:  780 * time.Millisecond,
+		CommTime:      50 * time.Millisecond,
+		PackTime:      1700 * time.Millisecond,
+		UnpackTime:    1400 * time.Millisecond,
+		AllocateTime:  time.Duration(17 * scale * float64(time.Second)),
+		Ranks:         16,
+	}
+}
+
+// App is the MiniAMR workload.
+type App struct {
+	p Params
+}
+
+// New creates a MiniAMR app.
+func New(p Params) *App { return &App{p: p} }
+
+func init() {
+	apps.Register("miniamr", func(scale float64) apps.App {
+		return New(DefaultParams(scale))
+	})
+}
+
+// Name implements apps.App.
+func (a *App) Name() string { return "miniamr" }
+
+// Meta implements apps.App.
+func (a *App) Meta() apps.Meta {
+	return apps.Meta{
+		Name:                  "miniamr",
+		Description:           "adaptive mesh refinement stencil proxy",
+		PaperRuntimeSec:       459,
+		PaperProcs:            16,
+		PaperNodes:            2,
+		PaperPhases:           2,
+		PaperIncProfOvhdPct:   1.5,
+		PaperHeartbeatOvhdPct: 0.2,
+		Ranks:                 a.p.Ranks,
+	}
+}
+
+// ManualSites implements apps.App (Table IV, bottom).
+func (a *App) ManualSites() []heartbeat.SiteSpec {
+	return []heartbeat.SiteSpec{
+		{Function: "check_sum", Type: phase.Body, ID: 101},
+		{Function: "stencil_calc", Type: phase.Body, ID: 102},
+		{Function: "comm", Type: phase.Body, ID: 103},
+	}
+}
+
+// block is one mesh block of cells.
+type block struct {
+	level int
+	cells []float64 // BlockCells^3 values
+}
+
+func newBlock(cells int, level int, fill float64) *block {
+	b := &block{level: level, cells: make([]float64, cells*cells*cells)}
+	for i := range b.cells {
+		b.cells[i] = fill
+	}
+	return b
+}
+
+// Run implements apps.App.
+func (a *App) Run(r *mpi.Rank) {
+	rt := r.Runtime()
+	fnMain := rt.Register("main")
+	fnStencil := rt.Register("stencil_calc")
+	fnCheckSum := rt.Register("check_sum")
+	fnComm := rt.Register("comm")
+	fnPack := rt.Register("pack_block")
+	fnUnpack := rt.Register("unpack_block")
+	fnAlloc := rt.Register("allocate")
+	fnRefine := rt.Register("refine")
+
+	rt.Call(fnMain, func() {
+		rng := xmath.NewRNG(a.p.Seed + uint64(r.ID()))
+		nc := a.p.BlockCells
+		blocks := make([]*block, 0, a.p.InitialBlocks*8)
+		for i := 0; i < a.p.InitialBlocks; i++ {
+			blocks = append(blocks, newBlock(nc, 0, rng.Float64()))
+		}
+		var prevSum float64
+		for step := 0; step < a.p.Steps; step++ {
+			// Normal timestep: stencil over every block, halo comm,
+			// then the (heavyweight) checksum reduction.
+			rt.Call(fnStencil, func() {
+				per := time.Duration(int64(a.p.StencilTime) / int64(len(blocks)))
+				for _, b := range blocks {
+					stencil(b, nc)
+					rt.Work(per)
+				}
+			})
+			rt.Call(fnComm, func() {
+				// Exchange block-boundary faces with neighbors.
+				face := make([]float64, nc*nc)
+				for i := range face {
+					face[i] = blocks[0].cells[i]
+				}
+				r.RingExchange(face)
+				rt.Work(a.p.CommTime)
+			})
+			rt.Call(fnCheckSum, func() {
+				var sum float64
+				for _, b := range blocks {
+					sum += xmath.Sum(b.cells)
+				}
+				// Global checksum, as miniAMR validates across ranks.
+				total := r.Allreduce(mpi.Sum, []float64{sum})[0]
+				if step > 0 && total != 0 && prevSum != 0 {
+					ratio := total / prevSum
+					if ratio < 0 {
+						panic(fmt.Sprintf("miniamr: checksum sign flip at step %d", step))
+					}
+				}
+				prevSum = total
+				rt.Work(a.p.CheckSumTime)
+			})
+
+			// Periodic bulk communication: pack everything, exchange,
+			// unpack (the "smaller periodic deviations" of Fig. 4).
+			if a.p.CommEvery > 0 && step > 0 && step%a.p.CommEvery == 0 {
+				var wire []float64
+				rt.Call(fnComm, func() {
+					rt.Call(fnPack, func() {
+						wire = packBlocks(blocks, nc)
+						rt.Work(a.p.PackTime)
+					})
+					r.RingExchange(wire[:nc*nc])
+					rt.Call(fnUnpack, func() {
+						unpackBlocks(blocks, wire, nc)
+						rt.Work(a.p.UnpackTime)
+					})
+				})
+			}
+
+			// The large mid-run mesh adaptation: refine half the
+			// blocks (allocate runs long, called once) then coarsen
+			// back so the block count stays bounded.
+			if step == a.p.AdaptAtStep {
+				rt.Call(fnRefine, func() {
+					rt.Call(fnAlloc, func() {
+						blocks = refineBlocks(blocks, nc)
+						rt.Work(a.p.AllocateTime)
+					})
+					blocks = coarsenBlocks(blocks, nc)
+					rt.Work(200 * time.Millisecond)
+				})
+			}
+		}
+	})
+}
+
+// stencil applies a 7-point average in place.
+func stencil(b *block, nc int) {
+	id := func(x, y, z int) int { return (z*nc+y)*nc + x }
+	src := b.cells
+	for z := 1; z < nc-1; z++ {
+		for y := 1; y < nc-1; y++ {
+			for x := 1; x < nc-1; x++ {
+				src[id(x, y, z)] = (src[id(x, y, z)] + src[id(x-1, y, z)] + src[id(x+1, y, z)] +
+					src[id(x, y-1, z)] + src[id(x, y+1, z)] +
+					src[id(x, y, z-1)] + src[id(x, y, z+1)]) / 7
+			}
+		}
+	}
+}
+
+// packBlocks serializes all block cells into one wire buffer.
+func packBlocks(blocks []*block, nc int) []float64 {
+	wire := make([]float64, 0, len(blocks)*nc*nc*nc)
+	for _, b := range blocks {
+		wire = append(wire, b.cells...)
+	}
+	return wire
+}
+
+// unpackBlocks restores block cells from the wire buffer.
+func unpackBlocks(blocks []*block, wire []float64, nc int) {
+	per := nc * nc * nc
+	for i, b := range blocks {
+		copy(b.cells, wire[i*per:(i+1)*per])
+	}
+}
+
+// refineBlocks splits every other block into 8 children at the next level,
+// conserving the mesh sum (each child holds the parent's values).
+func refineBlocks(blocks []*block, nc int) []*block {
+	out := make([]*block, 0, len(blocks)*2)
+	for i, b := range blocks {
+		if i%2 != 0 {
+			out = append(out, b)
+			continue
+		}
+		for c := 0; c < 8; c++ {
+			child := newBlock(nc, b.level+1, 0)
+			copy(child.cells, b.cells)
+			for j := range child.cells {
+				child.cells[j] /= 8
+			}
+			out = append(out, child)
+		}
+	}
+	return out
+}
+
+// coarsenBlocks merges each run of 8 same-level children back into one
+// parent, undoing refineBlocks.
+func coarsenBlocks(blocks []*block, nc int) []*block {
+	out := make([]*block, 0, len(blocks))
+	for i := 0; i < len(blocks); {
+		b := blocks[i]
+		if b.level > 0 && i+7 < len(blocks) && blocks[i+7].level == b.level {
+			parent := newBlock(nc, b.level-1, 0)
+			for c := 0; c < 8; c++ {
+				for j, v := range blocks[i+c].cells {
+					parent.cells[j] += v / 1 // children each hold parent/8
+				}
+			}
+			out = append(out, parent)
+			i += 8
+			continue
+		}
+		out = append(out, b)
+		i++
+	}
+	return out
+}

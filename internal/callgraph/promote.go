@@ -1,0 +1,39 @@
+package callgraph
+
+import "github.com/incprof/incprof/internal/phase"
+
+// PromoteDetection applies site promotion to every site of a detection,
+// in place. When promotion makes two sites within one phase coincide (same
+// function and type), the later duplicate is dropped and its coverage is
+// credited to the survivor. It returns the number of sites whose function
+// changed.
+func PromoteDetection(det *phase.Detection, g *Graph, opts PromoteOptions) int {
+	promoted := 0
+	for pi := range det.Phases {
+		p := &det.Phases[pi]
+		type key struct {
+			fn string
+			ty phase.InstType
+		}
+		seen := make(map[key]int) // -> site index
+		kept := p.Sites[:0]
+		for _, s := range p.Sites {
+			target := g.Promote(s.Function, opts)
+			if target != s.Function {
+				s.PromotedFrom = s.Function
+				s.Function = target
+				promoted++
+			}
+			k := key{s.Function, s.Type}
+			if idx, dup := seen[k]; dup {
+				kept[idx].PhasePct += s.PhasePct
+				kept[idx].AppPct += s.AppPct
+				continue
+			}
+			seen[k] = len(kept)
+			kept = append(kept, s)
+		}
+		p.Sites = kept
+	}
+	return promoted
+}

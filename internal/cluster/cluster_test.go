@@ -1,0 +1,420 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/incprof/incprof/internal/xmath"
+)
+
+// blobs generates n points around each of the given centers with the given
+// spread.
+func blobs(centers [][]float64, n int, spread float64, seed uint64) ([][]float64, []int) {
+	rng := xmath.NewRNG(seed)
+	var pts [][]float64
+	var truth []int
+	for ci, c := range centers {
+		for i := 0; i < n; i++ {
+			p := make([]float64, len(c))
+			for d := range p {
+				p[d] = c[d] + rng.NormFloat64()*spread
+			}
+			pts = append(pts, p)
+			truth = append(truth, ci)
+		}
+	}
+	return pts, truth
+}
+
+// agreement returns the fraction of point pairs on which two labelings agree
+// about co-membership (Rand index) — label-permutation invariant.
+func agreement(a, b []int) float64 {
+	n := len(a)
+	var same, total float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			total++
+			if (a[i] == a[j]) == (b[i] == b[j]) {
+				same++
+			}
+		}
+	}
+	return same / total
+}
+
+func TestKMeansRecoversWellSeparatedBlobs(t *testing.T) {
+	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	pts, truth := blobs(centers, 30, 0.5, 1)
+	res, err := KMeans(pts, 3, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := agreement(res.Assign, truth); got < 0.99 {
+		t.Fatalf("Rand agreement with ground truth = %v, want ~1", got)
+	}
+	for _, size := range res.Sizes {
+		if size != 30 {
+			t.Fatalf("cluster sizes = %v, want all 30", res.Sizes)
+		}
+	}
+}
+
+func TestKMeansDeterministicForSeed(t *testing.T) {
+	pts, _ := blobs([][]float64{{0, 0}, {5, 5}}, 20, 1, 2)
+	a, err := KMeans(pts, 2, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(pts, 2, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed, different clustering")
+		}
+	}
+	if a.WCSS != b.WCSS {
+		t.Fatal("same seed, different WCSS")
+	}
+}
+
+func TestKMeansK1(t *testing.T) {
+	pts := [][]float64{{0}, {2}, {4}}
+	res, err := KMeans(pts, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Centroids[0][0] != 2 {
+		t.Fatalf("k=1 centroid = %v, want mean 2", res.Centroids[0])
+	}
+	if res.WCSS != 8 {
+		t.Fatalf("WCSS = %v, want 8", res.WCSS)
+	}
+}
+
+func TestKMeansKEqualsN(t *testing.T) {
+	pts := [][]float64{{0}, {5}, {9}}
+	res, err := KMeans(pts, 3, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WCSS != 0 {
+		t.Fatalf("k=n WCSS = %v, want 0", res.WCSS)
+	}
+	seen := map[int]bool{}
+	for _, a := range res.Assign {
+		seen[a] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("k=n should give singletons, got assigns %v", res.Assign)
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	pts := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	res, err := KMeans(pts, 2, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WCSS != 0 {
+		t.Fatalf("identical points WCSS = %v", res.WCSS)
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := KMeans(nil, 1, Options{}); err == nil {
+		t.Fatal("accepted empty input")
+	}
+	if _, err := KMeans([][]float64{{1}, {1, 2}}, 1, Options{}); err == nil {
+		t.Fatal("accepted ragged input")
+	}
+	if _, err := KMeans([][]float64{{1}}, 0, Options{}); err == nil {
+		t.Fatal("accepted k=0")
+	}
+	if _, err := KMeans([][]float64{{1}}, 2, Options{}); err == nil {
+		t.Fatal("accepted k>n")
+	}
+}
+
+func TestMembersAndDistance(t *testing.T) {
+	pts := [][]float64{{0}, {0.1}, {10}}
+	res, err := KMeans(pts, 2, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := res.Assign[0]
+	mem := res.Members(c0)
+	if len(mem) != 2 {
+		t.Fatalf("Members = %v", mem)
+	}
+	d := res.DistanceToCentroid(2, pts[2])
+	if d > 1e-9 {
+		t.Fatalf("singleton's distance to own centroid = %v, want 0", d)
+	}
+}
+
+func TestSweepProducesDecreasingWCSS(t *testing.T) {
+	pts, _ := blobs([][]float64{{0, 0}, {8, 8}, {16, 0}}, 20, 1, 9)
+	results, err := Sweep(pts, 8, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("sweep returned %d results", len(results))
+	}
+	for k := 1; k < len(results); k++ {
+		// Allow tiny non-monotonicity from restarts, but the trend
+		// must be non-increasing.
+		if results[k].WCSS > results[k-1].WCSS*1.05 {
+			t.Fatalf("WCSS increased sharply at k=%d: %v -> %v", k+1, results[k-1].WCSS, results[k].WCSS)
+		}
+	}
+}
+
+func TestSweepClampsKmax(t *testing.T) {
+	pts := [][]float64{{0}, {1}, {2}}
+	results, err := Sweep(pts, 8, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("kmax not clamped to n: %d results", len(results))
+	}
+}
+
+func TestElbowKOnCleanKnee(t *testing.T) {
+	// WCSS drops sharply until k=3, then flattens: elbow at 3.
+	wcss := []float64{1000, 400, 80, 70, 62, 58, 55, 53}
+	if got := ElbowK(wcss); got != 3 {
+		t.Fatalf("ElbowK = %d, want 3", got)
+	}
+}
+
+func TestElbowKDegenerate(t *testing.T) {
+	if got := ElbowK(nil); got != 0 {
+		t.Fatalf("ElbowK(nil) = %d", got)
+	}
+	if got := ElbowK([]float64{5}); got != 1 {
+		t.Fatalf("ElbowK(single) = %d", got)
+	}
+	if got := ElbowK([]float64{5, 5, 5, 5}); got != 1 {
+		t.Fatalf("ElbowK(flat) = %d, want 1 (no structure)", got)
+	}
+	if got := ElbowK([]float64{1, 2, 3}); got != 1 {
+		t.Fatalf("ElbowK(increasing) = %d, want 1", got)
+	}
+}
+
+func TestSelectElbowFindsTrueK(t *testing.T) {
+	pts, truth := blobs([][]float64{{0, 0}, {12, 0}, {0, 12}, {12, 12}}, 25, 0.6, 21)
+	results, err := Sweep(pts, 8, Options{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := SelectElbow(results)
+	if best.K != 4 {
+		wcss := make([]float64, len(results))
+		for i, r := range results {
+			wcss[i] = r.WCSS
+		}
+		t.Fatalf("elbow picked k=%d, want 4; wcss=%v", best.K, wcss)
+	}
+	if got := agreement(best.Assign, truth); got < 0.98 {
+		t.Fatalf("agreement = %v", got)
+	}
+}
+
+func TestSilhouetteHighForSeparatedLowForMixed(t *testing.T) {
+	pts, truth := blobs([][]float64{{0, 0}, {20, 20}}, 25, 0.5, 31)
+	good := Silhouette(pts, truth, 2)
+	if good < 0.9 {
+		t.Fatalf("silhouette of well-separated blobs = %v, want > 0.9", good)
+	}
+	// Random labeling of the same points scores much worse.
+	rng := xmath.NewRNG(7)
+	random := make([]int, len(pts))
+	for i := range random {
+		random[i] = rng.Intn(2)
+	}
+	bad := Silhouette(pts, random, 2)
+	if bad > good/2 {
+		t.Fatalf("random labeling silhouette %v not clearly worse than %v", bad, good)
+	}
+}
+
+func TestSilhouetteSingleClusterIsZero(t *testing.T) {
+	pts := [][]float64{{0}, {1}, {2}}
+	if got := Silhouette(pts, []int{0, 0, 0}, 1); got != 0 {
+		t.Fatalf("silhouette(k=1) = %v", got)
+	}
+}
+
+func TestSelectSilhouetteFindsTrueK(t *testing.T) {
+	pts, _ := blobs([][]float64{{0, 0}, {15, 0}, {0, 15}}, 20, 0.5, 41)
+	results, err := Sweep(pts, 6, Options{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := SelectSilhouette(pts, results)
+	if best.K != 3 {
+		t.Fatalf("silhouette picked k=%d, want 3", best.K)
+	}
+}
+
+func TestDBSCANSeparatesBlobsAndNoise(t *testing.T) {
+	pts, truth := blobs([][]float64{{0, 0}, {20, 20}}, 30, 0.5, 51)
+	// Add two far-away noise points.
+	pts = append(pts, []float64{100, -100}, []float64{-100, 100})
+	labels, k, err := DBSCAN(pts, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 2 {
+		t.Fatalf("DBSCAN found %d clusters, want 2", k)
+	}
+	if labels[60] != Noise || labels[61] != Noise {
+		t.Fatalf("outliers not labeled noise: %v %v", labels[60], labels[61])
+	}
+	if got := agreement(labels[:60], truth); got < 0.99 {
+		t.Fatalf("agreement = %v", got)
+	}
+}
+
+func TestDBSCANErrors(t *testing.T) {
+	if _, _, err := DBSCAN([][]float64{{0}}, 0, 2); err == nil {
+		t.Fatal("accepted eps=0")
+	}
+	if _, _, err := DBSCAN([][]float64{{0}}, 1, 0); err == nil {
+		t.Fatal("accepted minPts=0")
+	}
+}
+
+func TestDBSCANAllNoiseWhenSparse(t *testing.T) {
+	pts := [][]float64{{0}, {100}, {200}, {300}}
+	labels, k, err := DBSCAN(pts, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 0 {
+		t.Fatalf("found %d clusters among isolated points", k)
+	}
+	for _, l := range labels {
+		if l != Noise {
+			t.Fatalf("labels = %v", labels)
+		}
+	}
+}
+
+func TestEstimateEpsPositive(t *testing.T) {
+	pts, _ := blobs([][]float64{{0, 0}}, 30, 1, 61)
+	eps := EstimateEps(pts, 4, 0.9)
+	if eps <= 0 || math.IsNaN(eps) {
+		t.Fatalf("EstimateEps = %v", eps)
+	}
+}
+
+// Property: every point is assigned to its nearest centroid (Lloyd fixed
+// point), so no reassignment can lower WCSS.
+func TestPropertyAssignmentsAreNearest(t *testing.T) {
+	f := func(seed uint64) bool {
+		pts, _ := blobs([][]float64{{0, 0}, {6, 6}, {12, 0}}, 15, 1.2, seed)
+		res, err := KMeans(pts, 3, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		for i, p := range pts {
+			if nearest(res.Centroids, p) != res.Assign[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: WCSS from the result equals recomputing it from assignments.
+func TestPropertyWCSSConsistent(t *testing.T) {
+	f := func(seed uint64) bool {
+		pts, _ := blobs([][]float64{{0}, {10}}, 10, 1, seed)
+		res, err := KMeans(pts, 2, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		var w float64
+		for i, p := range pts {
+			w += xmath.SquaredEuclidean(p, res.Centroids[res.Assign[i]])
+		}
+		return math.Abs(w-res.WCSS) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DBSCAN labeling is symmetric in its cluster structure — every
+// labeled cluster has at least one core point (>= minPts neighbors).
+func TestPropertyDBSCANClustersHaveCores(t *testing.T) {
+	f := func(seed uint64) bool {
+		pts, _ := blobs([][]float64{{0, 0}, {30, 30}}, 12, 1, seed)
+		labels, k, err := DBSCAN(pts, 4, 3)
+		if err != nil {
+			return false
+		}
+		for c := 0; c < k; c++ {
+			hasCore := false
+			for i := range pts {
+				if labels[i] != c {
+					continue
+				}
+				n := 0
+				for j := range pts {
+					if xmath.Euclidean(pts[i], pts[j]) <= 4 {
+						n++
+					}
+				}
+				if n >= 3 {
+					hasCore = true
+					break
+				}
+			}
+			if !hasCore {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkKMeansSweep60x30(b *testing.B) {
+	// 60 intervals x 30 function dimensions: the paper's typical scale.
+	rng := xmath.NewRNG(1)
+	pts := make([][]float64, 60)
+	for i := range pts {
+		row := make([]float64, 30)
+		for d := range row {
+			row[d] = rng.Float64()
+		}
+		pts[i] = row
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sweep(pts, 8, Options{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSilhouette60Points(b *testing.B) {
+	pts, truth := blobs([][]float64{{0, 0}, {10, 10}}, 30, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Silhouette(pts, truth, 2)
+	}
+}

@@ -1,0 +1,236 @@
+// Package cluster implements the clustering machinery the paper's phase
+// detection uses: k-means (with k-means++ seeding and Lloyd iterations) run
+// for k = 1..8, the Elbow method for selecting k, the Silhouette method the
+// paper also experimented with, and DBSCAN as the density-based baseline the
+// paper evaluated and rejected (§V-A).
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/incprof/incprof/internal/xmath"
+)
+
+// Result is the outcome of one k-means run.
+type Result struct {
+	// K is the number of clusters requested.
+	K int
+	// Assign maps each point index to its cluster in [0, K).
+	Assign []int
+	// Centroids holds K centroid vectors.
+	Centroids [][]float64
+	// WCSS is the within-cluster sum of squared distances (inertia).
+	WCSS float64
+	// Iterations is the number of Lloyd iterations performed.
+	Iterations int
+	// Sizes counts points per cluster.
+	Sizes []int
+}
+
+// Options configures KMeans.
+type Options struct {
+	// MaxIterations bounds Lloyd iterations; 0 means 100.
+	MaxIterations int
+	// Restarts reruns the whole algorithm with fresh seeding and keeps
+	// the lowest-WCSS result; 0 means 4.
+	Restarts int
+	// Seed makes runs reproducible. The same seed always yields the same
+	// clustering.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 100
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 4
+	}
+	return o
+}
+
+// KMeans clusters points into k groups. Points must be non-empty and share
+// one dimensionality; k must satisfy 1 <= k <= len(points).
+func KMeans(points [][]float64, k int, opts Options) (*Result, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("cluster: no points")
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("cluster: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+	}
+	if k < 1 || k > len(points) {
+		return nil, fmt.Errorf("cluster: k=%d out of range [1, %d]", k, len(points))
+	}
+	opts = opts.withDefaults()
+	rng := xmath.NewRNG(opts.Seed)
+	var best *Result
+	for r := 0; r < opts.Restarts; r++ {
+		res := kmeansOnce(points, k, opts.MaxIterations, rng)
+		if best == nil || res.WCSS < best.WCSS {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+func kmeansOnce(points [][]float64, k, maxIter int, rng *xmath.RNG) *Result {
+	dim := len(points[0])
+	centroids := seedPlusPlus(points, k, rng)
+	assign := make([]int, len(points))
+	for i := range assign {
+		assign[i] = -1
+	}
+	sizes := make([]int, k)
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			c := nearest(centroids, p)
+			if c != assign[i] {
+				assign[i] = c
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids.
+		for c := range centroids {
+			for d := 0; d < dim; d++ {
+				centroids[c][d] = 0
+			}
+			sizes[c] = 0
+		}
+		for i, p := range points {
+			c := assign[i]
+			sizes[c]++
+			for d, v := range p {
+				centroids[c][d] += v
+			}
+		}
+		for c := range centroids {
+			if sizes[c] == 0 {
+				// Empty cluster: reseat on the point farthest from
+				// its centroid to keep k live clusters.
+				far, dist := 0, -1.0
+				for i, p := range points {
+					d := xmath.SquaredEuclidean(p, centroids[assign[i]])
+					if d > dist {
+						far, dist = i, d
+					}
+				}
+				copy(centroids[c], points[far])
+				continue
+			}
+			inv := 1 / float64(sizes[c])
+			for d := range centroids[c] {
+				centroids[c][d] *= inv
+			}
+		}
+	}
+	// Final assignment pass and WCSS.
+	var wcss float64
+	for c := range sizes {
+		sizes[c] = 0
+	}
+	for i, p := range points {
+		c := nearest(centroids, p)
+		assign[i] = c
+		sizes[c]++
+		wcss += xmath.SquaredEuclidean(p, centroids[c])
+	}
+	return &Result{K: k, Assign: assign, Centroids: centroids, WCSS: wcss, Iterations: iter, Sizes: sizes}
+}
+
+// seedPlusPlus picks k initial centroids with k-means++ weighting.
+func seedPlusPlus(points [][]float64, k int, rng *xmath.RNG) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := append([]float64(nil), points[rng.Intn(len(points))]...)
+	centroids = append(centroids, first)
+	dist := make([]float64, len(points))
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			d := xmath.SquaredEuclidean(p, centroids[0])
+			for _, c := range centroids[1:] {
+				if dd := xmath.SquaredEuclidean(p, c); dd < d {
+					d = dd
+				}
+			}
+			dist[i] = d
+			total += d
+		}
+		var idx int
+		if total == 0 {
+			// All points coincide with centroids; any choice works.
+			idx = rng.Intn(len(points))
+		} else {
+			target := rng.Float64() * total
+			var acc float64
+			idx = len(points) - 1
+			for i, d := range dist {
+				acc += d
+				if acc >= target {
+					idx = i
+					break
+				}
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[idx]...))
+	}
+	return centroids
+}
+
+func nearest(centroids [][]float64, p []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c, cent := range centroids {
+		if d := xmath.SquaredEuclidean(p, cent); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// Members returns the point indices assigned to cluster c.
+func (r *Result) Members(c int) []int {
+	var out []int
+	for i, a := range r.Assign {
+		if a == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// DistanceToCentroid returns the Euclidean distance from point p (by index,
+// with its coordinates supplied) to its assigned centroid.
+func (r *Result) DistanceToCentroid(i int, point []float64) float64 {
+	return xmath.Euclidean(point, r.Centroids[r.Assign[i]])
+}
+
+// Sweep runs KMeans for every k in [1, kmax] (clamped to the number of
+// points) and returns the results indexed by k-1. Each k gets a distinct
+// derived seed so restarts do not correlate across k.
+func Sweep(points [][]float64, kmax int, opts Options) ([]*Result, error) {
+	if kmax < 1 {
+		return nil, fmt.Errorf("cluster: kmax=%d", kmax)
+	}
+	if kmax > len(points) {
+		kmax = len(points)
+	}
+	out := make([]*Result, 0, kmax)
+	for k := 1; k <= kmax; k++ {
+		o := opts
+		o.Seed = opts.Seed + uint64(k)*0x9e3779b97f4a7c15
+		res, err := KMeans(points, k, o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"math"
+
+	"github.com/incprof/incprof/internal/xmath"
+)
+
+// ElbowVarianceThreshold is the explained-variance level ElbowK requires: k
+// is chosen as the smallest cluster count whose WCSS retains at most 10% of
+// the k=1 WCSS (i.e. the clustering explains >= 90% of the within-cluster
+// variance).
+const ElbowVarianceThreshold = 0.90
+
+// ElbowK selects the number of clusters from a WCSS curve (indexed by k-1)
+// with the explained-variance formulation of the Elbow method the paper
+// applies to k = 1..8 (§V-A): the smallest k explaining at least 90% of the
+// variance, i.e. wcss[k] <= (1 - threshold) * wcss[1]. When no k on the
+// curve reaches the threshold, the maximum-distance-to-chord knee
+// (ElbowKChord) decides.
+//
+// Degenerate curves are handled conservatively: with fewer than two points,
+// or a flat / non-decreasing curve, ElbowK returns 1 (a single phase).
+func ElbowK(wcss []float64) int {
+	n := len(wcss)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return 1
+	}
+	y1, y2 := wcss[0], wcss[n-1]
+	if y1 <= y2 {
+		// Non-decreasing curve: no elbow; more clusters buy nothing.
+		return 1
+	}
+	if y1 <= 1e-12 || (y1-y2)/y1 < 1e-9 {
+		// Effectively flat, or WCSS(k=1) already indistinguishable
+		// from zero (identical points up to float noise): one phase.
+		return 1
+	}
+	cutoff := (1 - ElbowVarianceThreshold) * y1
+	for k := 1; k <= n; k++ {
+		if wcss[k-1] <= cutoff {
+			return k
+		}
+	}
+	return ElbowKChord(wcss)
+}
+
+// ElbowKChord is the maximum-distance-to-chord knee criterion: draw the
+// chord from (1, wcss[0]) to (kmax, wcss[kmax-1]) and pick the k whose point
+// lies farthest below it. It is the alternative elbow formulation kept for
+// the A1 ablation and as ElbowK's fallback on gradual curves.
+func ElbowKChord(wcss []float64) int {
+	n := len(wcss)
+	if n == 0 {
+		return 0
+	}
+	if n <= 2 {
+		return 1
+	}
+	x1, y1 := 1.0, wcss[0]
+	x2, y2 := float64(n), wcss[n-1]
+	if y1 <= y2 || y1 <= 1e-12 {
+		return 1
+	}
+	// Normalize axes so the criterion is scale-invariant.
+	dx, dy := x2-x1, y2-y1
+	norm := math.Hypot(dx, dy)
+	best, bestDist := 1, 0.0
+	for k := 2; k < n; k++ {
+		px, py := float64(k), wcss[k-1]
+		// Perpendicular distance from (px,py) to the chord; positive
+		// when below the chord for a decreasing curve.
+		d := math.Abs(dy*px-dx*py+x2*y1-y2*x1) / norm
+		if d > bestDist {
+			best, bestDist = k, d
+		}
+	}
+	return best
+}
+
+// SelectElbow runs the sweep-and-pick the paper describes: take the WCSS of
+// each result and return the elbow result. results must be a Sweep output.
+func SelectElbow(results []*Result) *Result {
+	if len(results) == 0 {
+		return nil
+	}
+	wcss := make([]float64, len(results))
+	for i, r := range results {
+		wcss[i] = r.WCSS
+	}
+	k := ElbowK(wcss)
+	if k < 1 {
+		k = 1
+	}
+	return results[k-1]
+}
+
+// Silhouette returns the mean silhouette coefficient of a clustering: for
+// each point, (b-a)/max(a,b) where a is its mean distance to its own
+// cluster's other points and b the smallest mean distance to another
+// cluster. Values near 1 indicate compact, well-separated clusters. Points
+// in singleton clusters contribute 0, and a single-cluster result scores 0
+// by convention.
+func Silhouette(points [][]float64, assign []int, k int) float64 {
+	if k <= 1 || len(points) < 2 {
+		return 0
+	}
+	n := len(points)
+	var total float64
+	sums := make([]float64, k)
+	counts := make([]int, k)
+	for i := 0; i < n; i++ {
+		for c := range sums {
+			sums[c], counts[c] = 0, 0
+		}
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d := xmath.Euclidean(points[i], points[j])
+			sums[assign[j]] += d
+			counts[assign[j]]++
+		}
+		own := assign[i]
+		if counts[own] == 0 {
+			continue // singleton: contributes 0
+		}
+		a := sums[own] / float64(counts[own])
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own || counts[c] == 0 {
+				continue
+			}
+			if m := sums[c] / float64(counts[c]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue // no other non-empty cluster
+		}
+		if a < b {
+			total += 1 - a/b
+		} else if a > b {
+			total += b/a - 1
+		}
+	}
+	return total / float64(n)
+}
+
+// SelectSilhouette picks the sweep result (k >= 2) with the highest mean
+// silhouette; if no k >= 2 result exists, or the best silhouette is not
+// positive (no structure), it falls back to k = 1. This is the alternative
+// selection method the paper also experimented with (§V-A).
+func SelectSilhouette(points [][]float64, results []*Result) *Result {
+	if len(results) == 0 {
+		return nil
+	}
+	best := results[0]
+	bestScore := 0.0
+	for _, r := range results {
+		if r.K < 2 {
+			continue
+		}
+		if s := Silhouette(points, r.Assign, r.K); s > bestScore {
+			best, bestScore = r, s
+		}
+	}
+	return best
+}

@@ -1,0 +1,185 @@
+// Package gcov is the coverage-counter alternative data source the paper
+// footnotes ("we have created proof-of-concept implementations for both the
+// gcov and JaCoCo tools", §IV fn. 1): instead of gprof's sampled self time,
+// it collects execution counts — function invocations and basic-block
+// executions — cumulatively, dumped once per interval by the same IncProf
+// wakeup discipline.
+//
+// Block counts stand in for gcov's per-basic-block counters: every work
+// advance the runtime reports is one executed block bundle, so a function's
+// block count per interval is proportional to the work it did, making
+// count-based features nearly as informative as time-based ones — which is
+// why the paper's methodology "can be applied to data collected from other
+// tools". Difference converts count snapshots into the same
+// interval.Profile form the phase detector consumes, with block counts as
+// the activity feature.
+package gcov
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/incprof/incprof/internal/exec"
+	"github.com/incprof/incprof/internal/interval"
+	"github.com/incprof/incprof/internal/vclock"
+)
+
+// Snapshot is one cumulative counter dump.
+type Snapshot struct {
+	// Seq is the dump index.
+	Seq int
+	// Timestamp is the virtual dump time since run start.
+	Timestamp time.Duration
+	// Calls maps function name to cumulative invocation count.
+	Calls map[string]int64
+	// Blocks maps function name to cumulative executed-block count.
+	Blocks map[string]int64
+}
+
+// Collector gathers coverage counters from a runtime and dumps them per
+// interval.
+type Collector struct {
+	exec.BaseListener
+	rt     *exec.Runtime
+	ticker *vclock.Ticker
+
+	calls  []int64
+	blocks []int64
+
+	snaps  []*Snapshot
+	closed bool
+}
+
+// New attaches a coverage collector dumping every interval (0 means 1s).
+func New(rt *exec.Runtime, intervalDur time.Duration) *Collector {
+	if intervalDur == 0 {
+		intervalDur = time.Second
+	}
+	if intervalDur < 0 {
+		panic("gcov: negative interval")
+	}
+	c := &Collector{rt: rt}
+	rt.AddListener(c)
+	c.ticker = rt.Clock().NewTickerPriority(intervalDur, vclock.PriorityDump, func(vclock.Time) {
+		c.dump()
+	})
+	return c
+}
+
+func (c *Collector) grow(fn exec.FuncID) {
+	for len(c.calls) <= int(fn) {
+		c.calls = append(c.calls, 0)
+		c.blocks = append(c.blocks, 0)
+	}
+}
+
+// Enter implements exec.Listener: the function-entry counter.
+func (c *Collector) Enter(fn exec.FuncID, _ vclock.Time) {
+	c.grow(fn)
+	c.calls[fn]++
+}
+
+// Advance implements exec.Listener: each attributed work chunk is one
+// executed block bundle.
+func (c *Collector) Advance(fn exec.FuncID, _ time.Duration, _ vclock.Time) {
+	c.grow(fn)
+	c.blocks[fn]++
+}
+
+func (c *Collector) dump() {
+	s := &Snapshot{
+		Seq:       len(c.snaps),
+		Timestamp: c.rt.Now().Duration(),
+		Calls:     make(map[string]int64),
+		Blocks:    make(map[string]int64),
+	}
+	for _, fi := range c.rt.Funcs() {
+		if int(fi.ID) < len(c.calls) && c.calls[fi.ID] > 0 {
+			s.Calls[fi.Name] = c.calls[fi.ID]
+		}
+		if int(fi.ID) < len(c.blocks) && c.blocks[fi.ID] > 0 {
+			s.Blocks[fi.Name] = c.blocks[fi.ID]
+		}
+	}
+	c.snaps = append(c.snaps, s)
+}
+
+// Close stops collection, takes a final partial-interval dump if needed,
+// and detaches from the runtime. Close is idempotent.
+func (c *Collector) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.ticker.Stop()
+	last := time.Duration(0)
+	if n := len(c.snaps); n > 0 {
+		last = c.snaps[n-1].Timestamp
+	}
+	if c.rt.Now().Duration() > last {
+		c.dump()
+	}
+	c.rt.RemoveListener(c)
+}
+
+// Snapshots returns the dumps taken so far in order.
+func (c *Collector) Snapshots() []*Snapshot {
+	out := append([]*Snapshot(nil), c.snaps...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Difference converts cumulative count snapshots into interval profiles the
+// phase detector can consume: per-interval block counts become the activity
+// feature (scaled as pseudo-nanoseconds so interval.Features sees them),
+// and per-interval call counts drive Algorithm 1's sorting. Counters must
+// be non-decreasing.
+func Difference(snaps []*Snapshot) ([]interval.Profile, error) {
+	profiles := make([]interval.Profile, 0, len(snaps))
+	var prev *Snapshot
+	for i, s := range snaps {
+		p := interval.Profile{
+			Index:     i,
+			End:       s.Timestamp,
+			Self:      make(map[string]time.Duration),
+			ExactSelf: make(map[string]time.Duration),
+			Calls:     make(map[string]int64),
+		}
+		if prev != nil {
+			p.Start = prev.Timestamp
+		}
+		for fn, blocks := range s.Blocks {
+			var before int64
+			if prev != nil {
+				before = prev.Blocks[fn]
+			}
+			d := blocks - before
+			if d < 0 {
+				return nil, fmt.Errorf("gcov: block counter for %q regressed at dump %d", fn, s.Seq)
+			}
+			if d > 0 {
+				// One pseudo-microsecond per block keeps features
+				// well-scaled for clustering.
+				p.Self[fn] = time.Duration(d) * time.Microsecond
+				p.ExactSelf[fn] = p.Self[fn]
+			}
+		}
+		for fn, calls := range s.Calls {
+			var before int64
+			if prev != nil {
+				before = prev.Calls[fn]
+			}
+			d := calls - before
+			if d < 0 {
+				return nil, fmt.Errorf("gcov: call counter for %q regressed at dump %d", fn, s.Seq)
+			}
+			if d > 0 {
+				p.Calls[fn] = d
+			}
+		}
+		profiles = append(profiles, p)
+		prev = s
+	}
+	return profiles, nil
+}

@@ -1,0 +1,152 @@
+package gmon
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// TotalTimes propagates sampled self time up the call graph, gprof-style: a
+// function's total time is its self time plus each callee's total time,
+// attributed to callers in proportion to arc counts. Cycles are broken by
+// ignoring back edges discovered during the traversal (gprof proper lumps
+// strongly-connected components; for the acyclic call trees the evaluation
+// applications produce, the two treatments agree).
+func (s *Snapshot) TotalTimes() map[string]time.Duration {
+	// callers[callee] -> arcs into it; callees[caller] -> arcs out.
+	callees := make(map[string][]Arc)
+	inCalls := make(map[string]int64)
+	for _, a := range s.Arcs {
+		callees[a.Caller] = append(callees[a.Caller], a)
+		inCalls[a.Callee] += a.Count
+	}
+	memo := make(map[string]time.Duration)
+	visiting := make(map[string]bool)
+	var total func(name string) time.Duration
+	total = func(name string) time.Duration {
+		if t, ok := memo[name]; ok {
+			return t
+		}
+		if visiting[name] {
+			return 0 // back edge: break the cycle
+		}
+		visiting[name] = true
+		var t time.Duration
+		if rec, ok := s.Func(name); ok {
+			t = s.SampledSelf(rec)
+		}
+		for _, arc := range callees[name] {
+			calleeTotal := total(arc.Callee)
+			if in := inCalls[arc.Callee]; in > 0 {
+				t += time.Duration(int64(calleeTotal) * arc.Count / in)
+			}
+		}
+		visiting[name] = false
+		memo[name] = t
+		return t
+	}
+	out := make(map[string]time.Duration)
+	names := make(map[string]bool)
+	for _, f := range s.Funcs {
+		names[f.Name] = true
+	}
+	for _, a := range s.Arcs {
+		names[a.Caller] = true
+		names[a.Callee] = true
+	}
+	for name := range names {
+		out[name] = total(name)
+	}
+	return out
+}
+
+// CallGraphReport renders gprof's call-graph table: one entry per function
+// with its callers above and callees below, showing self time, propagated
+// children time, and call counts (paper §IV: "a table relating function
+// profiles to particular calling contexts").
+func (s *Snapshot) CallGraphReport(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	totals := s.TotalTimes()
+	grand := s.TotalSampledSelf().Seconds()
+
+	type entry struct {
+		name  string
+		self  float64
+		total float64
+		calls int64
+	}
+	var entries []entry
+	for _, f := range s.Funcs {
+		if f.Samples == 0 && f.Calls == 0 {
+			continue
+		}
+		entries = append(entries, entry{
+			name:  f.Name,
+			self:  s.SampledSelf(f).Seconds(),
+			total: totals[f.Name].Seconds(),
+			calls: f.Calls,
+		})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].total != entries[j].total {
+			return entries[i].total > entries[j].total
+		}
+		return entries[i].name < entries[j].name
+	})
+	index := make(map[string]int, len(entries))
+	for i, e := range entries {
+		index[e.name] = i + 1
+	}
+
+	callersOf := make(map[string][]Arc)
+	calleesOf := make(map[string][]Arc)
+	inCalls := make(map[string]int64)
+	for _, a := range s.Arcs {
+		callersOf[a.Callee] = append(callersOf[a.Callee], a)
+		calleesOf[a.Caller] = append(calleesOf[a.Caller], a)
+		inCalls[a.Callee] += a.Count
+	}
+
+	fmt.Fprintf(bw, "Call graph: seq=%d t=%.3f\n\n", s.Seq, s.Timestamp.Seconds())
+	fmt.Fprintf(bw, "index  %% time     self  children    called  name\n")
+	for i, e := range entries {
+		children := e.total - e.self
+		if children < 0 {
+			children = 0
+		}
+		// Caller lines: attribute this function's total to each caller
+		// by arc share.
+		for _, arc := range callersOf[e.name] {
+			share := 0.0
+			if in := inCalls[e.name]; in > 0 {
+				share = e.total * float64(arc.Count) / float64(in)
+			}
+			selfShare := 0.0
+			if in := inCalls[e.name]; in > 0 {
+				selfShare = e.self * float64(arc.Count) / float64(in)
+			}
+			fmt.Fprintf(bw, "                %8.2f  %8.2f  %8d/%-8d    %s [%d]\n",
+				selfShare, share-selfShare, arc.Count, inCalls[e.name], arc.Caller, index[arc.Caller])
+		}
+		pct := 0.0
+		if grand > 0 {
+			pct = 100 * e.total / grand
+		}
+		fmt.Fprintf(bw, "[%-3d]  %6.1f %8.2f  %8.2f  %8d  %s [%d]\n",
+			i+1, pct, e.self, children, e.calls, e.name, i+1)
+		// Callee lines.
+		for _, arc := range calleesOf[e.name] {
+			calleeTotal := totals[arc.Callee].Seconds()
+			share := 0.0
+			if in := inCalls[arc.Callee]; in > 0 {
+				share = calleeTotal * float64(arc.Count) / float64(in)
+			}
+			fmt.Fprintf(bw, "                %8s  %8.2f  %8d/%-8d        %s [%d]\n",
+				"", share, arc.Count, inCalls[arc.Callee], arc.Callee, index[arc.Callee])
+		}
+		fmt.Fprintln(bw, "-----------------------------------------------------------------")
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,128 @@
+package gmon
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// chainSnapshot: main(0 self) -> solve(2s self, 1 call) -> matvec(1s self,
+// 100 calls), plus main -> io(0.5s, 3 calls).
+func chainSnapshot() *Snapshot {
+	s := &Snapshot{
+		Seq: 0, Timestamp: 4 * time.Second, SamplePeriod: 10 * time.Millisecond,
+		Funcs: []FuncRecord{
+			{Name: "main", Samples: 0, Calls: 1},
+			{Name: "solve", Samples: 200, Calls: 1},
+			{Name: "matvec", Samples: 100, Calls: 100},
+			{Name: "io", Samples: 50, Calls: 3},
+		},
+		Arcs: []Arc{
+			{Caller: "main", Callee: "solve", Count: 1},
+			{Caller: "solve", Callee: "matvec", Count: 100},
+			{Caller: "main", Callee: "io", Count: 3},
+		},
+	}
+	s.Normalize()
+	return s
+}
+
+func TestTotalTimesPropagation(t *testing.T) {
+	s := chainSnapshot()
+	totals := s.TotalTimes()
+	if got := totals["matvec"]; got != time.Second {
+		t.Fatalf("matvec total = %v, want 1s (leaf)", got)
+	}
+	if got := totals["solve"]; got != 3*time.Second {
+		t.Fatalf("solve total = %v, want 3s (2 self + 1 child)", got)
+	}
+	if got := totals["main"]; got != 3500*time.Millisecond {
+		t.Fatalf("main total = %v, want 3.5s (0 self + solve 3 + io 0.5)", got)
+	}
+}
+
+func TestTotalTimesSplitsByArcShare(t *testing.T) {
+	// Two callers of a 1s-self helper, 3:1 call ratio: totals attribute
+	// 0.75s and 0.25s respectively.
+	s := &Snapshot{
+		SamplePeriod: 10 * time.Millisecond,
+		Funcs: []FuncRecord{
+			{Name: "a", Samples: 0, Calls: 1},
+			{Name: "b", Samples: 0, Calls: 1},
+			{Name: "helper", Samples: 100, Calls: 4},
+		},
+		Arcs: []Arc{
+			{Caller: "a", Callee: "helper", Count: 3},
+			{Caller: "b", Callee: "helper", Count: 1},
+		},
+	}
+	s.Normalize()
+	totals := s.TotalTimes()
+	if got := totals["a"]; got != 750*time.Millisecond {
+		t.Fatalf("a total = %v, want 750ms", got)
+	}
+	if got := totals["b"]; got != 250*time.Millisecond {
+		t.Fatalf("b total = %v, want 250ms", got)
+	}
+}
+
+func TestTotalTimesCycleSafe(t *testing.T) {
+	// Mutual recursion must terminate and not inflate totals unboundedly.
+	s := &Snapshot{
+		SamplePeriod: 10 * time.Millisecond,
+		Funcs: []FuncRecord{
+			{Name: "even", Samples: 100, Calls: 50},
+			{Name: "odd", Samples: 100, Calls: 50},
+		},
+		Arcs: []Arc{
+			{Caller: "even", Callee: "odd", Count: 50},
+			{Caller: "odd", Callee: "even", Count: 49},
+		},
+	}
+	s.Normalize()
+	totals := s.TotalTimes()
+	if totals["even"] <= 0 || totals["even"] > 10*time.Second {
+		t.Fatalf("cycle total = %v", totals["even"])
+	}
+}
+
+func TestCallGraphReportContent(t *testing.T) {
+	s := chainSnapshot()
+	var b strings.Builder
+	if err := s.CallGraphReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"index", "main", "solve", "matvec", "100/100", "-----"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	// main has the highest total time: it gets index [1] and 100%.
+	lines := strings.Split(out, "\n")
+	var mainLine string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "[1") && strings.Contains(l, "main") {
+			mainLine = l
+		}
+	}
+	if mainLine == "" {
+		t.Fatalf("main not ranked first:\n%s", out)
+	}
+	if !strings.Contains(mainLine, "100.0") {
+		t.Fatalf("main %% time wrong: %q", mainLine)
+	}
+}
+
+func TestCallGraphReportOmitsUnobserved(t *testing.T) {
+	s := chainSnapshot()
+	s.Funcs = append(s.Funcs, FuncRecord{Name: "dead_code"})
+	s.Normalize()
+	var b strings.Builder
+	if err := s.CallGraphReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "dead_code") {
+		t.Fatal("unobserved function listed in call graph")
+	}
+}

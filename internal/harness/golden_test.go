@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"io"
+	"testing"
+
+	"github.com/incprof/incprof/internal/phase"
+)
+
+// TestGoldenFullScaleReproduction pins the headline paper-vs-measured facts
+// at paper scale (the numbers EXPERIMENTS.md records). It is the regression
+// gate for the whole reproduction; run with -short to skip.
+func TestGoldenFullScaleReproduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale reproduction; skipped with -short")
+	}
+	type siteCheck struct {
+		fn    string
+		ty    phase.InstType
+		appLo float64 // summed App% across phases
+		appHi float64
+	}
+	cases := []struct {
+		app       string
+		wantK     int
+		runtimeLo float64 // virtual seconds
+		runtimeHi float64
+		sites     []siteCheck
+	}{
+		{
+			app: "graph500", wantK: 4, runtimeLo: 200, runtimeHi: 260,
+			sites: []siteCheck{
+				{fn: "validate_bfs_result", ty: phase.Loop, appLo: 55, appHi: 75}, // paper 62.2
+				{fn: "run_bfs", ty: phase.Loop, appLo: 15, appHi: 30},             // paper 25.5 combined
+				{fn: "make_one_edge", ty: phase.Body, appLo: 6, appHi: 13},        // paper 10.8
+			},
+		},
+		{
+			app: "minife", wantK: 5, runtimeLo: 580, runtimeHi: 640,
+			sites: []siteCheck{
+				{fn: "cg_solve", ty: phase.Loop, appLo: 58, appHi: 70},                // paper 64.2
+				{fn: "sum_in_symm_elem_matrix", ty: phase.Body, appLo: 16, appHi: 23}, // paper 19.5
+				{fn: "impose_dirichlet", ty: phase.Loop, appLo: 3, appHi: 6},          // paper 4.4
+			},
+		},
+		{
+			app: "miniamr", wantK: 4, runtimeLo: 430, runtimeHi: 480,
+			sites: []siteCheck{
+				{fn: "check_sum", ty: phase.Body, appLo: 84, appHi: 94}, // paper 89.1
+				{fn: "allocate", ty: phase.Loop, appLo: 2, appHi: 6},    // paper 3.7
+			},
+		},
+		{
+			app: "lammps", wantK: 3, runtimeLo: 290, runtimeHi: 330,
+			sites: []siteCheck{
+				{fn: "PairLJCut::compute", ty: phase.Loop, appLo: 84, appHi: 94},       // paper 89.8
+				{fn: "NPairHalfBinNewton::build", ty: phase.Loop, appLo: 6, appHi: 12}, // paper 9.0
+				{fn: "Velocity::create", ty: phase.Loop, appLo: 0.5, appHi: 3},         // paper 1.1
+			},
+		},
+		{
+			app: "gadget", wantK: 2, runtimeLo: 400, runtimeHi: 450,
+			sites: []siteCheck{
+				{fn: "force_treeevaluate_shortrange", ty: phase.Body, appLo: 64, appHi: 80}, // paper 69.6
+				{fn: "pm_setup_nonperiodic_kernel", ty: phase.Body, appLo: 22, appHi: 33},   // paper 28.6
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.app, func(t *testing.T) {
+			res, err := SiteTable(io.Discard, tc.app, Config{Scale: 1.0, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			det := res.Experiment.Analysis.Detection
+			if res.K != tc.wantK {
+				t.Errorf("K = %d, want %d", res.K, tc.wantK)
+			}
+			vt := res.Experiment.Profiled.VirtualRuntime.Seconds()
+			if vt < tc.runtimeLo || vt > tc.runtimeHi {
+				t.Errorf("virtual runtime = %.0fs, want [%v, %v]", vt, tc.runtimeLo, tc.runtimeHi)
+			}
+			appPct := make(map[string]float64)
+			types := make(map[string]map[phase.InstType]bool)
+			for _, p := range det.Phases {
+				for _, s := range p.Sites {
+					appPct[s.Function] += s.AppPct
+					if types[s.Function] == nil {
+						types[s.Function] = make(map[phase.InstType]bool)
+					}
+					types[s.Function][s.Type] = true
+				}
+			}
+			for _, sc := range tc.sites {
+				got := appPct[sc.fn]
+				if got < sc.appLo || got > sc.appHi {
+					t.Errorf("%s App%% = %.1f, want [%v, %v]", sc.fn, got, sc.appLo, sc.appHi)
+				}
+				if !types[sc.fn][sc.ty] {
+					t.Errorf("%s missing %v site (have %v)", sc.fn, sc.ty, types[sc.fn])
+				}
+			}
+		})
+	}
+}

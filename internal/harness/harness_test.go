@@ -1,0 +1,190 @@
+package harness
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testScale = 0.06
+
+func TestTable1SmallScale(t *testing.T) {
+	rows, err := Table1(Config{Scale: testScale, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	order := []string{"graph500", "minife", "miniamr", "lammps", "gadget"}
+	for i, r := range rows {
+		if r.App != order[i] {
+			t.Fatalf("row %d = %s, want %s (paper order)", i, r.App, order[i])
+		}
+		if r.UninstrRuntime <= 0 {
+			t.Fatalf("%s runtime %v", r.App, r.UninstrRuntime)
+		}
+		if r.PhasesDiscovered < 1 || r.PhasesDiscovered > 8 {
+			t.Fatalf("%s phases = %d", r.App, r.PhasesDiscovered)
+		}
+		// The paper's headline: IncProf overhead is ~10% or less and
+		// heartbeat overhead is very low.
+		if r.IncProfOvhdPct <= 0 || r.IncProfOvhdPct > 15 {
+			t.Fatalf("%s IncProf overhead = %v%%, want (0, 15]", r.App, r.IncProfOvhdPct)
+		}
+		if r.HeartbeatOvhdPct < 0 || r.HeartbeatOvhdPct > 10 {
+			t.Fatalf("%s heartbeat overhead = %v%%", r.App, r.HeartbeatOvhdPct)
+		}
+		if r.HeartbeatOvhdPct >= r.IncProfOvhdPct {
+			t.Fatalf("%s: heartbeats (%v%%) should cost less than profiling (%v%%)",
+				r.App, r.HeartbeatOvhdPct, r.IncProfOvhdPct)
+		}
+	}
+
+	var sb strings.Builder
+	if err := WriteTable1(&sb, rows, Config{Scale: testScale}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, app := range order {
+		if !strings.Contains(out, app) {
+			t.Fatalf("table missing %s:\n%s", app, out)
+		}
+	}
+	if !strings.Contains(out, "TABLE I") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+}
+
+func TestSiteTableGraph500(t *testing.T) {
+	var sb strings.Builder
+	res, err := SiteTable(&sb, "graph500", Config{Scale: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K < 2 {
+		t.Fatalf("K = %d", res.K)
+	}
+	out := sb.String()
+	for _, want := range []string{"TABLE 2", "Paper Table 2 reference", "Manual instrumentation sites", "validate_bfs_result", "make_one_edge"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSiteTableUnknownApp(t *testing.T) {
+	var sb strings.Builder
+	if _, err := SiteTable(&sb, "nosuch", Config{Scale: 0.1}); err == nil {
+		t.Fatal("accepted unknown app")
+	}
+}
+
+func TestFigureMiniAMR(t *testing.T) {
+	var sb strings.Builder
+	res, err := Figure(&sb, "miniamr", Config{Scale: testScale, Width: 60, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Discovered) == 0 || len(res.Manual) == 0 {
+		t.Fatalf("figure series missing: %+v", res)
+	}
+	if res.Intervals <= 0 {
+		t.Fatal("no intervals")
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Figure 4 analog") {
+		t.Fatalf("missing figure title:\n%s", out)
+	}
+	if !strings.Contains(out, "check_sum") {
+		t.Fatalf("missing check_sum series:\n%s", out)
+	}
+	// Manual sites: the three functions the paper instruments.
+	for _, fn := range []string{"stencil_calc", "comm"} {
+		if !strings.Contains(out, fn) {
+			t.Fatalf("manual figure missing %s:\n%s", fn, out)
+		}
+	}
+}
+
+func TestPaperDataComplete(t *testing.T) {
+	for app, sites := range PaperSites {
+		if len(sites) == 0 {
+			t.Fatalf("%s has no paper sites", app)
+		}
+		if _, ok := TableNumber[app]; !ok {
+			t.Fatalf("%s has no table number", app)
+		}
+		if _, ok := FigureNumber[app]; !ok {
+			t.Fatalf("%s has no figure number", app)
+		}
+	}
+	if app, ok := AppForTable(2); !ok || app != "graph500" {
+		t.Fatalf("AppForTable(2) = %v, %v", app, ok)
+	}
+	if _, ok := AppForTable(99); ok {
+		t.Fatal("AppForTable(99) found something")
+	}
+	if app, ok := AppForFigure(6); !ok || app != "gadget" {
+		t.Fatalf("AppForFigure(6) = %v, %v", app, ok)
+	}
+	if _, ok := AppForFigure(99); ok {
+		t.Fatal("AppForFigure(99) found something")
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	for _, name := range AblationNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := Ablation(&sb, name, Config{Scale: testScale, Seed: 1}); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(sb.String(), "Ablation") {
+				t.Fatalf("no table rendered:\n%s", sb.String())
+			}
+		})
+	}
+}
+
+func TestAblationUnknown(t *testing.T) {
+	var sb strings.Builder
+	if err := Ablation(&sb, "nosuch", Config{}); err == nil {
+		t.Fatal("accepted unknown ablation")
+	}
+}
+
+func TestFigureCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	_, err := Figure(io.Discard, "lammps", Config{Scale: testScale, Width: 40, Seed: 1, CSVDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"figure5_lammps_discovered_counts.csv",
+		"figure5_lammps_discovered_durations.csv",
+		"figure5_lammps_manual_counts.csv",
+		"figure5_lammps_manual_durations.csv",
+	} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("missing export %s: %v", name, err)
+		}
+		if !strings.HasPrefix(string(data), "interval,") {
+			t.Fatalf("%s lacks CSV header: %q", name, data[:20])
+		}
+	}
+}
+
+func TestSiteTableIncludesTimeline(t *testing.T) {
+	var sb strings.Builder
+	if _, err := SiteTable(&sb, "graph500", Config{Scale: 0.1, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Phase timeline") {
+		t.Fatalf("timeline missing from site table output")
+	}
+}

@@ -1,0 +1,86 @@
+// Package harness reproduces the paper's evaluation section: Table I
+// (setup & overhead), Tables II-VI (per-application discovered
+// instrumentation sites), Figures 2-6 (heartbeat time series), and the
+// ablations listed in DESIGN.md. Every artifact renders the paper's
+// reported values beside the measured ones so deviations are visible in
+// place.
+package harness
+
+// PaperSite is one row of the paper's Tables II-VI.
+type PaperSite struct {
+	Phase    int
+	HB       int
+	Function string
+	PhasePct float64
+	AppPct   float64
+	Inst     string
+}
+
+// PaperSites holds the discovered-site rows of Tables II-VI, keyed by
+// application name.
+var PaperSites = map[string][]PaperSite{
+	"graph500": {
+		{Phase: 0, HB: 1, Function: "validate_bfs_result", PhasePct: 98.1, AppPct: 62.2, Inst: "loop"},
+		{Phase: 1, HB: 2, Function: "run_bfs", PhasePct: 100, AppPct: 13.2, Inst: "body"},
+		{Phase: 2, HB: 3, Function: "run_bfs", PhasePct: 100, AppPct: 12.3, Inst: "loop"},
+		{Phase: 3, HB: 4, Function: "make_one_edge", PhasePct: 97.2, AppPct: 10.8, Inst: "body"},
+	},
+	"minife": {
+		{Phase: 0, HB: 1, Function: "sum_in_symm_elem_matrix", PhasePct: 100, AppPct: 19.5, Inst: "body"},
+		{Phase: 1, HB: 2, Function: "cg_solve", PhasePct: 100, AppPct: 43.7, Inst: "loop"},
+		{Phase: 2, HB: 3, Function: "init_matrix", PhasePct: 93.2, AppPct: 10.1, Inst: "loop"},
+		{Phase: 2, HB: 4, Function: "generate_matrix_structure", PhasePct: 6.8, AppPct: 0.7, Inst: "loop"},
+		{Phase: 3, HB: 5, Function: "impose_dirichlet", PhasePct: 100, AppPct: 4.4, Inst: "loop"},
+		{Phase: 4, HB: 2, Function: "cg_solve", PhasePct: 94.7, AppPct: 20.5, Inst: "loop"},
+		{Phase: 4, HB: 6, Function: "make_local_matrix", PhasePct: 2.7, AppPct: 0.6, Inst: "loop"},
+	},
+	"miniamr": {
+		{Phase: 0, HB: 1, Function: "check_sum", PhasePct: 100, AppPct: 89.1, Inst: "body"},
+		{Phase: 1, HB: 2, Function: "allocate", PhasePct: 33.8, AppPct: 3.7, Inst: "loop"},
+		{Phase: 1, HB: 3, Function: "pack_block", PhasePct: 32.4, AppPct: 3.5, Inst: "body"},
+		{Phase: 1, HB: 4, Function: "unpack_block", PhasePct: 26.5, AppPct: 2.9, Inst: "body"},
+	},
+	"lammps": {
+		{Phase: 0, HB: 1, Function: "PairLJCut::compute", PhasePct: 100, AppPct: 55.7, Inst: "loop"},
+		{Phase: 1, HB: 2, Function: "NPairHalfBinNewton::build", PhasePct: 100, AppPct: 7.7, Inst: "loop"},
+		{Phase: 2, HB: 1, Function: "PairLJCut::compute", PhasePct: 100, AppPct: 34.1, Inst: "loop"},
+		{Phase: 3, HB: 2, Function: "NPairHalfBinNewton::build", PhasePct: 50, AppPct: 1.3, Inst: "body"},
+		{Phase: 3, HB: 4, Function: "Velocity::create", PhasePct: 42.9, AppPct: 1.1, Inst: "loop"},
+	},
+	"gadget": {
+		{Phase: 0, HB: 1, Function: "force_treeevaluate_shortrange", PhasePct: 100, AppPct: 44.9, Inst: "body"},
+		{Phase: 1, HB: 2, Function: "pm_setup_nonperiodic_kernel", PhasePct: 93.8, AppPct: 28.6, Inst: "body"},
+		{Phase: 1, HB: 3, Function: "force_update_node_recursive", PhasePct: 5.9, AppPct: 1.8, Inst: "body"},
+		{Phase: 2, HB: 1, Function: "force_treeevaluate_shortrange", PhasePct: 100, AppPct: 24.7, Inst: "body"},
+	},
+}
+
+// TableNumber maps application names to their table number in the paper.
+var TableNumber = map[string]int{
+	"graph500": 2, "minife": 3, "miniamr": 4, "lammps": 5, "gadget": 6,
+}
+
+// FigureNumber maps application names to their heartbeat-figure number.
+var FigureNumber = map[string]int{
+	"graph500": 2, "minife": 3, "miniamr": 4, "lammps": 5, "gadget": 6,
+}
+
+// AppForTable returns the application name owning a paper table number.
+func AppForTable(n int) (string, bool) {
+	for app, t := range TableNumber {
+		if t == n {
+			return app, true
+		}
+	}
+	return "", false
+}
+
+// AppForFigure returns the application name owning a paper figure number.
+func AppForFigure(n int) (string, bool) {
+	for app, f := range FigureNumber {
+		if f == n {
+			return app, true
+		}
+	}
+	return "", false
+}

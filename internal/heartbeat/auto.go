@@ -1,0 +1,132 @@
+package heartbeat
+
+import (
+	"time"
+
+	"github.com/incprof/incprof/internal/exec"
+	"github.com/incprof/incprof/internal/phase"
+	"github.com/incprof/incprof/internal/vclock"
+)
+
+// DefaultLoopBeatPeriod is the nominal loop-iteration duration used to
+// synthesize beats for loop-type sites.
+const DefaultLoopBeatPeriod = 100 * time.Millisecond
+
+// SiteSpec binds one instrumentation site (a function and placement chosen
+// by Algorithm 1, or by hand) to a heartbeat ID.
+type SiteSpec struct {
+	Function string
+	Type     phase.InstType
+	ID       ID
+}
+
+// AutoInstrument applies heartbeat instrumentation to a running application
+// without source changes, the way AppEKG instruments the sites the phase
+// discovery selects:
+//
+//   - Body sites beat once per function invocation (Begin on entry, End on
+//     return).
+//   - Loop sites beat continuously while the function executes: each
+//     LoopBeatPeriod of accrued self time completes one beat, modeling a
+//     begin/end pair inside the function's main loop.
+type AutoInstrument struct {
+	exec.BaseListener
+	rt         *exec.Runtime
+	ekg        *EKG
+	loopPeriod time.Duration
+
+	body  map[exec.FuncID]ID
+	loop  map[exec.FuncID]ID
+	carry map[exec.FuncID]time.Duration
+}
+
+// Instrument attaches auto-instrumentation for the given sites to rt,
+// beating into ekg. Functions not yet registered with the runtime are
+// registered (they may simply never run). A zero loopPeriod means
+// DefaultLoopBeatPeriod.
+func Instrument(rt *exec.Runtime, ekg *EKG, sites []SiteSpec, loopPeriod time.Duration) *AutoInstrument {
+	if loopPeriod == 0 {
+		loopPeriod = DefaultLoopBeatPeriod
+	}
+	if loopPeriod < 0 {
+		panic("heartbeat: negative loop beat period")
+	}
+	ai := &AutoInstrument{
+		rt:         rt,
+		ekg:        ekg,
+		loopPeriod: loopPeriod,
+		body:       make(map[exec.FuncID]ID),
+		loop:       make(map[exec.FuncID]ID),
+		carry:      make(map[exec.FuncID]time.Duration),
+	}
+	for _, s := range sites {
+		fn := rt.Register(s.Function)
+		switch s.Type {
+		case phase.Body:
+			ai.body[fn] = s.ID
+		case phase.Loop:
+			ai.loop[fn] = s.ID
+		}
+	}
+	rt.AddListener(ai)
+	return ai
+}
+
+// Enter implements exec.Listener.
+func (ai *AutoInstrument) Enter(fn exec.FuncID, _ vclock.Time) {
+	if id, ok := ai.body[fn]; ok {
+		ai.ekg.Begin(id)
+	}
+}
+
+// Exit implements exec.Listener.
+func (ai *AutoInstrument) Exit(fn exec.FuncID, _ vclock.Time) {
+	if id, ok := ai.body[fn]; ok {
+		ai.ekg.End(id)
+	}
+}
+
+// Advance implements exec.Listener: loop sites convert accrued self time
+// into beats of nominal duration loopPeriod, carrying the remainder so the
+// total beat count is conserved across interval boundaries.
+func (ai *AutoInstrument) Advance(fn exec.FuncID, d time.Duration, _ vclock.Time) {
+	id, ok := ai.loop[fn]
+	if !ok {
+		return
+	}
+	acc := ai.carry[fn] + d
+	if beats := int64(acc / ai.loopPeriod); beats > 0 {
+		ai.ekg.RecordBeats(id, beats, time.Duration(beats)*ai.loopPeriod)
+		acc -= time.Duration(beats) * ai.loopPeriod
+	}
+	ai.carry[fn] = acc
+}
+
+// Detach removes the instrumentation from the runtime.
+func (ai *AutoInstrument) Detach() { ai.rt.RemoveListener(ai) }
+
+// SitesFromDetection assigns heartbeat IDs to every site of a detection,
+// reusing the same ID when the same (function, type) pair appears in more
+// than one phase — as the paper's tables do (e.g. cg_solve is HB 2 in both
+// MiniFE phases 1 and 4). IDs are numbered from 1 in phase order.
+func SitesFromDetection(det *phase.Detection) []SiteSpec {
+	type key struct {
+		fn string
+		ty phase.InstType
+	}
+	assigned := make(map[key]ID)
+	var specs []SiteSpec
+	next := ID(1)
+	for _, p := range det.Phases {
+		for _, s := range p.Sites {
+			k := key{s.Function, s.Type}
+			if _, ok := assigned[k]; ok {
+				continue
+			}
+			assigned[k] = next
+			specs = append(specs, SiteSpec{Function: s.Function, Type: s.Type, ID: next})
+			next++
+		}
+	}
+	return specs
+}

@@ -1,0 +1,45 @@
+package heartbeat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// CSVSink writes records as CSV rows:
+//
+//	interval,time_s,hb_id,count,mean_duration_s
+//
+// matching the per-interval tabular output AppEKG feeds into its analysis
+// and into LDMS.
+type CSVSink struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	header bool
+}
+
+// NewCSVSink returns a sink writing to w. The header row is emitted before
+// the first record.
+func NewCSVSink(w io.Writer) *CSVSink {
+	return &CSVSink{w: bufio.NewWriter(w)}
+}
+
+// Emit implements Sink.
+func (c *CSVSink) Emit(recs []Record) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.header {
+		if _, err := c.w.WriteString("interval,time_s,hb_id,count,mean_duration_s\n"); err != nil {
+			return err
+		}
+		c.header = true
+	}
+	for _, r := range recs {
+		if _, err := fmt.Fprintf(c.w, "%d,%.3f,%d,%d,%.6f\n",
+			r.Interval, r.Time.Seconds(), r.HB, r.Count, r.MeanDuration.Seconds()); err != nil {
+			return err
+		}
+	}
+	return c.w.Flush()
+}

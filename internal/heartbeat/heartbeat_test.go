@@ -1,0 +1,435 @@
+package heartbeat
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/incprof/incprof/internal/exec"
+	"github.com/incprof/incprof/internal/phase"
+	"github.com/incprof/incprof/internal/vclock"
+)
+
+func TestBeginEndAccumulatesWithinInterval(t *testing.T) {
+	clock := vclock.New()
+	sink := NewMemSink()
+	e := New(Options{Clock: clock, Sinks: []Sink{sink}})
+	const hb ID = 1
+	for i := 0; i < 4; i++ {
+		e.Begin(hb)
+		clock.Advance(100 * time.Millisecond)
+		e.End(hb)
+		clock.Advance(100 * time.Millisecond)
+	}
+	clock.Advance(200 * time.Millisecond) // cross the 1s boundary
+	recs := sink.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %+v, want 1", recs)
+	}
+	r := recs[0]
+	if r.Interval != 0 || r.HB != hb || r.Count != 4 {
+		t.Fatalf("record = %+v", r)
+	}
+	if r.MeanDuration != 100*time.Millisecond {
+		t.Fatalf("mean duration = %v, want 100ms", r.MeanDuration)
+	}
+	if r.Time != time.Second {
+		t.Fatalf("flush time = %v, want 1s", r.Time)
+	}
+}
+
+func TestBeatLongerThanIntervalCountsWhereItFinishes(t *testing.T) {
+	// Paper §VI-A: manual sites running longer than the interval "do not
+	// show up in all the intervals, only those that they finish in".
+	clock := vclock.New()
+	sink := NewMemSink()
+	e := New(Options{Clock: clock, Sinks: []Sink{sink}})
+	e.Begin(1)
+	clock.Advance(2500 * time.Millisecond) // spans intervals 0,1 and into 2
+	e.End(1)
+	clock.Advance(600 * time.Millisecond) // complete interval 2
+	series := sink.Series(1)
+	if len(series) != 1 {
+		t.Fatalf("series = %+v, want a single record", series)
+	}
+	r, ok := series[2]
+	if !ok {
+		t.Fatalf("beat recorded in interval %v, want 2", series)
+	}
+	if r.Count != 1 || r.MeanDuration != 2500*time.Millisecond {
+		t.Fatalf("record = %+v", r)
+	}
+}
+
+func TestMultipleIDsSortedWithinFlush(t *testing.T) {
+	clock := vclock.New()
+	sink := NewMemSink()
+	e := New(Options{Clock: clock, Sinks: []Sink{sink}})
+	e.RecordBeat(3, 10*time.Millisecond)
+	e.RecordBeat(1, 20*time.Millisecond)
+	e.RecordBeat(2, 30*time.Millisecond)
+	clock.Advance(time.Second)
+	recs := sink.Records()
+	if len(recs) != 3 {
+		t.Fatalf("records = %+v", recs)
+	}
+	for i, want := range []ID{1, 2, 3} {
+		if recs[i].HB != want {
+			t.Fatalf("order = %+v", recs)
+		}
+	}
+}
+
+func TestIdleIntervalsEmitNothing(t *testing.T) {
+	clock := vclock.New()
+	sink := NewMemSink()
+	e := New(Options{Clock: clock, Sinks: []Sink{sink}})
+	clock.Advance(5 * time.Second)
+	if recs := sink.Records(); len(recs) != 0 {
+		t.Fatalf("idle run emitted %+v", recs)
+	}
+	_ = e
+}
+
+func TestOrphanAndLostTracking(t *testing.T) {
+	e := New(Options{Clock: vclock.New()})
+	e.End(1) // no begin
+	if e.Orphans() != 1 {
+		t.Fatalf("orphans = %d", e.Orphans())
+	}
+	e.Begin(2)
+	e.Begin(2) // supersedes
+	if e.Lost() != 1 {
+		t.Fatalf("lost = %d", e.Lost())
+	}
+	e.End(2)
+	if e.Orphans() != 1 {
+		t.Fatalf("orphans after completed beat = %d", e.Orphans())
+	}
+}
+
+func TestRecordBeatsZeroIsNoop(t *testing.T) {
+	clock := vclock.New()
+	sink := NewMemSink()
+	e := New(Options{Clock: clock, Sinks: []Sink{sink}})
+	e.RecordBeats(1, 0, 0)
+	clock.Advance(time.Second)
+	if len(sink.Records()) != 0 {
+		t.Fatal("zero beats emitted a record")
+	}
+}
+
+func TestNegativePanics(t *testing.T) {
+	e := New(Options{Clock: vclock.New()})
+	for _, f := range []func(){
+		func() { e.RecordBeat(1, -1) },
+		func() { e.RecordBeats(1, -1, 0) },
+		func() { New(Options{Interval: -1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCloseFlushesResidual(t *testing.T) {
+	clock := vclock.New()
+	sink := NewMemSink()
+	e := New(Options{Clock: clock, Sinks: []Sink{sink}})
+	e.RecordBeat(1, 50*time.Millisecond)
+	clock.Advance(400 * time.Millisecond) // inside interval 0
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	recs := sink.Records()
+	if len(recs) != 1 || recs[0].Count != 1 {
+		t.Fatalf("records after close = %+v", recs)
+	}
+	// No further automatic flushing.
+	e.RecordBeat(1, 50*time.Millisecond)
+	clock.Advance(5 * time.Second)
+	if len(sink.Records()) != 1 {
+		t.Fatal("ticker still active after Close")
+	}
+}
+
+func TestStandaloneRealTimeMode(t *testing.T) {
+	sink := NewMemSink()
+	e := New(Options{Sinks: []Sink{sink}, Interval: 10 * time.Millisecond})
+	e.Begin(1)
+	time.Sleep(2 * time.Millisecond)
+	e.End(1)
+	e.Flush()
+	recs := sink.Records()
+	if len(recs) != 1 || recs[0].Count != 1 {
+		t.Fatalf("records = %+v", recs)
+	}
+	if recs[0].MeanDuration <= 0 {
+		t.Fatalf("real-time duration = %v", recs[0].MeanDuration)
+	}
+}
+
+func TestConcurrentBeats(t *testing.T) {
+	sink := NewMemSink()
+	e := New(Options{Sinks: []Sink{sink}})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(id ID) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				e.RecordBeat(id, time.Microsecond)
+			}
+		}(ID(g))
+	}
+	wg.Wait()
+	e.Flush()
+	var total int64
+	for _, r := range sink.Records() {
+		total += r.Count
+	}
+	if total != 8000 {
+		t.Fatalf("total beats = %d, want 8000", total)
+	}
+}
+
+func TestNames(t *testing.T) {
+	e := New(Options{Clock: vclock.New()})
+	e.Name(1, "cg_solve")
+	if e.NameOf(1) != "cg_solve" {
+		t.Fatal("NameOf")
+	}
+	if e.NameOf(2) != "hb2" {
+		t.Fatalf("default name = %q", e.NameOf(2))
+	}
+}
+
+func TestCSVSink(t *testing.T) {
+	var b strings.Builder
+	s := NewCSVSink(&b)
+	err := s.Emit([]Record{
+		{Interval: 0, Time: time.Second, HB: 1, Count: 4, MeanDuration: 100 * time.Millisecond},
+		{Interval: 1, Time: 2 * time.Second, HB: 1, Count: 2, MeanDuration: 250 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "interval,time_s,hb_id,count,mean_duration_s\n0,1.000,1,4,0.100000\n1,2.000,1,2,0.250000\n"
+	if got != want {
+		t.Fatalf("csv:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestAutoInstrumentBodySite(t *testing.T) {
+	rt := exec.New(nil)
+	clock := rt.Clock()
+	sink := NewMemSink()
+	e := New(Options{Clock: clock, Sinks: []Sink{sink}})
+	Instrument(rt, e, []SiteSpec{{Function: "step", Type: phase.Body, ID: 1}}, 0)
+	main := rt.Register("main")
+	step, _ := rt.Lookup("step")
+	rt.Call(main, func() {
+		for i := 0; i < 10; i++ {
+			rt.Call(step, func() { rt.Work(50 * time.Millisecond) })
+		}
+		rt.Work(500 * time.Millisecond)
+	})
+	e.Close()
+	recs := sink.Records()
+	var count int64
+	for _, r := range recs {
+		if r.HB != 1 {
+			t.Fatalf("unexpected HB %d", r.HB)
+		}
+		count += r.Count
+		if r.MeanDuration != 50*time.Millisecond {
+			t.Fatalf("mean duration = %v", r.MeanDuration)
+		}
+	}
+	if count != 10 {
+		t.Fatalf("total beats = %d, want 10", count)
+	}
+}
+
+func TestAutoInstrumentLoopSite(t *testing.T) {
+	rt := exec.New(nil)
+	sink := NewMemSink()
+	e := New(Options{Clock: rt.Clock(), Sinks: []Sink{sink}})
+	Instrument(rt, e, []SiteSpec{{Function: "solve", Type: phase.Loop, ID: 2}}, 100*time.Millisecond)
+	main := rt.Register("main")
+	solve, _ := rt.Lookup("solve")
+	rt.Call(main, func() {
+		rt.Call(solve, func() { rt.Work(3 * time.Second) })
+	})
+	e.Close()
+	var total int64
+	for _, r := range sink.Records() {
+		if r.HB != 2 {
+			t.Fatalf("unexpected record %+v", r)
+		}
+		total += r.Count
+		if r.MeanDuration != 100*time.Millisecond {
+			t.Fatalf("loop beat duration = %v", r.MeanDuration)
+		}
+	}
+	if total != 30 {
+		t.Fatalf("loop beats = %d, want 30 (3s / 100ms)", total)
+	}
+	// Loop sites appear in every interval the function runs in — no gaps.
+	series := sink.Series(2)
+	for i := 0; i < 3; i++ {
+		if _, ok := series[i]; !ok {
+			t.Fatalf("loop site has a gap at interval %d: %+v", i, series)
+		}
+	}
+}
+
+func TestAutoInstrumentLoopCarryConservesBeats(t *testing.T) {
+	rt := exec.New(nil)
+	sink := NewMemSink()
+	e := New(Options{Clock: rt.Clock(), Sinks: []Sink{sink}})
+	Instrument(rt, e, []SiteSpec{{Function: "f", Type: phase.Loop, ID: 1}}, 100*time.Millisecond)
+	main := rt.Register("main")
+	f, _ := rt.Lookup("f")
+	rt.Call(main, func() {
+		// 37 chunks of 70ms = 2590ms total -> exactly 25 beats of
+		// 100ms (and 90ms of remainder) however the chunks land.
+		for i := 0; i < 37; i++ {
+			rt.Call(f, func() { rt.Work(70 * time.Millisecond) })
+		}
+	})
+	e.Close()
+	var total int64
+	for _, r := range sink.Records() {
+		total += r.Count
+	}
+	if total != 25 {
+		t.Fatalf("loop beats = %d, want 25", total)
+	}
+}
+
+func TestAutoInstrumentSameFunctionBodyAndLoop(t *testing.T) {
+	rt := exec.New(nil)
+	sink := NewMemSink()
+	e := New(Options{Clock: rt.Clock(), Sinks: []Sink{sink}})
+	Instrument(rt, e, []SiteSpec{
+		{Function: "f", Type: phase.Body, ID: 1},
+		{Function: "f", Type: phase.Loop, ID: 2},
+	}, 100*time.Millisecond)
+	main := rt.Register("main")
+	f, _ := rt.Lookup("f")
+	rt.Call(main, func() {
+		rt.Call(f, func() { rt.Work(500 * time.Millisecond) })
+	})
+	e.Close()
+	var body, loop int64
+	for _, r := range sink.Records() {
+		switch r.HB {
+		case 1:
+			body += r.Count
+		case 2:
+			loop += r.Count
+		}
+	}
+	if body != 1 || loop != 5 {
+		t.Fatalf("body=%d loop=%d, want 1 and 5", body, loop)
+	}
+}
+
+func TestAutoInstrumentDetach(t *testing.T) {
+	rt := exec.New(nil)
+	sink := NewMemSink()
+	e := New(Options{Clock: rt.Clock(), Sinks: []Sink{sink}})
+	ai := Instrument(rt, e, []SiteSpec{{Function: "f", Type: phase.Body, ID: 1}}, 0)
+	ai.Detach()
+	main := rt.Register("main")
+	f, _ := rt.Lookup("f")
+	rt.Call(main, func() { rt.Call(f, func() { rt.Work(time.Second) }) })
+	e.Close()
+	if len(sink.Records()) != 0 {
+		t.Fatal("detached instrumentation still beating")
+	}
+}
+
+func TestSitesFromDetection(t *testing.T) {
+	det := &phase.Detection{
+		Phases: []phase.Phase{
+			{ID: 0, Sites: []phase.Site{{Function: "validate", Type: phase.Loop}}},
+			{ID: 1, Sites: []phase.Site{{Function: "run_bfs", Type: phase.Body}}},
+			{ID: 2, Sites: []phase.Site{{Function: "run_bfs", Type: phase.Loop}}},
+			{ID: 3, Sites: []phase.Site{{Function: "run_bfs", Type: phase.Body}}}, // repeat
+		},
+	}
+	specs := SitesFromDetection(det)
+	if len(specs) != 3 {
+		t.Fatalf("specs = %+v, want 3 (repeat reuses ID)", specs)
+	}
+	if specs[0].ID != 1 || specs[1].ID != 2 || specs[2].ID != 3 {
+		t.Fatalf("ids = %+v", specs)
+	}
+	if specs[1].Function != "run_bfs" || specs[1].Type != phase.Body {
+		t.Fatalf("specs[1] = %+v", specs[1])
+	}
+	if specs[2].Function != "run_bfs" || specs[2].Type != phase.Loop {
+		t.Fatalf("specs[2] = %+v", specs[2])
+	}
+}
+
+func BenchmarkBeginEnd(b *testing.B) {
+	e := New(Options{Clock: vclock.New()})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Begin(1)
+		e.End(1)
+	}
+}
+
+func BenchmarkRecordBeat(b *testing.B) {
+	e := New(Options{Clock: vclock.New()})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.RecordBeat(1, time.Microsecond)
+	}
+}
+
+func TestJSONSinkRoundTrip(t *testing.T) {
+	var b strings.Builder
+	s := NewJSONSink(&b)
+	want := []Record{
+		{Interval: 0, Time: time.Second, HB: 1, Count: 4, MeanDuration: 100 * time.Millisecond},
+		{Interval: 1, Time: 2 * time.Second, HB: 2, Count: 1, MeanDuration: 2500 * time.Millisecond},
+	}
+	if err := s.Emit(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseJSONRecords(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("records = %d", len(got))
+	}
+	for i := range want {
+		if got[i].Interval != want[i].Interval || got[i].HB != want[i].HB ||
+			got[i].Count != want[i].Count || got[i].MeanDuration != want[i].MeanDuration ||
+			got[i].Time != want[i].Time {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseJSONRecordsRejectsGarbage(t *testing.T) {
+	if _, err := ParseJSONRecords(strings.NewReader("{not json")); err == nil {
+		t.Fatal("parsed garbage")
+	}
+}

@@ -1,0 +1,72 @@
+package heartbeat
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// jsonRecord is the wire form of a Record: stable field names and seconds
+// as floats, convenient for downstream tooling.
+type jsonRecord struct {
+	Interval     int     `json:"interval"`
+	TimeSec      float64 `json:"time_s"`
+	HB           int     `json:"hb_id"`
+	Count        int64   `json:"count"`
+	MeanDuration float64 `json:"mean_duration_s"`
+}
+
+// JSONSink writes one JSON object per record, newline-delimited (JSONL) —
+// the format log shippers and LDMS-adjacent tooling ingest directly.
+type JSONSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONSink returns a sink writing JSONL to w.
+func NewJSONSink(w io.Writer) *JSONSink {
+	bw := bufio.NewWriter(w)
+	return &JSONSink{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit implements Sink.
+func (s *JSONSink) Emit(recs []Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range recs {
+		jr := jsonRecord{
+			Interval:     r.Interval,
+			TimeSec:      r.Time.Seconds(),
+			HB:           int(r.HB),
+			Count:        r.Count,
+			MeanDuration: r.MeanDuration.Seconds(),
+		}
+		if err := s.enc.Encode(jr); err != nil {
+			return err
+		}
+	}
+	return s.w.Flush()
+}
+
+// ParseJSONRecords reads back records written by JSONSink.
+func ParseJSONRecords(r io.Reader) ([]Record, error) {
+	dec := json.NewDecoder(r)
+	var out []Record
+	for dec.More() {
+		var jr jsonRecord
+		if err := dec.Decode(&jr); err != nil {
+			return nil, err
+		}
+		out = append(out, Record{
+			Interval:     jr.Interval,
+			Time:         time.Duration(jr.TimeSec * float64(time.Second)),
+			HB:           ID(jr.HB),
+			Count:        jr.Count,
+			MeanDuration: time.Duration(jr.MeanDuration * float64(time.Second)),
+		})
+	}
+	return out, nil
+}

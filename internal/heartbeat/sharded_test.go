@@ -1,0 +1,139 @@
+package heartbeat
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestShardedBasicAccumulation(t *testing.T) {
+	var now atomic.Int64
+	sink := NewMemSink()
+	e := NewSharded(8, func() time.Duration { return time.Duration(now.Load()) }, sink)
+	for i := 0; i < 5; i++ {
+		e.Begin(1)
+		now.Add(int64(100 * time.Millisecond))
+		e.End(1)
+	}
+	e.Flush()
+	recs := sink.Records()
+	if len(recs) != 1 || recs[0].Count != 5 || recs[0].MeanDuration != 100*time.Millisecond {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestShardedFlushResetsAndNumbersIntervals(t *testing.T) {
+	var now atomic.Int64
+	sink := NewMemSink()
+	e := NewSharded(4, func() time.Duration { return time.Duration(now.Load()) }, sink)
+	e.Begin(1)
+	now.Add(int64(time.Millisecond))
+	e.End(1)
+	e.Flush()
+	e.Begin(1)
+	now.Add(int64(time.Millisecond))
+	e.End(1)
+	e.Flush()
+	recs := sink.Records()
+	if len(recs) != 2 || recs[0].Interval != 0 || recs[1].Interval != 1 {
+		t.Fatalf("records = %+v", recs)
+	}
+	if recs[1].Count != 1 {
+		t.Fatal("interval accumulator not reset")
+	}
+}
+
+func TestShardedEndWithoutBeginIgnored(t *testing.T) {
+	sink := NewMemSink()
+	e := NewSharded(2, nil, sink)
+	e.End(7)
+	e.Flush()
+	if len(sink.Records()) != 0 {
+		t.Fatal("orphan end produced a record")
+	}
+}
+
+func TestShardedRecordsSortedByID(t *testing.T) {
+	var now atomic.Int64
+	sink := NewMemSink()
+	e := NewSharded(16, func() time.Duration { return time.Duration(now.Load()) }, sink)
+	for _, id := range []ID{9, 3, 14, 1, 7} {
+		e.Begin(id)
+		now.Add(int64(time.Millisecond))
+		e.End(id)
+	}
+	e.Flush()
+	recs := sink.Records()
+	if len(recs) != 5 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].HB < recs[i-1].HB {
+			t.Fatalf("unsorted: %+v", recs)
+		}
+	}
+}
+
+func TestShardedConcurrentDistinctIDs(t *testing.T) {
+	sink := NewMemSink()
+	e := NewSharded(16, nil, sink)
+	var wg sync.WaitGroup
+	const goroutines = 16
+	const beats = 2000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id ID) {
+			defer wg.Done()
+			for i := 0; i < beats; i++ {
+				e.Begin(id)
+				e.End(id)
+			}
+		}(ID(g + 1))
+	}
+	wg.Wait()
+	e.Flush()
+	var total int64
+	for _, r := range sink.Records() {
+		total += r.Count
+	}
+	if total != goroutines*beats {
+		t.Fatalf("total beats = %d, want %d", total, goroutines*beats)
+	}
+}
+
+func TestShardedMinimumOneShard(t *testing.T) {
+	e := NewSharded(0, nil, NewMemSink())
+	e.Begin(1)
+	e.End(1)
+	e.Flush()
+	if e.Err() != nil {
+		t.Fatal(e.Err())
+	}
+}
+
+// BenchmarkShardedVsMutexParallel contrasts the sharded hot path against
+// the single-mutex EKG under parallel load on distinct IDs.
+func BenchmarkShardedParallelBeats(b *testing.B) {
+	e := NewSharded(32, nil)
+	var ctr atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		id := ID(ctr.Add(1))
+		for pb.Next() {
+			e.Begin(id)
+			e.End(id)
+		}
+	})
+}
+
+func BenchmarkSingleMutexParallelBeats(b *testing.B) {
+	e := New(Options{})
+	var ctr atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		id := ID(ctr.Add(1))
+		for pb.Next() {
+			e.Begin(id)
+			e.End(id)
+		}
+	})
+}

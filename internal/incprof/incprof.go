@@ -1,0 +1,277 @@
+// Package incprof implements the paper's IncProf collector: the preloadable
+// agent that, on a sleep/wakeup cycle, forces the gprof runtime to dump its
+// cumulative profile and files each dump away under a unique per-interval
+// name (paper §IV, Fig. 1).
+//
+// In this reproduction the "gprof runtime" is package profiler and the
+// wakeup cycle is a virtual-clock ticker, so a collection run is
+// deterministic. Dumps go to a Store; DirStore reproduces the paper's
+// one-file-per-interval layout (gmon.out.N, optionally with the gprof-style
+// textual flat profile next to it), while MemStore keeps snapshots in memory
+// for the analysis pipeline.
+package incprof
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/incprof/incprof/internal/exec"
+	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profiler"
+	"github.com/incprof/incprof/internal/vclock"
+)
+
+// DefaultInterval is the paper's snapshot rate: one dump per second.
+const DefaultInterval = time.Second
+
+// Store receives cumulative snapshots as the collector dumps them.
+type Store interface {
+	// Put files away one snapshot. Implementations may assume ascending
+	// Seq.
+	Put(s *gmon.Snapshot) error
+	// Snapshots returns all stored snapshots in Seq order.
+	Snapshots() ([]*gmon.Snapshot, error)
+}
+
+// Options configures a Collector.
+type Options struct {
+	// Interval is the dump period; 0 means DefaultInterval.
+	Interval time.Duration
+	// Store receives the dumps; nil means a fresh MemStore.
+	Store Store
+}
+
+// Collector periodically dumps cumulative profiles from a Profiler.
+type Collector struct {
+	rt      *exec.Runtime
+	prof    *profiler.Profiler
+	store   Store
+	ticker  *vclock.Ticker
+	intvl   time.Duration
+	dumps   int
+	encode  time.Duration // host time spent producing dumps (overhead stat)
+	lastErr error
+	closed  bool
+}
+
+// New starts a collector over rt and prof. Dumping begins one interval from
+// the current virtual time.
+func New(rt *exec.Runtime, prof *profiler.Profiler, opts Options) *Collector {
+	intvl := opts.Interval
+	if intvl == 0 {
+		intvl = DefaultInterval
+	}
+	if intvl < 0 {
+		panic("incprof: negative interval")
+	}
+	st := opts.Store
+	if st == nil {
+		st = NewMemStore()
+	}
+	c := &Collector{rt: rt, prof: prof, store: st, intvl: intvl}
+	// Dumps run at PriorityDump so that a profiling-clock tick landing on
+	// the same instant is accounted before the snapshot is taken.
+	c.ticker = rt.Clock().NewTickerPriority(intvl, vclock.PriorityDump, func(vclock.Time) { c.dump() })
+	return c
+}
+
+func (c *Collector) dump() {
+	start := time.Now()
+	s := c.prof.Snapshot()
+	if err := c.store.Put(s); err != nil && c.lastErr == nil {
+		c.lastErr = err
+	}
+	c.dumps++
+	c.encode += time.Since(start)
+}
+
+// Interval returns the dump period.
+func (c *Collector) Interval() time.Duration { return c.intvl }
+
+// Dumps returns the number of snapshots taken so far.
+func (c *Collector) Dumps() int { return c.dumps }
+
+// HostEncodeTime returns the real (host) time spent taking and storing
+// dumps; it feeds the overhead accounting in the evaluation harness.
+func (c *Collector) HostEncodeTime() time.Duration { return c.encode }
+
+// Store returns the store receiving the dumps.
+func (c *Collector) Store() Store { return c.store }
+
+// Err returns the first storage error encountered, if any.
+func (c *Collector) Err() error { return c.lastErr }
+
+// Close stops the wakeup cycle and, if virtual time has advanced past the
+// last dump, takes one final partial-interval snapshot so the tail of the
+// run is represented. It returns the first error encountered during the
+// collection. Close is idempotent.
+func (c *Collector) Close() error {
+	if c.closed {
+		return c.lastErr
+	}
+	c.closed = true
+	c.ticker.Stop()
+	last := time.Duration(c.dumps) * c.intvl
+	if c.rt.Now().Duration() > last {
+		c.dump()
+	}
+	return c.lastErr
+}
+
+// MemStore keeps snapshots in memory.
+type MemStore struct {
+	snaps []*gmon.Snapshot
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Put implements Store.
+func (m *MemStore) Put(s *gmon.Snapshot) error {
+	m.snaps = append(m.snaps, s)
+	return nil
+}
+
+// Snapshots implements Store.
+func (m *MemStore) Snapshots() ([]*gmon.Snapshot, error) {
+	out := append([]*gmon.Snapshot(nil), m.snaps...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}
+
+// DirStore writes one binary snapshot file per interval, named gmon.out.N
+// as the paper's collector renames dumps, with an optional gprof-style text
+// report (gprof.txt.N) beside each.
+type DirStore struct {
+	dir         string
+	textReports bool
+}
+
+// NewDirStore returns a store writing under dir, creating it if necessary.
+// When textReports is set, a textual flat profile is written next to every
+// binary dump, mirroring the paper's "invoke the gprof command line tool"
+// post-processing step.
+func NewDirStore(dir string, textReports bool) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("incprof: creating store dir: %w", err)
+	}
+	return &DirStore{dir: dir, textReports: textReports}, nil
+}
+
+// Dir returns the directory the store writes into.
+func (d *DirStore) Dir() string { return d.dir }
+
+// Put implements Store.
+func (d *DirStore) Put(s *gmon.Snapshot) error {
+	path := filepath.Join(d.dir, fmt.Sprintf("gmon.out.%d", s.Seq))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if d.textReports {
+		tf, err := os.Create(filepath.Join(d.dir, fmt.Sprintf("gprof.txt.%d", s.Seq)))
+		if err != nil {
+			return err
+		}
+		if err := s.FlatProfile(tf); err != nil {
+			tf.Close()
+			return err
+		}
+		return tf.Close()
+	}
+	return nil
+}
+
+// Snapshots implements Store, reading back the binary dumps in Seq order.
+func (d *DirStore) Snapshots() ([]*gmon.Snapshot, error) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	type numbered struct {
+		seq  int
+		name string
+	}
+	var files []numbered
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		rest, ok := strings.CutPrefix(e.Name(), "gmon.out.")
+		if !ok {
+			continue
+		}
+		seq, err := strconv.Atoi(rest)
+		if err != nil {
+			continue
+		}
+		files = append(files, numbered{seq, e.Name()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].seq < files[j].seq })
+	out := make([]*gmon.Snapshot, 0, len(files))
+	for _, f := range files {
+		fh, err := os.Open(filepath.Join(d.dir, f.name))
+		if err != nil {
+			return nil, err
+		}
+		s, err := gmon.Decode(fh)
+		fh.Close()
+		if err != nil {
+			return nil, fmt.Errorf("incprof: decoding %s: %w", f.name, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// LoadTextReports parses gprof-style text reports (gprof.txt.N) from dir in
+// sequence order — the paper's actual ingestion path, provided for parity.
+func LoadTextReports(dir string) ([]*gmon.Snapshot, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type numbered struct {
+		seq  int
+		name string
+	}
+	var files []numbered
+	for _, e := range entries {
+		rest, ok := strings.CutPrefix(e.Name(), "gprof.txt.")
+		if !ok {
+			continue
+		}
+		seq, err := strconv.Atoi(rest)
+		if err != nil {
+			continue
+		}
+		files = append(files, numbered{seq, e.Name()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].seq < files[j].seq })
+	out := make([]*gmon.Snapshot, 0, len(files))
+	for _, f := range files {
+		fh, err := os.Open(filepath.Join(dir, f.name))
+		if err != nil {
+			return nil, err
+		}
+		s, err := gmon.ParseFlatProfile(fh)
+		fh.Close()
+		if err != nil {
+			return nil, fmt.Errorf("incprof: parsing %s: %w", f.name, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,241 @@
+// Package interval turns the cumulative snapshots dumped by the IncProf
+// collector into per-interval profiles and clustering feature matrices.
+//
+// "The incremental profile data is written out by gprof as totals since the
+// beginning of the program, so the first step is to subtract the previous
+// interval from each interval to create interval profile data. Each interval
+// is then represented as a tuple of function execution times (the gprof
+// 'self' time), where each unique function is an attribute dimension of the
+// data." (paper §V-A)
+package interval
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/incprof/incprof/internal/gmon"
+)
+
+// Profile is the activity of one collection interval.
+type Profile struct {
+	// Index is the 0-based interval number.
+	Index int
+	// Start and End bound the interval in virtual time since run start.
+	Start, End time.Duration
+	// Self maps function name to sampled self time within the interval
+	// (gprof's 'self' seconds — the clustering feature).
+	Self map[string]time.Duration
+	// ExactSelf maps function name to exactly-accounted self time within
+	// the interval (reproduction extension, for the A3 ablation).
+	ExactSelf map[string]time.Duration
+	// Calls maps function name to the number of invocations within the
+	// interval (drives Algorithm 1's sort and body/loop tagging).
+	Calls map[string]int64
+}
+
+// Active reports whether fn has non-zero sampled self time in the interval —
+// the paper's definition of "active" for rank computation.
+func (p *Profile) Active(fn string) bool { return p.Self[fn] > 0 }
+
+// TotalSelf returns the summed sampled self time across all functions.
+func (p *Profile) TotalSelf() time.Duration {
+	var t time.Duration
+	for _, d := range p.Self {
+		t += d
+	}
+	return t
+}
+
+// Difference converts cumulative snapshots into per-interval profiles by
+// subtracting each snapshot from its successor; the first snapshot is its
+// own interval (cumulative from program start). Snapshots must be in
+// ascending Seq/Timestamp order. Counters are cumulative and must be
+// non-decreasing; a regression is reported as an error since it indicates
+// corrupted collection.
+func Difference(snaps []*gmon.Snapshot) ([]Profile, error) {
+	profiles := make([]Profile, 0, len(snaps))
+	var prev *gmon.Snapshot
+	for i, s := range snaps {
+		if prev != nil {
+			if s.Timestamp < prev.Timestamp {
+				return nil, fmt.Errorf("interval: snapshot %d at %v precedes snapshot %d at %v",
+					s.Seq, s.Timestamp, prev.Seq, prev.Timestamp)
+			}
+			if s.SamplePeriod != prev.SamplePeriod {
+				return nil, fmt.Errorf("interval: sample period changed between snapshots %d and %d", prev.Seq, s.Seq)
+			}
+		}
+		p := Profile{
+			Index:     i,
+			End:       s.Timestamp,
+			Self:      make(map[string]time.Duration),
+			ExactSelf: make(map[string]time.Duration),
+			Calls:     make(map[string]int64),
+		}
+		if prev != nil {
+			p.Start = prev.Timestamp
+		}
+		for _, rec := range s.Funcs {
+			var prevRec gmon.FuncRecord
+			if prev != nil {
+				prevRec, _ = prev.Func(rec.Name)
+			}
+			dSamples := rec.Samples - prevRec.Samples
+			dExact := rec.SelfTime - prevRec.SelfTime
+			dCalls := rec.Calls - prevRec.Calls
+			if dSamples < 0 || dExact < 0 || dCalls < 0 {
+				return nil, fmt.Errorf("interval: cumulative counter for %q regressed between snapshots %d and %d",
+					rec.Name, prev.Seq, s.Seq)
+			}
+			if dSamples > 0 {
+				p.Self[rec.Name] = time.Duration(dSamples) * s.SamplePeriod
+			}
+			if dExact > 0 {
+				p.ExactSelf[rec.Name] = dExact
+			}
+			if dCalls > 0 {
+				p.Calls[rec.Name] = dCalls
+			}
+		}
+		profiles = append(profiles, p)
+		prev = s
+	}
+	return profiles, nil
+}
+
+// FeatureKind selects which per-function quantity becomes the clustering
+// feature.
+type FeatureKind int
+
+const (
+	// SampledSelf uses gprof-style sampled self seconds — the paper's
+	// choice.
+	SampledSelf FeatureKind = iota
+	// ExactSelf uses exactly-accounted self seconds (ablation A3).
+	ExactSelf
+	// SelfPlusCalls appends per-function call counts as extra dimensions
+	// (the paper tried adding call counts and found it did not help —
+	// ablation A3).
+	SelfPlusCalls
+)
+
+// String names the feature kind for reports.
+func (k FeatureKind) String() string {
+	switch k {
+	case SampledSelf:
+		return "sampled-self"
+	case ExactSelf:
+		return "exact-self"
+	case SelfPlusCalls:
+		return "self+calls"
+	default:
+		return fmt.Sprintf("FeatureKind(%d)", int(k))
+	}
+}
+
+// FeatureOptions configures Features.
+type FeatureOptions struct {
+	Kind FeatureKind
+	// Exclude drops functions (by name) from the feature space, e.g.
+	// communication pseudo-functions when studying compute phases.
+	Exclude func(name string) bool
+}
+
+// Matrix is the clustering input: one row per interval, one column per
+// function observed anywhere in the run.
+type Matrix struct {
+	// FuncNames labels the columns; for SelfPlusCalls the call-count
+	// columns reuse the same names with a "#calls:" prefix, appended
+	// after all time columns.
+	FuncNames []string
+	// Rows holds one feature vector per interval, in interval order.
+	Rows [][]float64
+}
+
+// Dims returns the dimensionality of the feature space.
+func (m *Matrix) Dims() int {
+	if len(m.Rows) == 0 {
+		return 0
+	}
+	return len(m.Rows[0])
+}
+
+// Features builds the clustering matrix from interval profiles. Only
+// functions observed (non-zero feature) in at least one interval become
+// dimensions; dimensions are ordered by name for determinism.
+func Features(profiles []Profile, opts FeatureOptions) Matrix {
+	pick := func(p *Profile) map[string]time.Duration {
+		if opts.Kind == ExactSelf {
+			return p.ExactSelf
+		}
+		return p.Self
+	}
+	seen := make(map[string]bool)
+	for i := range profiles {
+		for fn, d := range pick(&profiles[i]) {
+			if d > 0 && (opts.Exclude == nil || !opts.Exclude(fn)) {
+				seen[fn] = true
+			}
+		}
+		if opts.Kind == SelfPlusCalls {
+			for fn, n := range profiles[i].Calls {
+				if n > 0 && (opts.Exclude == nil || !opts.Exclude(fn)) {
+					seen[fn] = true
+				}
+			}
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for fn := range seen {
+		names = append(names, fn)
+	}
+	sort.Strings(names)
+
+	cols := names
+	if opts.Kind == SelfPlusCalls {
+		cols = make([]string, 0, 2*len(names))
+		cols = append(cols, names...)
+		for _, n := range names {
+			cols = append(cols, "#calls:"+n)
+		}
+	}
+	m := Matrix{FuncNames: cols, Rows: make([][]float64, len(profiles))}
+	for i := range profiles {
+		row := make([]float64, len(cols))
+		sel := pick(&profiles[i])
+		for j, fn := range names {
+			row[j] = sel[fn].Seconds()
+		}
+		if opts.Kind == SelfPlusCalls {
+			for j, fn := range names {
+				row[len(names)+j] = float64(profiles[i].Calls[fn])
+			}
+		}
+		m.Rows[i] = row
+	}
+	return m
+}
+
+// Ranks computes the paper's per-function, per-phase rank: "the fraction of
+// intervals in the phase that the function is active in (i.e., has a
+// non-zero execution time)" (§V-B). members lists interval indices belonging
+// to one phase.
+func Ranks(profiles []Profile, members []int) map[string]float64 {
+	if len(members) == 0 {
+		return map[string]float64{}
+	}
+	counts := make(map[string]int)
+	for _, idx := range members {
+		for fn := range profiles[idx].Self {
+			if profiles[idx].Active(fn) {
+				counts[fn]++
+			}
+		}
+	}
+	out := make(map[string]float64, len(counts))
+	for fn, n := range counts {
+		out[fn] = float64(n) / float64(len(members))
+	}
+	return out
+}

@@ -1,0 +1,286 @@
+// Package ldms is a lightweight reproduction of the LDMS (Lightweight
+// Distributed Metric Service) data-collection substrate AppEKG integrates
+// with (paper §III-A).
+//
+// Like LDMS, it is pull-based: samplers expose metric sets; an aggregator
+// collects them on an interval and forwards the sets to storage plugins.
+// Two transports are provided — in-process (the sampler is called directly)
+// and TCP (newline-delimited JSON over net.Conn, a stand-in for LDMS's RDMA
+// / sockets transports) — plus in-memory and CSV storage plugins.
+package ldms
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/incprof/incprof/internal/vclock"
+)
+
+// Metric is one named value.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// MetricSet is a named group of metrics from one producer at one time.
+type MetricSet struct {
+	// Producer identifies the originating process (e.g. "rank3").
+	Producer string `json:"producer"`
+	// Name identifies the schema (e.g. "appekg").
+	Name string `json:"name"`
+	// Time is the producer's time since startup.
+	Time time.Duration `json:"time_ns"`
+	// Metrics holds the values, sorted by name for determinism.
+	Metrics []Metric `json:"metrics"`
+}
+
+// Normalize sorts the metrics by name.
+func (m *MetricSet) Normalize() {
+	sort.Slice(m.Metrics, func(i, j int) bool { return m.Metrics[i].Name < m.Metrics[j].Name })
+}
+
+// Get returns the named metric's value and whether it exists.
+func (m *MetricSet) Get(name string) (float64, bool) {
+	for _, mt := range m.Metrics {
+		if mt.Name == name {
+			return mt.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Sampler provides a metric set on demand (the LDMS pull model).
+type Sampler interface {
+	Sample() (MetricSet, error)
+}
+
+// SamplerFunc adapts a function to the Sampler interface.
+type SamplerFunc func() (MetricSet, error)
+
+// Sample implements Sampler.
+func (f SamplerFunc) Sample() (MetricSet, error) { return f() }
+
+// Store receives collected metric sets.
+type Store interface {
+	Store(MetricSet) error
+}
+
+// MemStore retains metric sets in memory.
+type MemStore struct {
+	mu   sync.Mutex
+	sets []MetricSet
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Store implements Store.
+func (m *MemStore) Store(s MetricSet) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sets = append(m.sets, s)
+	return nil
+}
+
+// Sets returns all stored sets in arrival order.
+func (m *MemStore) Sets() []MetricSet {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]MetricSet(nil), m.sets...)
+}
+
+// CSVStore writes one row per metric:
+//
+//	time_s,producer,set,metric,value
+type CSVStore struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	header bool
+}
+
+// NewCSVStore returns a store writing CSV rows to w.
+func NewCSVStore(w io.Writer) *CSVStore {
+	return &CSVStore{w: bufio.NewWriter(w)}
+}
+
+// Store implements Store.
+func (c *CSVStore) Store(s MetricSet) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.header {
+		if _, err := c.w.WriteString("time_s,producer,set,metric,value\n"); err != nil {
+			return err
+		}
+		c.header = true
+	}
+	for _, m := range s.Metrics {
+		if _, err := fmt.Fprintf(c.w, "%.3f,%s,%s,%s,%g\n",
+			s.Time.Seconds(), s.Producer, s.Name, m.Name, m.Value); err != nil {
+			return err
+		}
+	}
+	return c.w.Flush()
+}
+
+// Aggregator pulls from samplers and fans the sets out to stores, on a
+// virtual-clock interval or on demand via CollectOnce.
+type Aggregator struct {
+	mu       sync.Mutex
+	samplers []Sampler
+	stores   []Store
+	ticker   *vclock.Ticker
+	pulls    int
+	lastErr  error
+}
+
+// NewAggregator creates an aggregator. When clock is non-nil and interval
+// positive, collection runs automatically every interval of virtual time;
+// otherwise drive it with CollectOnce.
+func NewAggregator(clock *vclock.Clock, interval time.Duration) *Aggregator {
+	a := &Aggregator{}
+	if clock != nil && interval > 0 {
+		a.ticker = clock.NewTicker(interval, func(vclock.Time) { a.CollectOnce() })
+	}
+	return a
+}
+
+// AddSampler attaches a metric source.
+func (a *Aggregator) AddSampler(s Sampler) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.samplers = append(a.samplers, s)
+}
+
+// AddStore attaches a storage plugin.
+func (a *Aggregator) AddStore(s Store) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stores = append(a.stores, s)
+}
+
+// CollectOnce pulls every sampler once and stores the results. It returns
+// the first error encountered but keeps collecting from remaining samplers.
+func (a *Aggregator) CollectOnce() error {
+	a.mu.Lock()
+	samplers := append([]Sampler(nil), a.samplers...)
+	stores := append([]Store(nil), a.stores...)
+	a.pulls++
+	a.mu.Unlock()
+	var first error
+	for _, s := range samplers {
+		set, err := s.Sample()
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		for _, st := range stores {
+			if err := st.Store(set); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	a.mu.Lock()
+	if first != nil && a.lastErr == nil {
+		a.lastErr = first
+	}
+	a.mu.Unlock()
+	return first
+}
+
+// Pulls reports how many collection rounds have run.
+func (a *Aggregator) Pulls() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.pulls
+}
+
+// Err returns the first collection error.
+func (a *Aggregator) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastErr
+}
+
+// Close stops automatic collection.
+func (a *Aggregator) Close() {
+	if a.ticker != nil {
+		a.ticker.Stop()
+	}
+}
+
+// Serve exposes a sampler over a listener: each inbound connection may send
+// newline-delimited "sample\n" requests and receives one JSON metric set per
+// request. Serve blocks until the listener closes; run it in a goroutine.
+func Serve(l net.Listener, s Sampler) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go serveConn(conn, s)
+	}
+}
+
+func serveConn(conn net.Conn, s Sampler) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		if sc.Text() != "sample" {
+			fmt.Fprintf(conn, `{"error":"bad request"}`+"\n")
+			return
+		}
+		set, err := s.Sample()
+		if err != nil {
+			fmt.Fprintf(conn, `{"error":%q}`+"\n", err.Error())
+			continue
+		}
+		if err := enc.Encode(set); err != nil {
+			return
+		}
+	}
+}
+
+// remoteSampler pulls metric sets from a Serve endpoint.
+type remoteSampler struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// Dial connects to a Serve endpoint and returns a Sampler that pulls over
+// the connection. Close the returned io.Closer when done.
+func Dial(addr string) (Sampler, io.Closer, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ldms: dialing %s: %w", addr, err)
+	}
+	rs := &remoteSampler{conn: conn, br: bufio.NewReader(conn)}
+	return rs, conn, nil
+}
+
+// Sample implements Sampler over the TCP transport.
+func (r *remoteSampler) Sample() (MetricSet, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, err := fmt.Fprintln(r.conn, "sample"); err != nil {
+		return MetricSet{}, err
+	}
+	line, err := r.br.ReadBytes('\n')
+	if err != nil {
+		return MetricSet{}, err
+	}
+	var set MetricSet
+	if err := json.Unmarshal(line, &set); err != nil {
+		return MetricSet{}, fmt.Errorf("ldms: decoding response: %w", err)
+	}
+	return set, nil
+}

@@ -1,0 +1,204 @@
+// Package online tracks phases in a live stream of interval profiles — the
+// deployment-side complement to the paper's offline k-means analysis, in
+// the spirit of the real-time statistical clustering the paper relates to
+// (Nickolayev et al., §VII) and of its own goal of "in-production
+// observability of the performance of applications, at the phase level".
+//
+// The tracker is a leader-follower clusterer: each arriving interval joins
+// the nearest existing phase if it is within Threshold of the phase
+// centroid (which then drifts toward the sample by Alpha), otherwise it
+// founds a new phase. Phase transitions are reported as they happen, giving
+// a monitoring agent a live phase label per interval without storing the
+// run.
+package online
+
+import (
+	"math"
+	"sort"
+
+	"github.com/incprof/incprof/internal/interval"
+)
+
+// Options tunes the tracker.
+type Options struct {
+	// Threshold is the maximum distance (in feature units: seconds of
+	// per-function self time) at which an interval still belongs to an
+	// existing phase; 0 means 0.35.
+	Threshold float64
+	// Alpha is the centroid's exponential drift rate toward new members;
+	// 0 means 0.15.
+	Alpha float64
+	// MaxPhases caps phase creation; once reached, every interval joins
+	// its nearest phase regardless of distance. 0 means 16.
+	MaxPhases int
+	// Exclude drops functions from the feature space.
+	Exclude func(name string) bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threshold == 0 {
+		o.Threshold = 0.35
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 0.15
+	}
+	if o.MaxPhases == 0 {
+		o.MaxPhases = 16
+	}
+	return o
+}
+
+// Event describes one observed interval.
+type Event struct {
+	// Interval is the observation index (0-based arrival order).
+	Interval int
+	// Phase is the assigned phase ID.
+	Phase int
+	// NewPhase reports whether this interval founded the phase.
+	NewPhase bool
+	// Transition reports whether the phase differs from the previous
+	// interval's.
+	Transition bool
+	// Distance is the distance to the assigned phase's centroid before
+	// it drifted.
+	Distance float64
+}
+
+// Tracker is the streaming phase clusterer. The feature space grows as new
+// functions appear in the stream.
+type Tracker struct {
+	opts Options
+
+	dims      map[string]int
+	centroids [][]float64 // per phase, padded lazily to current dims
+	sizes     []int
+
+	assignments []int
+	lastPhase   int
+}
+
+// New creates a tracker.
+func New(opts Options) *Tracker {
+	return &Tracker{opts: opts.withDefaults(), dims: make(map[string]int), lastPhase: -1}
+}
+
+// dim returns the feature index for a function, growing the space on first
+// sight.
+func (t *Tracker) dim(fn string) int {
+	if i, ok := t.dims[fn]; ok {
+		return i
+	}
+	i := len(t.dims)
+	t.dims[fn] = i
+	return i
+}
+
+// vector builds the feature vector for a profile in the current space.
+func (t *Tracker) vector(p *interval.Profile) []float64 {
+	// Register any new functions first so the space is stable for this
+	// observation.
+	names := make([]string, 0, len(p.Self))
+	for fn, d := range p.Self {
+		if d <= 0 {
+			continue
+		}
+		if t.opts.Exclude != nil && t.opts.Exclude(fn) {
+			continue
+		}
+		names = append(names, fn)
+	}
+	sort.Strings(names) // deterministic dimension assignment
+	for _, fn := range names {
+		t.dim(fn)
+	}
+	v := make([]float64, len(t.dims))
+	for _, fn := range names {
+		v[t.dims[fn]] = p.Self[fn].Seconds()
+	}
+	return v
+}
+
+// distance computes Euclidean distance, treating missing trailing
+// dimensions of the centroid as zero.
+func distance(centroid, v []float64) float64 {
+	var s float64
+	n := len(v)
+	for i := 0; i < n; i++ {
+		c := 0.0
+		if i < len(centroid) {
+			c = centroid[i]
+		}
+		d := v[i] - c
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Observe ingests the next interval and returns its assignment event.
+func (t *Tracker) Observe(p interval.Profile) Event {
+	v := t.vector(&p)
+	idx := len(t.assignments)
+
+	best, bestDist := -1, math.Inf(1)
+	for c := range t.centroids {
+		if d := distance(t.centroids[c], v); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	ev := Event{Interval: idx, Distance: bestDist}
+	if best == -1 || (bestDist > t.opts.Threshold && len(t.centroids) < t.opts.MaxPhases) {
+		// Found a new phase at this interval.
+		best = len(t.centroids)
+		t.centroids = append(t.centroids, append([]float64(nil), v...))
+		t.sizes = append(t.sizes, 0)
+		ev.NewPhase = true
+		ev.Distance = 0
+	} else {
+		// Drift the centroid toward the member.
+		c := t.centroids[best]
+		for len(c) < len(v) {
+			c = append(c, 0)
+		}
+		for i := range v {
+			c[i] += t.opts.Alpha * (v[i] - c[i])
+		}
+		t.centroids[best] = c
+	}
+	t.sizes[best]++
+	ev.Phase = best
+	ev.Transition = best != t.lastPhase && t.lastPhase != -1
+	t.lastPhase = best
+	t.assignments = append(t.assignments, best)
+	return ev
+}
+
+// ObserveAll ingests a whole run and returns its events.
+func (t *Tracker) ObserveAll(profiles []interval.Profile) []Event {
+	out := make([]Event, 0, len(profiles))
+	for _, p := range profiles {
+		out = append(out, t.Observe(p))
+	}
+	return out
+}
+
+// Phases returns the number of phases founded so far.
+func (t *Tracker) Phases() int { return len(t.centroids) }
+
+// Assignments returns the per-interval phase labels so far.
+func (t *Tracker) Assignments() []int {
+	return append([]int(nil), t.assignments...)
+}
+
+// Sizes returns the member count per phase.
+func (t *Tracker) Sizes() []int { return append([]int(nil), t.sizes...) }
+
+// Transitions returns the interval indices at which the phase changed.
+func (t *Tracker) Transitions() []int {
+	var out []int
+	for i := 1; i < len(t.assignments); i++ {
+		if t.assignments[i] != t.assignments[i-1] {
+			out = append(out, i)
+		}
+	}
+	return out
+}

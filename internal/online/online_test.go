@@ -1,0 +1,169 @@
+package online
+
+import (
+	"testing"
+	"time"
+
+	"github.com/incprof/incprof/internal/apps"
+	_ "github.com/incprof/incprof/internal/apps/graph500"
+	"github.com/incprof/incprof/internal/interval"
+	"github.com/incprof/incprof/internal/mpi"
+	"github.com/incprof/incprof/internal/pipeline"
+)
+
+func prof(idx int, entries ...any) interval.Profile {
+	p := interval.Profile{
+		Index: idx,
+		Self:  map[string]time.Duration{},
+		Calls: map[string]int64{},
+	}
+	for i := 0; i < len(entries); i += 2 {
+		fn := entries[i].(string)
+		sec := entries[i+1].(float64)
+		p.Self[fn] = time.Duration(sec * float64(time.Second))
+	}
+	return p
+}
+
+func TestTwoPhaseStream(t *testing.T) {
+	tr := New(Options{})
+	var events []Event
+	for i := 0; i < 10; i++ {
+		events = append(events, tr.Observe(prof(i, "init", 0.9, "aux", 0.1)))
+	}
+	for i := 10; i < 25; i++ {
+		events = append(events, tr.Observe(prof(i, "solve", 1.0)))
+	}
+	if tr.Phases() != 2 {
+		t.Fatalf("phases = %d, want 2", tr.Phases())
+	}
+	if !events[0].NewPhase {
+		t.Fatal("first interval did not found a phase")
+	}
+	if !events[10].NewPhase || !events[10].Transition {
+		t.Fatalf("transition interval event = %+v", events[10])
+	}
+	for i := 1; i < 10; i++ {
+		if events[i].NewPhase || events[i].Transition {
+			t.Fatalf("spurious event at %d: %+v", i, events[i])
+		}
+	}
+	trans := tr.Transitions()
+	if len(trans) != 1 || trans[0] != 10 {
+		t.Fatalf("transitions = %v", trans)
+	}
+	sizes := tr.Sizes()
+	if sizes[0] != 10 || sizes[1] != 15 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+}
+
+func TestCentroidDriftAbsorbsSlowChange(t *testing.T) {
+	// A phase whose profile drifts slowly must not fragment.
+	tr := New(Options{Threshold: 0.3, Alpha: 0.3})
+	for i := 0; i < 40; i++ {
+		share := 0.8 + float64(i)*0.004 // drifts 0.8 -> 0.96
+		tr.Observe(prof(i, "compute", share, "comm", 1-share))
+	}
+	if got := tr.Phases(); got != 1 {
+		t.Fatalf("slow drift fragmented into %d phases", got)
+	}
+}
+
+func TestAbruptChangeFoundsPhase(t *testing.T) {
+	tr := New(Options{})
+	tr.Observe(prof(0, "a", 1.0))
+	ev := tr.Observe(prof(1, "b", 1.0))
+	if !ev.NewPhase {
+		t.Fatalf("orthogonal profile did not found a phase: %+v", ev)
+	}
+}
+
+func TestMaxPhasesCap(t *testing.T) {
+	tr := New(Options{MaxPhases: 2})
+	tr.Observe(prof(0, "a", 1.0))
+	tr.Observe(prof(1, "b", 1.0))
+	ev := tr.Observe(prof(2, "c", 1.0)) // would be a third phase
+	if ev.NewPhase {
+		t.Fatal("cap ignored")
+	}
+	if tr.Phases() != 2 {
+		t.Fatalf("phases = %d", tr.Phases())
+	}
+}
+
+func TestReturnToEarlierPhase(t *testing.T) {
+	// A B A: the return to A must reuse phase 0, not found a third.
+	tr := New(Options{})
+	for i := 0; i < 5; i++ {
+		tr.Observe(prof(i, "a", 1.0))
+	}
+	for i := 5; i < 10; i++ {
+		tr.Observe(prof(i, "b", 1.0))
+	}
+	ev := tr.Observe(prof(10, "a", 1.0))
+	if ev.NewPhase || ev.Phase != 0 {
+		t.Fatalf("return to phase 0 misclassified: %+v", ev)
+	}
+	if !ev.Transition {
+		t.Fatal("transition not reported")
+	}
+}
+
+func TestExcludeFilters(t *testing.T) {
+	tr := New(Options{Exclude: func(fn string) bool { return fn == "MPI_Barrier" }})
+	tr.Observe(prof(0, "work", 0.5, "MPI_Barrier", 0.5))
+	ev := tr.Observe(prof(1, "work", 0.5, "MPI_Barrier", 0.0))
+	if ev.NewPhase {
+		t.Fatal("excluded dimension caused fragmentation")
+	}
+}
+
+// Streaming labels agree with offline k-means on a real collection
+// (pairwise Rand agreement), validating the tracker as a live proxy for
+// the paper's analysis.
+func TestAgreesWithOfflineDetection(t *testing.T) {
+	app, err := apps.New("graph500", 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pipeline.Collect(app, pipeline.CollectOptions{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := pipeline.Analyze(res, pipeline.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline := make([]int, len(an.Profiles))
+	for _, p := range an.Detection.Phases {
+		for _, idx := range p.Intervals {
+			offline[idx] = p.ID
+		}
+	}
+	tr := New(Options{Exclude: mpi.IsMPIFunc})
+	tr.ObserveAll(an.Profiles)
+	onlineLabels := tr.Assignments()
+
+	var same, total float64
+	for i := 0; i < len(offline); i++ {
+		for j := i + 1; j < len(offline); j++ {
+			total++
+			if (offline[i] == offline[j]) == (onlineLabels[i] == onlineLabels[j]) {
+				same++
+			}
+		}
+	}
+	if agreement := same / total; agreement < 0.75 {
+		t.Fatalf("online/offline Rand agreement = %v, want >= 0.75", agreement)
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	tr := New(Options{})
+	p := prof(0, "a", 0.5, "b", 0.3, "c", 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Observe(p)
+	}
+}

@@ -1,0 +1,138 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/incprof/incprof/internal/cluster"
+
+	"github.com/incprof/incprof/internal/xmath"
+)
+
+// RankStat aggregates one function's total self time across all ranks —
+// the "aggregate descriptive statistics" use the paper makes of the
+// non-representative ranks' profiles (§VI).
+type RankStat struct {
+	// Function is the function name.
+	Function string
+	// Self summarizes per-rank total sampled self seconds.
+	Self xmath.Welford
+}
+
+// CoV returns the coefficient of variation (stddev/mean) of the function's
+// per-rank self time; near-zero confirms the symmetric behavior the paper
+// assumes when analyzing one representative rank.
+func (s *RankStat) CoV() float64 {
+	if s.Self.Mean() == 0 {
+		return 0
+	}
+	return s.Self.Stddev() / s.Self.Mean()
+}
+
+// CrossRankStats aggregates the final snapshot of every profiled rank.
+// Functions are ordered by descending mean self time. It errors when no
+// rank has snapshots.
+func CrossRankStats(res *CollectionResult) ([]RankStat, error) {
+	byFunc := make(map[string]*RankStat)
+	ranksSeen := 0
+	for _, snaps := range res.Snapshots {
+		if len(snaps) == 0 {
+			continue
+		}
+		ranksSeen++
+		final := snaps[len(snaps)-1]
+		for _, rec := range final.Funcs {
+			if rec.Samples == 0 {
+				continue
+			}
+			st, ok := byFunc[rec.Name]
+			if !ok {
+				st = &RankStat{Function: rec.Name}
+				byFunc[rec.Name] = st
+			}
+			st.Self.Add(final.SampledSelf(rec).Seconds())
+		}
+	}
+	if ranksSeen == 0 {
+		return nil, fmt.Errorf("pipeline: no profiled ranks to aggregate")
+	}
+	out := make([]RankStat, 0, len(byFunc))
+	for _, st := range byFunc {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		mi, mj := out[i].Self.Mean(), out[j].Self.Mean()
+		if mi != mj {
+			return mi > mj
+		}
+		return out[i].Function < out[j].Function
+	})
+	return out, nil
+}
+
+// SymmetryScore condenses cross-rank agreement to one number: the
+// self-time-weighted mean CoV over all functions (0 = perfectly
+// symmetric). NaN-free by construction.
+func SymmetryScore(stats []RankStat) float64 {
+	var num, den float64
+	for i := range stats {
+		w := stats[i].Self.Mean()
+		cov := stats[i].CoV()
+		if math.IsNaN(cov) || math.IsInf(cov, 0) {
+			continue
+		}
+		num += w * cov
+		den += w
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// RankAgreement runs phase detection independently on every profiled rank
+// and returns the mean pairwise adjusted Rand index of their per-interval
+// phase labelings — 1.0 when every rank tells the same phase story, the
+// quantitative form of the paper's "all processes behave similarly" (§VI).
+func RankAgreement(res *CollectionResult, opts AnalyzeOptions) (float64, error) {
+	var labelings [][]int
+	for rank := range res.Snapshots {
+		if len(res.Snapshots[rank]) == 0 {
+			continue
+		}
+		o := opts
+		o.Rank = rank
+		an, err := Analyze(res, o)
+		if err != nil {
+			return 0, fmt.Errorf("pipeline: rank %d analysis: %w", rank, err)
+		}
+		labels := make([]int, len(an.Profiles))
+		for _, p := range an.Detection.Phases {
+			for _, idx := range p.Intervals {
+				labels[idx] = p.ID
+			}
+		}
+		labelings = append(labelings, labels)
+	}
+	if len(labelings) == 0 {
+		return 0, fmt.Errorf("pipeline: no profiled ranks to compare")
+	}
+	if len(labelings) == 1 {
+		return 1, nil
+	}
+	var sum float64
+	var pairs int
+	for i := 0; i < len(labelings); i++ {
+		for j := i + 1; j < len(labelings); j++ {
+			a, b := labelings[i], labelings[j]
+			n := len(a)
+			if len(b) < n {
+				n = len(b)
+			}
+			sum += cluster.AdjustedRandIndex(a[:n], b[:n])
+			pairs++
+		}
+	}
+	return sum / float64(pairs), nil
+}

@@ -1,0 +1,123 @@
+// Package xmath provides the small numeric building blocks shared across the
+// IncProf reproduction: a fast seedable RNG (used by workload generators and
+// k-means++ initialization), streaming statistics, distance functions, and
+// vector helpers.
+//
+// Everything here is deterministic given a seed; no package-level mutable
+// state is used, so concurrent ranks can each hold their own RNG.
+package xmath
+
+import "math"
+
+// RNG is a xoshiro256** pseudo-random generator seeded via SplitMix64.
+// It is small, fast, and deterministic across platforms, which the test and
+// benchmark harnesses rely on. It is not safe for concurrent use.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from the given value. Any seed,
+// including zero, yields a well-mixed state.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state from seed using SplitMix64 expansion.
+func (r *RNG) Seed(seed uint64) {
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xmath: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a non-negative 63-bit random integer.
+func (r *RNG) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		v := r.Float64()
+		return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+	}
+}
+
+// ExpFloat64 returns an exponential variate with mean 1.
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		return -math.Log(u)
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle randomizes the order of n elements via the provided swap function.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Fork derives an independent generator from the current stream; useful for
+// giving each MPI rank its own deterministic stream from one master seed.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64())
+}

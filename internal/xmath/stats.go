@@ -1,0 +1,188 @@
+package xmath
+
+import (
+	"math"
+	"sort"
+)
+
+// Welford accumulates a streaming mean and variance without storing samples.
+// The zero value is an empty accumulator.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds x into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples folded in.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean, or 0 for an empty accumulator.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance, or 0 with fewer than 2 samples.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev returns the unbiased sample standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest sample, or 0 for an empty accumulator.
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest sample, or 0 for an empty accumulator.
+func (w *Welford) Max() float64 { return w.max }
+
+// Sum returns mean*n, the total of the samples.
+func (w *Welford) Sum() float64 { return w.mean * float64(w.n) }
+
+// Merge folds another accumulator into w (parallel-combine form), used to
+// aggregate per-rank statistics.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	mean := w.mean + d*float64(o.n)/float64(n)
+	m2 := w.m2 + o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	min := w.min
+	if o.min < min {
+		min = o.min
+	}
+	max := w.max
+	if o.max > max {
+		max = o.max
+	}
+	*w = Welford{n: n, mean: mean, m2: m2, min: min, max: max}
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of xs using linear
+// interpolation between order statistics. It panics on an empty slice and
+// does not modify xs.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("xmath: Percentile of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	pos := p * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Euclidean returns the L2 distance between equal-length vectors.
+// It panics on length mismatch.
+func Euclidean(a, b []float64) float64 {
+	return math.Sqrt(SquaredEuclidean(a, b))
+}
+
+// SquaredEuclidean returns the squared L2 distance between equal-length
+// vectors; it is the distance k-means minimizes. It panics on mismatch.
+func SquaredEuclidean(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("xmath: dimension mismatch")
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// ArgMin returns the index of the smallest element, or -1 for empty input.
+// Ties resolve to the first occurrence.
+func ArgMin(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgMax returns the index of the largest element, or -1 for empty input.
+// Ties resolve to the first occurrence.
+func ArgMax(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Sum returns the total of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the average of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
