@@ -13,12 +13,15 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"github.com/incprof/incprof/internal/harness"
+	"github.com/incprof/incprof/internal/par"
 )
 
 func main() {
@@ -28,10 +31,11 @@ func main() {
 	ablation := flag.String("ablation", "", "run one ablation study: "+strings.Join(harness.AblationNames, "|"))
 	width := flag.Int("width", 100, "ASCII figure width in columns")
 	seed := flag.Uint64("seed", 1, "clustering seed")
+	parallel := flag.Int("parallel", 0, "worker-pool bound for analysis and per-app experiments; 0 means GOMAXPROCS, 1 forces serial (results are identical either way)")
 	csvDir := flag.String("csvdir", "", "export figure series as CSV files into this directory")
 	flag.Parse()
 
-	cfg := harness.Config{Scale: *scale, Width: *width, Seed: *seed, CSVDir: *csvDir}
+	cfg := harness.Config{Scale: *scale, Width: *width, Seed: *seed, Parallelism: *parallel, CSVDir: *csvDir}
 	out := os.Stdout
 
 	run := func(err error) {
@@ -68,24 +72,42 @@ func main() {
 		run(fmt.Errorf("no figure %d (have 2-6)", *figure))
 	default:
 		// Everything: Table I, Tables II-VI, Figures 2-6, ablations.
+		// Each artifact's per-app experiments are independent, so they
+		// fan out on the -parallel worker pool, rendering into per-task
+		// buffers that are flushed in the fixed artifact order.
 		rows, err := harness.Table1(cfg)
 		run(err)
 		run(harness.WriteTable1(out, rows, cfg))
+		tasks := make([]func(io.Writer) error, 0, 10+len(harness.AblationNames))
 		for t := 2; t <= 6; t++ {
 			app, _ := harness.AppForTable(t)
-			fmt.Fprintln(out)
-			_, err := harness.SiteTable(out, app, cfg)
-			run(err)
+			tasks = append(tasks, func(w io.Writer) error {
+				_, err := harness.SiteTable(w, app, cfg)
+				return err
+			})
 		}
 		for f := 2; f <= 6; f++ {
 			app, _ := harness.AppForFigure(f)
-			fmt.Fprintln(out)
-			_, err := harness.Figure(out, app, cfg)
-			run(err)
+			tasks = append(tasks, func(w io.Writer) error {
+				_, err := harness.Figure(w, app, cfg)
+				return err
+			})
 		}
 		for _, name := range harness.AblationNames {
+			name := name
+			tasks = append(tasks, func(w io.Writer) error {
+				return harness.Ablation(w, name, cfg)
+			})
+		}
+		bufs := make([]bytes.Buffer, len(tasks))
+		run(par.ForError(len(tasks), cfg.Parallelism, func(i int) error {
+			return tasks[i](&bufs[i])
+		}))
+		for i := range bufs {
 			fmt.Fprintln(out)
-			run(harness.Ablation(out, name, cfg))
+			if _, err := out.Write(bufs[i].Bytes()); err != nil {
+				run(err)
+			}
 		}
 	}
 }

@@ -37,6 +37,7 @@ func main() {
 	selection := flag.String("selection", "elbow", "k selection: elbow or silhouette")
 	algorithm := flag.String("algorithm", "kmeans", "clustering: kmeans or dbscan")
 	seed := flag.Uint64("seed", 1, "clustering seed")
+	parallel := flag.Int("parallel", 0, "worker-pool bound for differencing and the k-means sweep; 0 means GOMAXPROCS, 1 forces serial (results are identical either way)")
 	includeMPI := flag.Bool("include-mpi", false, "keep MPI pseudo-functions in the feature space")
 	fast := flag.Bool("fast", false, "also run fast-phase analysis (call-count loop grouping + periodicity)")
 	onlineFlag := flag.Bool("online", false, "also replay the intervals through the streaming phase tracker")
@@ -71,13 +72,13 @@ func main() {
 		fail(fmt.Errorf("no snapshots found in %s", *dir))
 	}
 
-	profiles, err := interval.Difference(snaps)
+	profiles, err := interval.DifferenceP(snaps, *parallel)
 	fail(err)
 
 	opts := phase.Options{
 		KMax:              *kmax,
 		CoverageThreshold: *threshold,
-		Cluster:           cluster.Options{Seed: *seed},
+		Cluster:           cluster.Options{Seed: *seed, Parallelism: *parallel},
 	}
 	if !*includeMPI {
 		opts.Features.Exclude = mpi.IsMPIFunc

@@ -105,9 +105,18 @@ type (
 )
 
 // DifferenceSnapshots converts cumulative snapshots into per-interval
-// profiles (paper §V-A, the first analysis step).
+// profiles (paper §V-A, the first analysis step). Snapshot pairs diff
+// concurrently on the full GOMAXPROCS worker budget; use
+// DifferenceSnapshotsP to bound the pool. The output is identical either
+// way.
 func DifferenceSnapshots(snaps []*Snapshot) ([]IntervalProfile, error) {
 	return interval.Difference(snaps)
+}
+
+// DifferenceSnapshotsP is DifferenceSnapshots on a worker pool bounded by
+// parallelism (0 means GOMAXPROCS, 1 forces the serial path).
+func DifferenceSnapshotsP(snaps []*Snapshot, parallelism int) ([]IntervalProfile, error) {
+	return interval.DifferenceP(snaps, parallelism)
 }
 
 // Features builds the clustering feature matrix from interval profiles.
@@ -128,8 +137,12 @@ type (
 	Site = phase.Site
 	// InstType is the site placement (Body or Loop).
 	InstType = phase.InstType
-	// ClusterOptions configures the k-means runs.
+	// ClusterOptions configures the k-means runs, including the
+	// Parallelism worker-pool bound; results are identical for every
+	// Parallelism value given the same Seed.
 	ClusterOptions = cluster.Options
+	// ClusterResult is the outcome of one k-means run.
+	ClusterResult = cluster.Result
 )
 
 // Instrumentation placements (paper §V-B).
@@ -141,9 +154,28 @@ const (
 )
 
 // Detect clusters interval profiles into phases and selects per-phase
-// instrumentation sites with Algorithm 1.
+// instrumentation sites with Algorithm 1. The k-means sweep and silhouette
+// scoring fan out on a worker pool bounded by
+// DetectOptions.Cluster.Parallelism (0 means GOMAXPROCS); the detection is
+// identical for every bound given the same DetectOptions.Cluster.Seed.
 func Detect(profiles []IntervalProfile, opts DetectOptions) (*Detection, error) {
 	return phase.Detect(profiles, opts)
+}
+
+// SweepKMeans runs k-means for every k in [1, kmax] (clamped to the number
+// of points) and returns results indexed by k-1, fanning the k values and
+// their restarts out on a pool bounded by opts.Parallelism. Results are
+// identical for every Parallelism value given the same opts.Seed.
+func SweepKMeans(points [][]float64, kmax int, opts ClusterOptions) ([]*ClusterResult, error) {
+	return cluster.Sweep(points, kmax, opts)
+}
+
+// MeanSilhouette scores a clustering with the mean silhouette coefficient,
+// splitting the O(n²) pairwise-distance work across a pool bounded by
+// parallelism (0 means GOMAXPROCS); the score is bit-identical for every
+// bound.
+func MeanSilhouette(points [][]float64, assign []int, k, parallelism int) float64 {
+	return cluster.SilhouetteP(points, assign, k, parallelism)
 }
 
 // AppEKG heartbeats (see internal/heartbeat).

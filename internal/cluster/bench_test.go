@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The parallel-path benchmarks run the k-means sweep and silhouette scoring
+// on a synthetic 500-interval x 200-function matrix (a long production run's
+// scale, ~8x the paper's) at several worker-pool bounds. Compare
+// BenchmarkSweep/parallelism=1 against parallelism=8 for the speedup; the
+// determinism tests in cluster_test.go prove the outputs are identical.
+
+func benchSweepMatrix() [][]float64 {
+	return randomMatrix(500, 200, 1)
+}
+
+func BenchmarkSweep(b *testing.B) {
+	pts := benchSweepMatrix()
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallelism=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Sweep(pts, 8, Options{Seed: 1, Parallelism: p}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSilhouetteP(b *testing.B) {
+	pts := benchSweepMatrix()
+	res, err := KMeans(pts, 4, Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []int{1, 8} {
+		b.Run(fmt.Sprintf("parallelism=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = SilhouetteP(pts, res.Assign, res.K, p)
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -416,5 +417,132 @@ func BenchmarkSilhouette60Points(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = Silhouette(pts, truth, 2)
+	}
+}
+
+// randomMatrix builds an n x d matrix of uniform values, the synthetic
+// interval-by-function shape the parallel-path tests and benchmarks share.
+func randomMatrix(n, d int, seed uint64) [][]float64 {
+	rng := xmath.NewRNG(seed)
+	pts := make([][]float64, n)
+	for i := range pts {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		pts[i] = row
+	}
+	return pts
+}
+
+// sameResult reports whether two k-means results are identical bit for bit.
+func sameResult(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if a.K != b.K || a.WCSS != b.WCSS || a.Iterations != b.Iterations {
+		t.Fatalf("%s: K/WCSS/Iterations differ: %d/%v/%d vs %d/%v/%d",
+			label, a.K, a.WCSS, a.Iterations, b.K, b.WCSS, b.Iterations)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("%s: Assign[%d] = %d vs %d", label, i, a.Assign[i], b.Assign[i])
+		}
+	}
+	for c := range a.Centroids {
+		for d := range a.Centroids[c] {
+			if a.Centroids[c][d] != b.Centroids[c][d] {
+				t.Fatalf("%s: Centroids[%d][%d] = %v vs %v",
+					label, c, d, a.Centroids[c][d], b.Centroids[c][d])
+			}
+		}
+	}
+	for c := range a.Sizes {
+		if a.Sizes[c] != b.Sizes[c] {
+			t.Fatalf("%s: Sizes[%d] = %d vs %d", label, c, a.Sizes[c], b.Sizes[c])
+		}
+	}
+}
+
+func TestKMeansParallelismInvariant(t *testing.T) {
+	pts := randomMatrix(80, 12, 3)
+	serial, err := KMeans(pts, 4, Options{Seed: 9, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 4, 8} {
+		par, err := KMeans(pts, 4, Options{Seed: 9, Parallelism: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, fmt.Sprintf("parallelism %d", p), serial, par)
+	}
+}
+
+func TestSweepParallelismInvariant(t *testing.T) {
+	pts := randomMatrix(60, 10, 5)
+	serial, err := Sweep(pts, 8, Options{Seed: 21, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Sweep(pts, 8, Options{Seed: 21, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		sameResult(t, fmt.Sprintf("k=%d", i+1), serial[i], parallel[i])
+	}
+}
+
+func TestSilhouetteParallelismInvariant(t *testing.T) {
+	pts, truth := blobs([][]float64{{0, 0}, {6, 6}, {12, 0}}, 25, 1.0, 71)
+	serial := SilhouetteP(pts, truth, 3, 1)
+	for _, p := range []int{2, 8} {
+		if got := SilhouetteP(pts, truth, 3, p); got != serial {
+			t.Fatalf("parallelism %d silhouette %v != serial %v", p, got, serial)
+		}
+	}
+	if got := Silhouette(pts, truth, 3); got != serial {
+		t.Fatalf("Silhouette (default pool) %v != serial %v", got, serial)
+	}
+}
+
+// TestLloydReseatsEmptyClusterAgainstNormalizedCentroids forces an empty
+// cluster whose index precedes the populated one. The reseat must measure
+// distances against the populated cluster's *mean*, not its in-progress
+// coordinate sum: with points {0},{1},{10} all assigned to c1 (sum 11,
+// mean 3.67), the farthest point from the mean is {10}; the old bug
+// measured against the sum and grabbed {0} instead.
+func TestLloydReseatsEmptyClusterAgainstNormalizedCentroids(t *testing.T) {
+	pts := [][]float64{{0}, {1}, {10}}
+	centroids := [][]float64{{100}, {0.5}}
+	res := lloyd(pts, centroids, 1)
+	if res.Centroids[0][0] != 10 {
+		t.Fatalf("empty cluster reseated on %v, want the true farthest point {10}", res.Centroids[0])
+	}
+}
+
+// Two empty clusters in the same iteration must claim distinct points.
+func TestLloydReseatsMultipleEmptyClustersDistinctly(t *testing.T) {
+	pts := [][]float64{{0}, {1}, {10}}
+	centroids := [][]float64{{100}, {200}, {0.5}}
+	res := lloyd(pts, centroids, 1)
+	if res.Centroids[0][0] == res.Centroids[1][0] {
+		t.Fatalf("two empty clusters reseated on the same point: %v", res.Centroids)
+	}
+}
+
+func TestElbowKChordIgnoresAboveChordBump(t *testing.T) {
+	// The interior point (k=2, wcss 9.5) lies ABOVE the chord from
+	// (1,10) to (3,1) — a convexity bump, not a knee. The old
+	// absolute-distance criterion picked it; the signed criterion must
+	// fall back to 1.
+	if got := ElbowKChord([]float64{10, 9.5, 1}); got != 1 {
+		t.Fatalf("ElbowKChord(convex bump) = %d, want fallback 1", got)
+	}
+	// A genuine knee below the chord is still found.
+	if got := ElbowKChord([]float64{10, 2, 1}); got != 2 {
+		t.Fatalf("ElbowKChord(knee) = %d, want 2", got)
 	}
 }

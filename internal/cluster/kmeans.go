@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/incprof/incprof/internal/par"
 	"github.com/incprof/incprof/internal/xmath"
 )
 
@@ -38,6 +39,12 @@ type Options struct {
 	// Seed makes runs reproducible. The same seed always yields the same
 	// clustering.
 	Seed uint64
+	// Parallelism bounds the worker pool KMeans and Sweep fan restarts
+	// and k values out on; 0 means GOMAXPROCS, 1 forces the serial path.
+	// Every restart draws from its own seed-derived RNG and reductions
+	// happen in index order, so the result is identical for every
+	// Parallelism value given the same Seed.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -66,11 +73,23 @@ func KMeans(points [][]float64, k int, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("cluster: k=%d out of range [1, %d]", k, len(points))
 	}
 	opts = opts.withDefaults()
-	rng := xmath.NewRNG(opts.Seed)
-	var best *Result
-	for r := 0; r < opts.Restarts; r++ {
-		res := kmeansOnce(points, k, opts.MaxIterations, rng)
-		if best == nil || res.WCSS < best.WCSS {
+	// Derive one seed per restart from the master stream up front, so each
+	// restart owns an independent RNG and the fan-out below is free to run
+	// restarts in any order without perturbing the result.
+	seedRNG := xmath.NewRNG(opts.Seed)
+	seeds := make([]uint64, opts.Restarts)
+	for r := range seeds {
+		seeds[r] = seedRNG.Uint64()
+	}
+	results := make([]*Result, opts.Restarts)
+	par.For(opts.Restarts, opts.Parallelism, func(r int) {
+		results[r] = kmeansOnce(points, k, opts.MaxIterations, xmath.NewRNG(seeds[r]))
+	})
+	// Reduce in restart order; strict < makes the lowest-index restart win
+	// ties, matching what a serial loop over the same seeds would keep.
+	best := results[0]
+	for _, res := range results[1:] {
+		if res.WCSS < best.WCSS {
 			best = res
 		}
 	}
@@ -78,8 +97,15 @@ func KMeans(points [][]float64, k int, opts Options) (*Result, error) {
 }
 
 func kmeansOnce(points [][]float64, k, maxIter int, rng *xmath.RNG) *Result {
-	dim := len(points[0])
 	centroids := seedPlusPlus(points, k, rng)
+	return lloyd(points, centroids, maxIter)
+}
+
+// lloyd iterates assignment and centroid updates to convergence from the
+// given initial centroids (which it owns and mutates).
+func lloyd(points [][]float64, centroids [][]float64, maxIter int) *Result {
+	dim := len(points[0])
+	k := len(centroids)
 	assign := make([]int, len(points))
 	for i := range assign {
 		assign[i] = -1
@@ -112,24 +138,45 @@ func kmeansOnce(points [][]float64, k, maxIter int, rng *xmath.RNG) *Result {
 				centroids[c][d] += v
 			}
 		}
+		// Normalize every non-empty centroid first: the reseat below
+		// measures distances against assigned centroids, which must all
+		// be means already, not in-progress coordinate sums.
 		for c := range centroids {
 			if sizes[c] == 0 {
-				// Empty cluster: reseat on the point farthest from
-				// its centroid to keep k live clusters.
-				far, dist := 0, -1.0
-				for i, p := range points {
-					d := xmath.SquaredEuclidean(p, centroids[assign[i]])
-					if d > dist {
-						far, dist = i, d
-					}
-				}
-				copy(centroids[c], points[far])
 				continue
 			}
 			inv := 1 / float64(sizes[c])
 			for d := range centroids[c] {
 				centroids[c][d] *= inv
 			}
+		}
+		var taken map[int]bool
+		for c := range centroids {
+			if sizes[c] != 0 {
+				continue
+			}
+			// Empty cluster: reseat on the point farthest from its
+			// (normalized) centroid to keep k live clusters. Points
+			// already claimed by another empty cluster this iteration
+			// are skipped so two empties never collapse onto one.
+			far, dist := -1, -1.0
+			for i, p := range points {
+				if taken[i] {
+					continue
+				}
+				d := xmath.SquaredEuclidean(p, centroids[assign[i]])
+				if d > dist {
+					far, dist = i, d
+				}
+			}
+			if far < 0 {
+				continue
+			}
+			copy(centroids[c], points[far])
+			if taken == nil {
+				taken = make(map[int]bool)
+			}
+			taken[far] = true
 		}
 	}
 	// Final assignment pass and WCSS.
@@ -215,6 +262,11 @@ func (r *Result) DistanceToCentroid(i int, point []float64) float64 {
 // Sweep runs KMeans for every k in [1, kmax] (clamped to the number of
 // points) and returns the results indexed by k-1. Each k gets a distinct
 // derived seed so restarts do not correlate across k.
+//
+// The k values fan out on a worker pool bounded by Options.Parallelism
+// (restarts within each k fan out on the same budget); because every k owns
+// a seed-derived RNG and writes only its own slot, the output is identical
+// to the serial sweep for any Parallelism value.
 func Sweep(points [][]float64, kmax int, opts Options) ([]*Result, error) {
 	if kmax < 1 {
 		return nil, fmt.Errorf("cluster: kmax=%d", kmax)
@@ -222,15 +274,20 @@ func Sweep(points [][]float64, kmax int, opts Options) ([]*Result, error) {
 	if kmax > len(points) {
 		kmax = len(points)
 	}
-	out := make([]*Result, 0, kmax)
-	for k := 1; k <= kmax; k++ {
+	out := make([]*Result, kmax)
+	err := par.ForError(kmax, opts.Parallelism, func(i int) error {
+		k := i + 1
 		o := opts
 		o.Seed = opts.Seed + uint64(k)*0x9e3779b97f4a7c15
 		res, err := KMeans(points, k, o)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, res)
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

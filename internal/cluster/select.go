@@ -3,6 +3,7 @@ package cluster
 import (
 	"math"
 
+	"github.com/incprof/incprof/internal/par"
 	"github.com/incprof/incprof/internal/xmath"
 )
 
@@ -71,9 +72,12 @@ func ElbowKChord(wcss []float64) int {
 	best, bestDist := 1, 0.0
 	for k := 2; k < n; k++ {
 		px, py := float64(k), wcss[k-1]
-		// Perpendicular distance from (px,py) to the chord; positive
-		// when below the chord for a decreasing curve.
-		d := math.Abs(dy*px-dx*py+x2*y1-y2*x1) / norm
+		// Signed perpendicular distance from (px,py) to the chord;
+		// positive when below the chord for a decreasing curve. A point
+		// above the chord is a convexity bump — the opposite of a knee —
+		// so only below-chord points may be selected; when none lie
+		// below, the curve has no knee and best stays 1.
+		d := (dy*px - dx*py + x2*y1 - y2*x1) / norm
 		if d > bestDist {
 			best, bestDist = k, d
 		}
@@ -104,29 +108,49 @@ func SelectElbow(results []*Result) *Result {
 // cluster. Values near 1 indicate compact, well-separated clusters. Points
 // in singleton clusters contribute 0, and a single-cluster result scores 0
 // by convention.
+//
+// Silhouette uses the full GOMAXPROCS worker budget; SilhouetteP takes an
+// explicit bound.
 func Silhouette(points [][]float64, assign []int, k int) float64 {
+	return SilhouetteP(points, assign, k, 0)
+}
+
+// SilhouetteP is Silhouette on a worker pool bounded by parallelism (0 means
+// GOMAXPROCS, 1 forces serial). The O(n²) pairwise-distance matrix is
+// computed once and its rows are split across the workers; every point's
+// contribution is stored by index and reduced in index order, so the score
+// is bit-identical for every parallelism value.
+func SilhouetteP(points [][]float64, assign []int, k, parallelism int) float64 {
 	if k <= 1 || len(points) < 2 {
 		return 0
 	}
 	n := len(points)
-	var total float64
-	sums := make([]float64, k)
-	counts := make([]int, k)
-	for i := 0; i < n; i++ {
-		for c := range sums {
-			sums[c], counts[c] = 0, 0
+	// Pairwise distances, row-major. Row i fills j > i and mirrors into
+	// column i of the later rows; a later row j only ever writes cells
+	// j*n+l with l > j, so the mirrored writes never overlap.
+	dm := make([]float64, n*n)
+	par.For(n, parallelism, func(i int) {
+		for j := i + 1; j < n; j++ {
+			d := xmath.Euclidean(points[i], points[j])
+			dm[i*n+j] = d
+			dm[j*n+i] = d
 		}
+	})
+	contrib := make([]float64, n)
+	par.For(n, parallelism, func(i int) {
+		sums := make([]float64, k)
+		counts := make([]int, k)
+		row := dm[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
 			if i == j {
 				continue
 			}
-			d := xmath.Euclidean(points[i], points[j])
-			sums[assign[j]] += d
+			sums[assign[j]] += row[j]
 			counts[assign[j]]++
 		}
 		own := assign[i]
 		if counts[own] == 0 {
-			continue // singleton: contributes 0
+			return // singleton: contributes 0
 		}
 		a := sums[own] / float64(counts[own])
 		b := math.Inf(1)
@@ -139,13 +163,17 @@ func Silhouette(points [][]float64, assign []int, k int) float64 {
 			}
 		}
 		if math.IsInf(b, 1) {
-			continue // no other non-empty cluster
+			return // no other non-empty cluster
 		}
 		if a < b {
-			total += 1 - a/b
+			contrib[i] = 1 - a/b
 		} else if a > b {
-			total += b/a - 1
+			contrib[i] = b/a - 1
 		}
+	})
+	var total float64
+	for _, c := range contrib {
+		total += c
 	}
 	return total / float64(n)
 }
@@ -155,6 +183,12 @@ func Silhouette(points [][]float64, assign []int, k int) float64 {
 // positive (no structure), it falls back to k = 1. This is the alternative
 // selection method the paper also experimented with (§V-A).
 func SelectSilhouette(points [][]float64, results []*Result) *Result {
+	return SelectSilhouetteP(points, results, 0)
+}
+
+// SelectSilhouetteP is SelectSilhouette with an explicit worker-pool bound
+// for the per-k silhouette scoring (0 means GOMAXPROCS).
+func SelectSilhouetteP(points [][]float64, results []*Result, parallelism int) *Result {
 	if len(results) == 0 {
 		return nil
 	}
@@ -164,7 +198,7 @@ func SelectSilhouette(points [][]float64, results []*Result) *Result {
 		if r.K < 2 {
 			continue
 		}
-		if s := Silhouette(points, r.Assign, r.K); s > bestScore {
+		if s := SilhouetteP(points, r.Assign, r.K, parallelism); s > bestScore {
 			best, bestScore = r, s
 		}
 	}

@@ -10,6 +10,7 @@ import (
 
 	"github.com/incprof/incprof/internal/apps"
 	"github.com/incprof/incprof/internal/heartbeat"
+	"github.com/incprof/incprof/internal/par"
 	"github.com/incprof/incprof/internal/pipeline"
 	"github.com/incprof/incprof/internal/report"
 
@@ -30,6 +31,10 @@ type Config struct {
 	Width int
 	// Seed feeds the clustering.
 	Seed uint64
+	// Parallelism bounds the analysis worker pools and the per-app
+	// fan-out of Table1; 0 means GOMAXPROCS, 1 forces serial. Results
+	// are identical for every value given the same Seed.
+	Parallelism int
 	// CSVDir, when set, receives per-figure CSV files
 	// (figureN_app_variant_counts.csv / _durations.csv) alongside the
 	// ASCII rendering, for external plotting.
@@ -64,23 +69,28 @@ type Table1Row struct {
 }
 
 // Table1 runs the full pipeline for every application and returns the
-// measured Table I rows in the paper's order.
+// measured Table I rows in the paper's order. The five experiments are
+// independent, so they fan out on a worker pool bounded by
+// Config.Parallelism; rows are written by application index, keeping the
+// output order (and, for a fixed Seed, every measured value except host
+// wall-clock durations) identical to a serial run.
 func Table1(cfg Config) ([]Table1Row, error) {
 	cfg = cfg.withDefaults()
 	order := []string{"graph500", "minife", "miniamr", "lammps", "gadget"}
-	rows := make([]Table1Row, 0, len(order))
-	for _, name := range order {
+	rows := make([]Table1Row, len(order))
+	err := par.ForError(len(order), cfg.Parallelism, func(i int) error {
+		name := order[i]
 		app, err := apps.New(name, cfg.Scale)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		e, err := pipeline.RunExperiment(app, experimentOptions(cfg))
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", name, err)
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		m := app.Meta()
 		model := pipeline.DefaultOverheadModel
-		rows = append(rows, Table1Row{
+		rows[i] = Table1Row{
 			App:              name,
 			Procs:            m.Ranks,
 			Nodes:            m.PaperNodes,
@@ -91,7 +101,11 @@ func Table1(cfg Config) ([]Table1Row, error) {
 			BaselineHost:     e.Baseline.HostDuration,
 			ProfiledHost:     e.Profiled.HostDuration,
 			HeartbeatHost:    e.Manual.HostDuration,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -99,6 +113,7 @@ func Table1(cfg Config) ([]Table1Row, error) {
 func experimentOptions(cfg Config) pipeline.ExperimentOptions {
 	opts := pipeline.ExperimentOptions{}
 	opts.Analyze.Phase.Cluster.Seed = cfg.Seed
+	opts.Analyze.Parallelism = cfg.Parallelism
 	return opts
 }
 

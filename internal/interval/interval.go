@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/par"
 )
 
 // Profile is the activity of one collection interval.
@@ -53,17 +54,34 @@ func (p *Profile) TotalSelf() time.Duration {
 // ascending Seq/Timestamp order. Counters are cumulative and must be
 // non-decreasing; a regression is reported as an error since it indicates
 // corrupted collection.
+//
+// Difference uses the full GOMAXPROCS worker budget; DifferenceP takes an
+// explicit bound.
 func Difference(snaps []*gmon.Snapshot) ([]Profile, error) {
-	profiles := make([]Profile, 0, len(snaps))
-	var prev *gmon.Snapshot
-	for i, s := range snaps {
+	return DifferenceP(snaps, 0)
+}
+
+// DifferenceP is Difference on a worker pool bounded by parallelism (0 means
+// GOMAXPROCS, 1 forces serial). Each interval depends only on its own
+// snapshot pair (snaps[i-1], snaps[i]) and snapshots are never mutated, so
+// the pairs diff concurrently; profiles are written by index and the
+// lowest-index validation error wins, making the output identical to the
+// serial loop's.
+func DifferenceP(snaps []*gmon.Snapshot, parallelism int) ([]Profile, error) {
+	profiles := make([]Profile, len(snaps))
+	err := par.ForError(len(snaps), parallelism, func(i int) error {
+		s := snaps[i]
+		var prev *gmon.Snapshot
+		if i > 0 {
+			prev = snaps[i-1]
+		}
 		if prev != nil {
 			if s.Timestamp < prev.Timestamp {
-				return nil, fmt.Errorf("interval: snapshot %d at %v precedes snapshot %d at %v",
+				return fmt.Errorf("interval: snapshot %d at %v precedes snapshot %d at %v",
 					s.Seq, s.Timestamp, prev.Seq, prev.Timestamp)
 			}
 			if s.SamplePeriod != prev.SamplePeriod {
-				return nil, fmt.Errorf("interval: sample period changed between snapshots %d and %d", prev.Seq, s.Seq)
+				return fmt.Errorf("interval: sample period changed between snapshots %d and %d", prev.Seq, s.Seq)
 			}
 		}
 		p := Profile{
@@ -85,7 +103,7 @@ func Difference(snaps []*gmon.Snapshot) ([]Profile, error) {
 			dExact := rec.SelfTime - prevRec.SelfTime
 			dCalls := rec.Calls - prevRec.Calls
 			if dSamples < 0 || dExact < 0 || dCalls < 0 {
-				return nil, fmt.Errorf("interval: cumulative counter for %q regressed between snapshots %d and %d",
+				return fmt.Errorf("interval: cumulative counter for %q regressed between snapshots %d and %d",
 					rec.Name, prev.Seq, s.Seq)
 			}
 			if dSamples > 0 {
@@ -98,8 +116,11 @@ func Difference(snaps []*gmon.Snapshot) ([]Profile, error) {
 				p.Calls[rec.Name] = dCalls
 			}
 		}
-		profiles = append(profiles, p)
-		prev = s
+		profiles[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return profiles, nil
 }

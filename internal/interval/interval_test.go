@@ -1,6 +1,7 @@
 package interval
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -280,6 +281,69 @@ func BenchmarkDifference60Intervals(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Difference(snaps); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// DifferenceP must produce exactly what the serial loop produces — profiles
+// by index with identical maps — for any worker-pool bound.
+func TestDifferencePMatchesSerial(t *testing.T) {
+	var snaps []*gmon.Snapshot
+	for i := 0; i < 40; i++ {
+		snaps = append(snaps, snap(i, time.Duration(i+1)*time.Second,
+			gmon.FuncRecord{Name: "a", Samples: int64(10 * (i + 1)), SelfTime: time.Duration(i+1) * 100 * time.Millisecond, Calls: int64(i + 1)},
+			gmon.FuncRecord{Name: "b", Samples: int64(5 * (i + 1)), Calls: int64(2 * (i + 1))},
+		))
+	}
+	serial, err := DifferenceP(snaps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 8} {
+		parallel, err := DifferenceP(snaps, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parallel) != len(serial) {
+			t.Fatalf("parallelism %d: %d profiles, want %d", p, len(parallel), len(serial))
+		}
+		for i := range serial {
+			a, b := serial[i], parallel[i]
+			if a.Index != b.Index || a.Start != b.Start || a.End != b.End {
+				t.Fatalf("parallelism %d: profile %d bounds differ", p, i)
+			}
+			if len(a.Self) != len(b.Self) || len(a.Calls) != len(b.Calls) || len(a.ExactSelf) != len(b.ExactSelf) {
+				t.Fatalf("parallelism %d: profile %d map sizes differ", p, i)
+			}
+			for fn, d := range a.Self {
+				if b.Self[fn] != d {
+					t.Fatalf("parallelism %d: profile %d Self[%s] = %v, want %v", p, i, fn, b.Self[fn], d)
+				}
+			}
+			for fn, n := range a.Calls {
+				if b.Calls[fn] != n {
+					t.Fatalf("parallelism %d: profile %d Calls[%s] = %d, want %d", p, i, fn, b.Calls[fn], n)
+				}
+			}
+		}
+	}
+}
+
+// Validation failures must surface the lowest-index error, matching the one
+// a serial scan reports first.
+func TestDifferencePReportsLowestIndexError(t *testing.T) {
+	snaps := []*gmon.Snapshot{
+		snap(0, time.Second, gmon.FuncRecord{Name: "a", Samples: 50}),
+		snap(1, 2*time.Second, gmon.FuncRecord{Name: "a", Samples: 40}), // regression at pair (0,1)
+		snap(2, time.Second, gmon.FuncRecord{Name: "a", Samples: 45}),   // out of order at pair (1,2)
+	}
+	for _, p := range []int{1, 8} {
+		_, err := DifferenceP(snaps, p)
+		if err == nil {
+			t.Fatalf("parallelism %d: accepted corrupted snapshots", p)
+		}
+		if !strings.Contains(err.Error(), "regressed") {
+			t.Fatalf("parallelism %d: err = %v, want the lowest-index (regression) error", p, err)
 		}
 	}
 }

@@ -23,7 +23,10 @@ import (
 type Options struct {
 	// Threshold is the maximum distance (in feature units: seconds of
 	// per-function self time) at which an interval still belongs to an
-	// existing phase; 0 means 0.35.
+	// existing phase; 0 means 0.35, consistent with the zero-value
+	// defaults used across the repo. Any negative value is the sentinel
+	// for an exact-match-only tracker (effective threshold 0.0): an
+	// interval joins a phase only when it coincides with the centroid.
 	Threshold float64
 	// Alpha is the centroid's exponential drift rate toward new members;
 	// 0 means 0.15.
@@ -36,7 +39,11 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
-	if o.Threshold == 0 {
+	switch {
+	case o.Threshold < 0:
+		// Sentinel: exact matches only.
+		o.Threshold = 0
+	case o.Threshold == 0:
 		o.Threshold = 0.35
 	}
 	if o.Alpha == 0 {

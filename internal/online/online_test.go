@@ -167,3 +167,33 @@ func BenchmarkObserve(b *testing.B) {
 		tr.Observe(p)
 	}
 }
+
+// A negative Threshold is the sentinel for an exact-match-only tracker: any
+// deviation from a known centroid founds a new phase, while exact repeats
+// still join. Threshold 0 keeps the 0.35 default, so the zero value stays
+// consistent with the rest of the repo.
+func TestNegativeThresholdMeansExactMatchOnly(t *testing.T) {
+	tr := New(Options{Threshold: -1})
+	if got := tr.opts.Threshold; got != 0 {
+		t.Fatalf("effective threshold = %v, want 0", got)
+	}
+	tr.Observe(prof(0, "init", 1.0))
+	ev := tr.Observe(prof(1, "init", 1.0)) // exact repeat: joins
+	if ev.NewPhase {
+		t.Fatal("exact centroid match founded a new phase")
+	}
+	ev = tr.Observe(prof(2, "init", 1.0001)) // any deviation: new phase
+	if !ev.NewPhase {
+		t.Fatal("non-exact interval joined an exact-match-only tracker")
+	}
+	if tr.Phases() != 2 {
+		t.Fatalf("phases = %d, want 2", tr.Phases())
+	}
+}
+
+func TestZeroThresholdStillDefaults(t *testing.T) {
+	tr := New(Options{})
+	if got := tr.opts.Threshold; got != 0.35 {
+		t.Fatalf("zero-value threshold = %v, want default 0.35", got)
+	}
+}

@@ -1,0 +1,78 @@
+// Package par provides the bounded worker-pool primitives the parallel
+// analysis path shares: k-means sweeps, silhouette scoring, snapshot
+// differencing, and the evaluation harness all fan out through For/ForError.
+//
+// Two rules keep the parallel path bit-identical to the serial one:
+//
+//  1. Work is addressed by index. Each body invocation may only read shared
+//     immutable inputs and write state owned by its own index, so the
+//     completion order of workers cannot influence the result.
+//  2. Reductions happen after the pool drains, in index order, on the
+//     per-index outputs (see ForError's lowest-index error rule). Callers
+//     that fold floating-point values follow the same convention.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallelism normalizes a parallelism knob: values below 1 mean
+// GOMAXPROCS (the default everywhere in the analysis path), anything else is
+// taken as-is. 1 forces the serial path.
+func Parallelism(p int) int {
+	if p < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// For runs body(i) for every i in [0, n) on at most p workers and blocks
+// until all invocations return. p follows Parallelism's convention; with an
+// effective parallelism of 1 (or n <= 1) the loop runs inline with no
+// goroutines, so the serial path has zero scheduling overhead.
+func For(n, p int, body func(i int)) {
+	p = Parallelism(p)
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForError is For with fallible bodies. Every index runs regardless of other
+// indices' failures; afterwards the error with the lowest index is returned,
+// so the reported error is the same one the serial loop would have hit first.
+func ForError(n, p int, body func(i int) error) error {
+	errs := make([]error, n)
+	For(n, p, func(i int) {
+		errs[i] = body(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

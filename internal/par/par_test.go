@@ -1,0 +1,80 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelismNormalizes(t *testing.T) {
+	if got := Parallelism(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Parallelism(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Parallelism(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Parallelism(-3) = %d", got)
+	}
+	if got := Parallelism(5); got != 5 {
+		t.Fatalf("Parallelism(5) = %d", got)
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, p := range []int{1, 2, 8, 100} {
+		n := 137
+		hits := make([]int32, n)
+		For(n, p, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("p=%d: index %d ran %d times", p, i, h)
+			}
+		}
+	}
+}
+
+func TestForZeroAndSingle(t *testing.T) {
+	ran := 0
+	For(0, 4, func(int) { ran++ })
+	if ran != 0 {
+		t.Fatalf("For(0) ran %d bodies", ran)
+	}
+	For(1, 4, func(int) { ran++ })
+	if ran != 1 {
+		t.Fatalf("For(1) ran %d bodies", ran)
+	}
+}
+
+func TestForErrorReturnsLowestIndexError(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		err := ForError(10, p, func(i int) error {
+			if i == 3 || i == 7 {
+				return fmt.Errorf("boom at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "boom at 3" {
+			t.Fatalf("p=%d: err = %v, want boom at 3", p, err)
+		}
+	}
+}
+
+func TestForErrorRunsAllIndicesDespiteFailure(t *testing.T) {
+	var ran atomic.Int32
+	sentinel := errors.New("fail")
+	err := ForError(20, 4, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 20 {
+		t.Fatalf("ran %d of 20 bodies", ran.Load())
+	}
+}

@@ -156,7 +156,8 @@ type Options struct {
 	// Features configures the feature matrix (default: sampled self
 	// time, the paper's choice).
 	Features interval.FeatureOptions
-	// Cluster configures k-means (seed, restarts).
+	// Cluster configures k-means (seed, restarts, and the Parallelism
+	// worker-pool bound the sweep and silhouette scoring share).
 	Cluster cluster.Options
 	// DBSCANMinPts applies to DBSCANAlg; 0 means 3.
 	DBSCANMinPts int
@@ -221,7 +222,7 @@ func Detect(profiles []interval.Profile, opts Options) (*Detection, error) {
 		}
 		var best *cluster.Result
 		if opts.Selection == Silhouette {
-			best = cluster.SelectSilhouette(m.Rows, results)
+			best = cluster.SelectSilhouetteP(m.Rows, results, opts.Cluster.Parallelism)
 		} else {
 			best = cluster.SelectElbow(results)
 		}

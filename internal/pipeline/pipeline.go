@@ -120,6 +120,11 @@ func Collect(app apps.App, opts CollectOptions) (*CollectionResult, error) {
 type AnalyzeOptions struct {
 	// Phase configures detection; zero values take the paper defaults.
 	Phase phase.Options
+	// Parallelism bounds the worker pools the analysis hot path fans out
+	// on: snapshot differencing, the k-means sweep, and silhouette
+	// scoring. 0 means GOMAXPROCS, 1 forces the serial path. The result
+	// is identical for every value given the same Phase.Cluster.Seed.
+	Parallelism int
 	// Rank selects the representative rank (default 0).
 	Rank int
 	// IncludeMPI keeps MPI pseudo-functions in the feature space. The
@@ -154,11 +159,14 @@ func Analyze(res *CollectionResult, opts AnalyzeOptions) (*Analysis, error) {
 	if len(snaps) == 0 {
 		return nil, fmt.Errorf("pipeline: rank %d has no snapshots (was Profile set?)", opts.Rank)
 	}
-	profs, err := interval.Difference(snaps)
+	profs, err := interval.DifferenceP(snaps, opts.Parallelism)
 	if err != nil {
 		return nil, err
 	}
 	popts := opts.Phase
+	if popts.Cluster.Parallelism == 0 {
+		popts.Cluster.Parallelism = opts.Parallelism
+	}
 	if !opts.IncludeMPI && popts.Features.Exclude == nil {
 		popts.Features.Exclude = mpi.IsMPIFunc
 	}
