@@ -43,11 +43,24 @@ func main() {
 	onlineFlag := flag.Bool("online", false, "also replay the intervals through the streaming phase tracker")
 	promote := flag.Bool("promote", false, "apply call-graph site promotion to the selected sites")
 	merge := flag.Bool("merge", false, "merge phases with identical site sets")
+	salvage := flag.Bool("salvage", false, "degraded mode: skip corrupt/truncated dumps and absorb missing, duplicate, late, or regressed dumps as gaps instead of failing")
+	gapPolicy := flag.String("gap", "split", "missing-dump repair policy in salvage mode: split, drop, or scale")
 	flag.Parse()
 
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "phasedetect: -dir is required")
 		os.Exit(2)
+	}
+	var policy interval.GapPolicy
+	switch *gapPolicy {
+	case "split":
+		policy = interval.GapSplit
+	case "drop":
+		policy = interval.GapDrop
+	case "scale":
+		policy = interval.GapScale
+	default:
+		fail(fmt.Errorf("unknown gap policy %q (have split, drop, scale)", *gapPolicy))
 	}
 	var snaps []*gmon.Snapshot
 	var err error
@@ -63,7 +76,13 @@ func main() {
 	default:
 		var st *incprof.DirStore
 		st, err = incprof.NewDirStore(*dir, false)
-		if err == nil {
+		if err == nil && *salvage {
+			var rep incprof.LoadReport
+			snaps, rep, err = st.SnapshotsSalvage()
+			for _, sk := range rep.Skipped {
+				fmt.Printf("salvage: skipped %s (seq %d): %v\n", sk.Name, sk.Seq, sk.Err)
+			}
+		} else if err == nil {
 			snaps, err = st.Snapshots()
 		}
 	}
@@ -72,8 +91,21 @@ func main() {
 		fail(fmt.Errorf("no snapshots found in %s", *dir))
 	}
 
-	profiles, err := interval.DifferenceP(snaps, *parallel)
-	fail(err)
+	var profiles []interval.Profile
+	if *salvage {
+		res, rerr := interval.DifferenceRobust(snaps, interval.RobustOptions{Policy: policy, Parallelism: *parallel})
+		fail(rerr)
+		profiles = res.Profiles
+		for _, g := range res.Gaps {
+			fmt.Printf("gap: %s seq %d..%d (%d missing)\n", g.Kind, g.FromSeq, g.ToSeq, g.Missing)
+		}
+		if n := res.Repaired(); n > 0 {
+			fmt.Printf("salvage: %d gaps, %d repaired intervals (%s policy)\n", len(res.Gaps), n, policy)
+		}
+	} else {
+		profiles, err = interval.DifferenceP(snaps, *parallel)
+		fail(err)
+	}
 
 	opts := phase.Options{
 		KMax:              *kmax,

@@ -9,7 +9,9 @@ import (
 	"github.com/incprof/incprof/internal/bbv"
 	"github.com/incprof/incprof/internal/cluster"
 	"github.com/incprof/incprof/internal/fastphase"
+	"github.com/incprof/incprof/internal/faults"
 	"github.com/incprof/incprof/internal/gcov"
+	"github.com/incprof/incprof/internal/incprof"
 	"github.com/incprof/incprof/internal/interval"
 	"github.com/incprof/incprof/internal/mpi"
 	"github.com/incprof/incprof/internal/phase"
@@ -17,8 +19,8 @@ import (
 	"github.com/incprof/incprof/internal/report"
 )
 
-// AblationNames lists the available ablation studies (DESIGN.md A1-A11).
-var AblationNames = []string{"kselect", "dbscan", "features", "coverage", "sampling", "promote", "merge", "fastphase", "gcov", "ranks", "bbv"}
+// AblationNames lists the available ablation studies (DESIGN.md A1-A12).
+var AblationNames = []string{"kselect", "dbscan", "features", "coverage", "sampling", "promote", "merge", "fastphase", "gcov", "ranks", "bbv", "faults"}
 
 // Ablation runs the named ablation study and writes its table. The studies
 // correspond to design decisions the paper discusses in §V-A and §VI-E.
@@ -47,6 +49,8 @@ func Ablation(w io.Writer, name string, cfg Config) error {
 		return ablateRanks(w, cfg)
 	case "bbv":
 		return ablateBBV(w, cfg)
+	case "faults":
+		return ablateFaults(w, cfg)
 	default:
 		return fmt.Errorf("harness: unknown ablation %q (have %v)", name, AblationNames)
 	}
@@ -568,6 +572,83 @@ func ablateBBV(w io.Writer, cfg Config) error {
 			fmt.Sprintf("%d (%d)", len(srcDet.Phases), app.Meta().PaperPhases),
 			fmt.Sprint(bres.K),
 			fmt.Sprintf("%.2f", ari))
+	}
+	return tb.Render(w)
+}
+
+// ablateFaults measures end-to-end degradation under injected collection
+// faults (DESIGN.md A12). Each application is profiled once fault-free to
+// produce a golden phase detection; the golden rank-0 snapshot stream is
+// then replayed through the deterministic fault injector at increasing
+// drop rates, salvaged by gap-aware differencing (split repair), and
+// re-detected. The table reports surviving dumps, absorbed gaps, detected
+// k, and the Adjusted Rand Index of the degraded labels against the
+// golden ones — 1.000 at 0% by construction, decaying as data is lost.
+func ablateFaults(w io.Writer, cfg Config) error {
+	rates := []float64{0, 0.05, 0.10, 0.20, 0.30}
+	tb := report.NewTable(
+		"Ablation A12 — fault-injected collection (dump drop rate vs fault-free golden run)",
+		"App", "Drop %", "Dumps kept", "Gaps", "Detected k", "ARI vs golden")
+	labelsOf := func(det *phase.Detection, n int) []int {
+		labels := make([]int, n)
+		for _, p := range det.Phases {
+			for _, idx := range p.Intervals {
+				if idx < n {
+					labels[idx] = p.ID
+				}
+			}
+		}
+		return labels
+	}
+	for _, name := range apps.Names() {
+		app, err := apps.New(name, cfg.Scale)
+		if err != nil {
+			return err
+		}
+		res, err := pipeline.Collect(app, pipeline.CollectOptions{Profile: true})
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		golden, err := pipeline.Analyze(res, analyzeOptions(cfg))
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		goldenLabels := labelsOf(golden.Detection, len(golden.Profiles))
+		snaps := res.Snapshots[0]
+		for _, rate := range rates {
+			fs := faults.NewStore(incprof.NewMemStore(), faults.Plan{Seed: cfg.Seed, Drop: rate}, 0)
+			for _, s := range snaps {
+				if err := fs.Put(s); err != nil {
+					return err
+				}
+			}
+			kept, err := fs.Snapshots()
+			if err != nil {
+				return err
+			}
+			rres, err := interval.DifferenceRobust(kept, interval.RobustOptions{Parallelism: cfg.Parallelism})
+			if err != nil {
+				return fmt.Errorf("%s at %.0f%%: %w", name, rate*100, err)
+			}
+			det, err := phase.Detect(rres.Profiles, phase.Options{
+				Features: interval.FeatureOptions{Exclude: mpi.IsMPIFunc},
+				Cluster:  cluster.Options{Seed: cfg.Seed, Parallelism: cfg.Parallelism},
+			})
+			if err != nil {
+				return fmt.Errorf("%s at %.0f%%: %w", name, rate*100, err)
+			}
+			n := len(goldenLabels)
+			if len(rres.Profiles) < n {
+				n = len(rres.Profiles)
+			}
+			ari := cluster.AdjustedRandIndex(goldenLabels[:n], labelsOf(det, n))
+			tb.AddRow(name,
+				fmt.Sprintf("%.0f", rate*100),
+				fmt.Sprint(len(kept)),
+				fmt.Sprint(len(rres.Gaps)),
+				fmt.Sprint(det.K),
+				fmt.Sprintf("%.3f", ari))
+		}
 	}
 	return tb.Render(w)
 }

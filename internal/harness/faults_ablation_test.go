@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationFaultsZeroRateIsPerfectARI(t *testing.T) {
+	var sb strings.Builder
+	if err := Ablation(&sb, "faults", Config{Scale: testScale, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "A12") {
+		t.Fatalf("output missing A12 header:\n%s", out)
+	}
+	// Every 0%-drop row must report ARI exactly 1.000 and zero gaps: with
+	// no faults injected, the robust path is bit-identical to the golden
+	// strict analysis for all five applications.
+	zeroRows := 0
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		// Row layout: App | Drop % | Dumps kept | Gaps | Detected k | ARI.
+		if len(fields) < 6 || fields[1] != "0" {
+			continue
+		}
+		zeroRows++
+		if fields[3] != "0" {
+			t.Fatalf("0%% row reports gaps: %q", line)
+		}
+		if fields[len(fields)-1] != "1.000" {
+			t.Fatalf("0%% row ARI != 1.000: %q", line)
+		}
+	}
+	if zeroRows != 5 {
+		t.Fatalf("found %d zero-rate rows, want 5 (one per app):\n%s", zeroRows, out)
+	}
+}
+
+func TestAblationFaultsDeterministicAcrossParallelism(t *testing.T) {
+	render := func(parallel int) string {
+		var sb strings.Builder
+		if err := Ablation(&sb, "faults", Config{Scale: testScale, Seed: 7, Parallelism: parallel}); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Fatalf("A12 output depends on parallelism:\n--- parallel 1 ---\n%s\n--- parallel 8 ---\n%s",
+			serial, parallel)
+	}
+}

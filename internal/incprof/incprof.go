@@ -54,6 +54,7 @@ type Collector struct {
 	ticker  *vclock.Ticker
 	intvl   time.Duration
 	dumps   int
+	dropped int
 	encode  time.Duration // host time spent producing dumps (overhead stat)
 	lastErr error
 	closed  bool
@@ -83,8 +84,17 @@ func New(rt *exec.Runtime, prof *profiler.Profiler, opts Options) *Collector {
 func (c *Collector) dump() {
 	start := time.Now()
 	s := c.prof.Snapshot()
-	if err := c.store.Put(s); err != nil && c.lastErr == nil {
-		c.lastErr = err
+	err := c.store.Put(s)
+	if err != nil {
+		// One immediate retry: production stores fail transiently (a full
+		// pipe, a reconnecting transport) far more often than permanently.
+		err = c.store.Put(s)
+	}
+	if err != nil {
+		c.dropped++
+		if c.lastErr == nil {
+			c.lastErr = err
+		}
 	}
 	c.dumps++
 	c.encode += time.Since(start)
@@ -95,6 +105,19 @@ func (c *Collector) Interval() time.Duration { return c.intvl }
 
 // Dumps returns the number of snapshots taken so far.
 func (c *Collector) Dumps() int { return c.dumps }
+
+// Dropped returns the number of dumps lost because Store.Put failed even
+// after the retry. Err reports the first such failure; Dropped makes the
+// full extent of the loss observable.
+func (c *Collector) Dropped() int { return c.dropped }
+
+// Halt stops the wakeup cycle without the final partial-interval snapshot
+// Close takes — the collector simply dies mid-run, which is how the fault
+// injector models a failing rank. Err and the counters remain readable.
+func (c *Collector) Halt() {
+	c.closed = true
+	c.ticker.Stop()
+}
 
 // HostEncodeTime returns the real (host) time spent taking and storing
 // dumps; it feeds the overhead accounting in the evaluation harness.
@@ -166,9 +189,15 @@ func NewDirStore(dir string, textReports bool) (*DirStore, error) {
 // Dir returns the directory the store writes into.
 func (d *DirStore) Dir() string { return d.dir }
 
+// PathFor returns the path of the binary dump for the given sequence
+// number; the fault injector uses it to corrupt files after they land.
+func (d *DirStore) PathFor(seq int) string {
+	return filepath.Join(d.dir, fmt.Sprintf("gmon.out.%d", seq))
+}
+
 // Put implements Store.
 func (d *DirStore) Put(s *gmon.Snapshot) error {
-	path := filepath.Join(d.dir, fmt.Sprintf("gmon.out.%d", s.Seq))
+	path := d.PathFor(s.Seq)
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -195,10 +224,51 @@ func (d *DirStore) Put(s *gmon.Snapshot) error {
 }
 
 // Snapshots implements Store, reading back the binary dumps in Seq order.
+// The load is strict: one unreadable or corrupt file fails it. Use
+// SnapshotsSalvage when degraded data should degrade, not abort, the run.
 func (d *DirStore) Snapshots() ([]*gmon.Snapshot, error) {
-	entries, err := os.ReadDir(d.dir)
+	snaps, report, err := d.load(false)
 	if err != nil {
 		return nil, err
+	}
+	if len(report.Skipped) > 0 {
+		s := report.Skipped[0]
+		return nil, fmt.Errorf("incprof: decoding %s: %w", s.Name, s.Err)
+	}
+	return snaps, nil
+}
+
+// SkippedFile records one dump a salvage load could not use.
+type SkippedFile struct {
+	// Name is the file's base name (gmon.out.N).
+	Name string
+	// Seq is the sequence number parsed from the name.
+	Seq int
+	// Err is the open or decode failure.
+	Err error
+}
+
+// LoadReport summarizes a salvage load.
+type LoadReport struct {
+	// Loaded counts the snapshots recovered.
+	Loaded int
+	// Skipped lists the corrupt or unreadable dumps, in Seq order.
+	Skipped []SkippedFile
+}
+
+// SnapshotsSalvage reads back every decodable dump, skipping corrupt or
+// truncated files instead of failing the load. The report names each
+// skipped file; the missing Seq numbers surface downstream as
+// interval.Gap records via DifferenceRobust.
+func (d *DirStore) SnapshotsSalvage() ([]*gmon.Snapshot, LoadReport, error) {
+	return d.load(true)
+}
+
+func (d *DirStore) load(salvage bool) ([]*gmon.Snapshot, LoadReport, error) {
+	var report LoadReport
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, report, err
 	}
 	type numbered struct {
 		seq  int
@@ -222,18 +292,28 @@ func (d *DirStore) Snapshots() ([]*gmon.Snapshot, error) {
 	sort.Slice(files, func(i, j int) bool { return files[i].seq < files[j].seq })
 	out := make([]*gmon.Snapshot, 0, len(files))
 	for _, f := range files {
-		fh, err := os.Open(filepath.Join(d.dir, f.name))
+		s, err := decodeDump(filepath.Join(d.dir, f.name))
 		if err != nil {
-			return nil, err
-		}
-		s, err := gmon.Decode(fh)
-		fh.Close()
-		if err != nil {
-			return nil, fmt.Errorf("incprof: decoding %s: %w", f.name, err)
+			report.Skipped = append(report.Skipped, SkippedFile{Name: f.name, Seq: f.seq, Err: err})
+			if salvage {
+				continue
+			}
+			return nil, report, nil // strict caller reports Skipped[0]
 		}
 		out = append(out, s)
 	}
-	return out, nil
+	report.Loaded = len(out)
+	return out, report, nil
+}
+
+// decodeDump opens and decodes one binary dump file.
+func decodeDump(path string) (*gmon.Snapshot, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	return gmon.Decode(fh)
 }
 
 // LoadTextReports parses gprof-style text reports (gprof.txt.N) from dir in

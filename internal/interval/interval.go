@@ -33,6 +33,11 @@ type Profile struct {
 	// Calls maps function name to the number of invocations within the
 	// interval (drives Algorithm 1's sort and body/loop tagging).
 	Calls map[string]int64
+	// Repaired marks a profile synthesized by DifferenceRobust's gap
+	// repair (split/scaled spans, post-restart resyncs) rather than
+	// observed directly. Downstream consumers treat repaired intervals as
+	// low-confidence: the online tracker will not found phases from them.
+	Repaired bool
 }
 
 // Active reports whether fn has non-zero sampled self time in the interval —

@@ -128,14 +128,39 @@ func (c *CSVStore) Store(s MetricSet) error {
 	return c.w.Flush()
 }
 
+// BreakerOptions configures the aggregator's per-sampler circuit breaker.
+// A sampler that fails Threshold consecutive pulls is "tripped": the
+// aggregator stops pulling it for Cooldown rounds, then probes it once —
+// success closes the breaker, failure re-trips it. This keeps one dead
+// sampler (a crashed rank, a partitioned node) from stalling every
+// collection round on its timeout.
+type BreakerOptions struct {
+	// Threshold is the consecutive-failure count that trips the breaker;
+	// 0 disables the breaker entirely.
+	Threshold int
+	// Cooldown is how many collection rounds a tripped sampler is skipped
+	// before the probe attempt; 0 means 1.
+	Cooldown int
+}
+
+// samplerState is the breaker bookkeeping for one attached sampler.
+type samplerState struct {
+	fails int // consecutive failures
+	skip  int // rounds left to skip before probing
+}
+
 // Aggregator pulls from samplers and fans the sets out to stores, on a
 // virtual-clock interval or on demand via CollectOnce.
 type Aggregator struct {
 	mu       sync.Mutex
 	samplers []Sampler
+	states   []*samplerState
+	breaker  BreakerOptions
 	stores   []Store
 	ticker   *vclock.Ticker
 	pulls    int
+	skipped  int // sampler-pulls suppressed by a tripped breaker
+	trips    int // total breaker trips
 	lastErr  error
 }
 
@@ -150,11 +175,23 @@ func NewAggregator(clock *vclock.Clock, interval time.Duration) *Aggregator {
 	return a
 }
 
+// SetBreaker configures the per-sampler circuit breaker. Call before the
+// first collection round.
+func (a *Aggregator) SetBreaker(opts BreakerOptions) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = 1
+	}
+	a.breaker = opts
+}
+
 // AddSampler attaches a metric source.
 func (a *Aggregator) AddSampler(s Sampler) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.samplers = append(a.samplers, s)
+	a.states = append(a.states, &samplerState{})
 }
 
 // AddStore attaches a storage plugin.
@@ -166,15 +203,42 @@ func (a *Aggregator) AddStore(s Store) {
 
 // CollectOnce pulls every sampler once and stores the results. It returns
 // the first error encountered but keeps collecting from remaining samplers.
+// Samplers with a tripped circuit breaker are skipped for their cooldown.
 func (a *Aggregator) CollectOnce() error {
 	a.mu.Lock()
 	samplers := append([]Sampler(nil), a.samplers...)
+	states := append([]*samplerState(nil), a.states...)
+	breaker := a.breaker
 	stores := append([]Store(nil), a.stores...)
 	a.pulls++
 	a.mu.Unlock()
 	var first error
-	for _, s := range samplers {
+	for i, s := range samplers {
+		if breaker.Threshold > 0 {
+			a.mu.Lock()
+			if states[i].skip > 0 {
+				states[i].skip--
+				a.skipped++
+				a.mu.Unlock()
+				continue
+			}
+			a.mu.Unlock()
+		}
 		set, err := s.Sample()
+		if breaker.Threshold > 0 {
+			a.mu.Lock()
+			if err != nil {
+				states[i].fails++
+				if states[i].fails >= breaker.Threshold {
+					states[i].fails = 0
+					states[i].skip = breaker.Cooldown
+					a.trips++
+				}
+			} else {
+				states[i].fails = 0
+			}
+			a.mu.Unlock()
+		}
 		if err != nil {
 			if first == nil {
 				first = err
@@ -200,6 +264,21 @@ func (a *Aggregator) Pulls() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.pulls
+}
+
+// BreakerTrips reports how many times a sampler's circuit breaker tripped.
+func (a *Aggregator) BreakerTrips() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.trips
+}
+
+// SkippedPulls reports how many individual sampler pulls were suppressed
+// because the sampler's breaker was open.
+func (a *Aggregator) SkippedPulls() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.skipped
 }
 
 // Err returns the first collection error.
@@ -249,28 +328,117 @@ func serveConn(conn net.Conn, s Sampler) {
 	}
 }
 
+// DialOptions hardens the TCP transport against the failure modes of a
+// production metric fabric: unreachable endpoints, stalled servers, and
+// flaky connections. The zero value reproduces the legacy behavior (no
+// deadlines, no retries).
+type DialOptions struct {
+	// DialTimeout bounds connection establishment; 0 means no limit.
+	DialTimeout time.Duration
+	// SampleTimeout bounds each request/response round trip: the
+	// connection deadline is set this far in the future before every
+	// attempt, so a stalled server yields a timeout error instead of a
+	// hung collection round. 0 means no deadline.
+	SampleTimeout time.Duration
+	// Retries is the number of additional attempts a failed Sample makes.
+	Retries int
+	// Backoff is the pause before the first retry; it doubles per attempt
+	// and is capped at BackoffCap. The schedule is deterministic (no
+	// jitter) so fault-injected runs stay reproducible. 0 means 10ms.
+	Backoff time.Duration
+	// BackoffCap caps the doubling; 0 means 1s.
+	BackoffCap time.Duration
+
+	// sleep intercepts the backoff pause in tests; nil means time.Sleep.
+	sleep func(time.Duration)
+}
+
+func (o DialOptions) withDefaults() DialOptions {
+	if o.Backoff == 0 {
+		o.Backoff = 10 * time.Millisecond
+	}
+	if o.BackoffCap == 0 {
+		o.BackoffCap = time.Second
+	}
+	if o.sleep == nil {
+		o.sleep = time.Sleep
+	}
+	return o
+}
+
+// backoffFor returns the deterministic pause before retry attempt (0-based).
+func (o DialOptions) backoffFor(attempt int) time.Duration {
+	d := o.Backoff
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d >= o.BackoffCap {
+			return o.BackoffCap
+		}
+	}
+	if d > o.BackoffCap {
+		d = o.BackoffCap
+	}
+	return d
+}
+
 // remoteSampler pulls metric sets from a Serve endpoint.
 type remoteSampler struct {
 	mu   sync.Mutex
 	conn net.Conn
 	br   *bufio.Reader
+	opts DialOptions
 }
 
 // Dial connects to a Serve endpoint and returns a Sampler that pulls over
-// the connection. Close the returned io.Closer when done.
+// the connection. Close the returned io.Closer when done. It applies no
+// deadlines or retries; use DialWithOptions for a hardened transport.
 func Dial(addr string) (Sampler, io.Closer, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialWithOptions(addr, DialOptions{})
+}
+
+// DialWithOptions is Dial with connection and per-sample deadlines plus
+// capped, deterministic retry backoff.
+func DialWithOptions(addr string, opts DialOptions) (Sampler, io.Closer, error) {
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
 	if err != nil {
 		return nil, nil, fmt.Errorf("ldms: dialing %s: %w", addr, err)
 	}
-	rs := &remoteSampler{conn: conn, br: bufio.NewReader(conn)}
-	return rs, conn, nil
+	return NewConnSampler(conn, opts), conn, nil
 }
 
-// Sample implements Sampler over the TCP transport.
+// NewConnSampler wraps an established connection to a Serve endpoint as a
+// Sampler, applying opts' deadlines and retries. Exposed so tests and the
+// fault injector can interpose a faulty net.Conn.
+func NewConnSampler(conn net.Conn, opts DialOptions) Sampler {
+	return &remoteSampler{conn: conn, br: bufio.NewReader(conn), opts: opts.withDefaults()}
+}
+
+// Sample implements Sampler over the TCP transport. Each attempt is bounded
+// by SampleTimeout; failures retry up to Retries times with deterministic
+// capped backoff, and the last error is returned when all attempts fail.
 func (r *remoteSampler) Sample() (MetricSet, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt <= r.opts.Retries; attempt++ {
+		if attempt > 0 {
+			r.opts.sleep(r.opts.backoffFor(attempt - 1))
+		}
+		set, err := r.sampleOnce()
+		if err == nil {
+			return set, nil
+		}
+		lastErr = err
+	}
+	return MetricSet{}, lastErr
+}
+
+func (r *remoteSampler) sampleOnce() (MetricSet, error) {
+	if r.opts.SampleTimeout > 0 {
+		if err := r.conn.SetDeadline(time.Now().Add(r.opts.SampleTimeout)); err != nil {
+			return MetricSet{}, err
+		}
+	}
 	if _, err := fmt.Fprintln(r.conn, "sample"); err != nil {
 		return MetricSet{}, err
 	}

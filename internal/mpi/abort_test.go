@@ -1,0 +1,52 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAbortBlamesOriginatingRankNotVictims(t *testing.T) {
+	// Rank 2 fails; ranks 0 and 1 die secondarily when their blocked
+	// Barrier aborts. The reported error must name the root cause, not
+	// whichever victim's recover happened to fire first.
+	done := make(chan error, 1)
+	go func() {
+		done <- Run(Config{Size: 4}, nil, func(r *Rank) {
+			if r.ID() == 2 {
+				panic("the real failure")
+			}
+			r.Barrier()
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Run returned nil after a rank panic")
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "rank 2 panicked: the real failure") {
+			t.Fatalf("err = %q, want the originating rank's failure", msg)
+		}
+		if strings.Count(msg, "panicked") != 1 {
+			t.Fatalf("err = %q, secondary abort panics leaked into the report", msg)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run deadlocked after rank panic")
+	}
+}
+
+func TestLowestRankErrorWinsWhenSeveralFail(t *testing.T) {
+	// Two genuine failures: deterministic blame goes to the lowest rank,
+	// mirroring par.ForError's lowest-index rule. Both ranks fail before
+	// any collective, so neither is a secondary abort victim.
+	err := Run(Config{Size: 4}, nil, func(r *Rank) {
+		if r.ID() == 1 || r.ID() == 3 {
+			panic(r.ID())
+		}
+		r.Barrier()
+	})
+	if err == nil || !strings.Contains(err.Error(), "rank 1 panicked") {
+		t.Fatalf("err = %v, want rank 1's failure", err)
+	}
+}

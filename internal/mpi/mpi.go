@@ -124,11 +124,21 @@ func (r *Rank) Size() int { return r.comm.size }
 // Runtime returns the rank's instrumented runtime.
 func (r *Rank) Runtime() *exec.Runtime { return r.rt }
 
+// abortPanic is the value rendezvous throws in ranks blocked on a
+// collective when the communicator aborts. It marks the panic as
+// secondary — the rank died because another rank failed — so Run can
+// attribute the run's failure to the rank that actually caused it rather
+// than to whichever victim's recover fired first.
+type abortPanic struct{ err error }
+
 // Run starts size ranks, each on its own goroutine with a fresh runtime,
 // and waits for all to finish. setup, if non-nil, runs on each rank's
 // runtime before body (e.g. to attach profilers). A panic in any rank aborts
 // the communicator — blocked collectives in other ranks then panic too —
-// and Run reports the first failure.
+// and Run reports the originating failure: secondary abort panics are not
+// recorded against the ranks they unblocked, and if several ranks genuinely
+// failed, the lowest rank's error is returned (the same lowest-index rule
+// par.ForError follows).
 func Run(cfg Config, setup func(r *Rank), body func(r *Rank)) error {
 	comm, err := NewComm(cfg)
 	if err != nil {
@@ -142,6 +152,11 @@ func Run(cfg Config, setup func(r *Rank), body func(r *Rank)) error {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
+					if _, ok := p.(abortPanic); ok {
+						// Collateral damage from another rank's failure;
+						// the causing rank records the root error.
+						return
+					}
 					err := fmt.Errorf("mpi: rank %d panicked: %v", id, p)
 					errs[id] = err
 					comm.abort(err)
@@ -194,7 +209,7 @@ func (c *Comm) rendezvous(id int, t vclock.Time, payload []float64, reduce func(
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.aborted {
-		panic(c.abortErr)
+		panic(abortPanic{c.abortErr})
 	}
 	gen := c.gen
 	if t > c.maxTime {
@@ -217,7 +232,7 @@ func (c *Comm) rendezvous(id int, t vclock.Time, payload []float64, reduce func(
 		c.cond.Wait()
 	}
 	if c.aborted {
-		panic(c.abortErr)
+		panic(abortPanic{c.abortErr})
 	}
 	return c.relTime
 }

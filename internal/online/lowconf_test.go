@@ -1,0 +1,60 @@
+package online
+
+import (
+	"testing"
+)
+
+func TestRepairedIntervalJoinsWithoutDrift(t *testing.T) {
+	tr := New(Options{})
+	tr.Observe(prof(0, "init", 1.0))
+	tr.Observe(prof(1, "init", 1.0))
+
+	// A repaired interval far from the centroid still joins the nearest
+	// phase — no new phase is founded from fabricated data.
+	rp := prof(2, "weird", 9.0)
+	rp.Repaired = true
+	ev := tr.Observe(rp)
+	if !ev.LowConfidence {
+		t.Fatalf("event = %+v, want LowConfidence", ev)
+	}
+	if ev.NewPhase || tr.Phases() != 1 {
+		t.Fatalf("repaired interval founded a phase: %+v, phases=%d", ev, tr.Phases())
+	}
+	if ev.Phase != 0 {
+		t.Fatalf("phase = %d, want nearest (0)", ev.Phase)
+	}
+
+	// The centroid must not have drifted toward the repaired vector: a
+	// genuine interval at the original location still matches exactly.
+	ev2 := tr.Observe(prof(3, "init", 1.0))
+	if ev2.LowConfidence {
+		t.Fatal("genuine interval flagged low-confidence")
+	}
+	if ev2.Distance != 0 {
+		t.Fatalf("centroid drifted toward repaired data: distance = %v", ev2.Distance)
+	}
+}
+
+func TestRepairedIntervalFoundsOnlyWhenNoPhasesExist(t *testing.T) {
+	tr := New(Options{})
+	rp := prof(0, "init", 1.0)
+	rp.Repaired = true
+	ev := tr.Observe(rp)
+	if !ev.NewPhase || !ev.LowConfidence || tr.Phases() != 1 {
+		t.Fatalf("event = %+v phases=%d, want a low-confidence founding", ev, tr.Phases())
+	}
+}
+
+func TestRepairedIntervalCountsInSizesAndAssignments(t *testing.T) {
+	tr := New(Options{})
+	tr.Observe(prof(0, "init", 1.0))
+	rp := prof(1, "init", 1.1)
+	rp.Repaired = true
+	tr.Observe(rp)
+	if got := tr.Sizes()[0]; got != 2 {
+		t.Fatalf("size = %d, want 2 (repaired member still counted)", got)
+	}
+	if a := tr.Assignments(); len(a) != 2 || a[1] != 0 {
+		t.Fatalf("assignments = %v", a)
+	}
+}

@@ -69,6 +69,11 @@ type Event struct {
 	// Distance is the distance to the assigned phase's centroid before
 	// it drifted.
 	Distance float64
+	// LowConfidence marks an interval synthesized by gap repair
+	// (Profile.Repaired): its label is advisory — repaired intervals
+	// neither found phases nor drift centroids, so fabricated data cannot
+	// reshape the phase model.
+	LowConfidence bool
 }
 
 // Tracker is the streaming phase clusterer. The feature space grows as new
@@ -142,6 +147,13 @@ func distance(centroid, v []float64) float64 {
 }
 
 // Observe ingests the next interval and returns its assignment event.
+//
+// Intervals marked Repaired (synthesized by gap repair rather than
+// observed) are labeled low-confidence: they join their nearest existing
+// phase without founding a new one and without drifting its centroid, so
+// fabricated data cannot reshape the phase model. Only when no phase
+// exists yet does a repaired interval found one (there is nothing else to
+// label it with), still flagged low-confidence.
 func (t *Tracker) Observe(p interval.Profile) Event {
 	v := t.vector(&p)
 	idx := len(t.assignments)
@@ -152,7 +164,16 @@ func (t *Tracker) Observe(p interval.Profile) Event {
 			best, bestDist = c, d
 		}
 	}
-	ev := Event{Interval: idx, Distance: bestDist}
+	ev := Event{Interval: idx, Distance: bestDist, LowConfidence: p.Repaired}
+	if p.Repaired && best != -1 {
+		// Nearest join, no founding, no drift.
+		t.sizes[best]++
+		ev.Phase = best
+		ev.Transition = best != t.lastPhase && t.lastPhase != -1
+		t.lastPhase = best
+		t.assignments = append(t.assignments, best)
+		return ev
+	}
 	if best == -1 || (bestDist > t.opts.Threshold && len(t.centroids) < t.opts.MaxPhases) {
 		// Found a new phase at this interval.
 		best = len(t.centroids)

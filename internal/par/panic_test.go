@@ -1,0 +1,97 @@
+package par
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// catchPanic runs f and returns the recovered value.
+func catchPanic(t *testing.T, f func()) any {
+	t.Helper()
+	var v any
+	func() {
+		defer func() { v = recover() }()
+		f()
+	}()
+	if v == nil {
+		t.Fatal("expected a panic")
+	}
+	return v
+}
+
+func TestForContainsPanicAndNamesIndex(t *testing.T) {
+	for _, p := range []int{1, 8} {
+		var ran [16]atomic.Bool
+		v := catchPanic(t, func() {
+			For(16, p, func(i int) {
+				ran[i].Store(true)
+				if i == 5 {
+					panic("worker blew up")
+				}
+			})
+		})
+		pe, ok := v.(*PanicError)
+		if !ok {
+			t.Fatalf("p=%d: re-raised %T, want *PanicError", p, v)
+		}
+		if pe.Index != 5 || pe.Value != "worker blew up" {
+			t.Fatalf("p=%d: panic = %+v", p, pe)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("p=%d: no stack captured", p)
+		}
+		if !strings.Contains(pe.Error(), "index 5") {
+			t.Fatalf("p=%d: Error() = %q", p, pe.Error())
+		}
+		// Containment: the panic must not have aborted the other indices.
+		for i := range ran {
+			if !ran[i].Load() {
+				t.Fatalf("p=%d: index %d never ran after the panic", p, i)
+			}
+		}
+	}
+}
+
+func TestForReportsLowestPanickingIndex(t *testing.T) {
+	// Deterministic blame at any parallelism: with several panicking
+	// indices, the lowest wins, matching ForError's lowest-index error
+	// rule (and the index the serial loop would have died on first).
+	for _, p := range []int{1, 2, 8} {
+		v := catchPanic(t, func() {
+			For(32, p, func(i int) {
+				if i == 7 || i == 3 || i == 29 {
+					panic(i)
+				}
+			})
+		})
+		pe := v.(*PanicError)
+		if pe.Index != 3 || pe.Value != 3 {
+			t.Fatalf("p=%d: blamed index %d (value %v), want 3", p, pe.Index, pe.Value)
+		}
+	}
+}
+
+func TestPanicErrorUnwrapsErrorValues(t *testing.T) {
+	sentinel := errors.New("root cause")
+	v := catchPanic(t, func() {
+		For(4, 2, func(i int) {
+			if i == 2 {
+				panic(sentinel)
+			}
+		})
+	})
+	pe := v.(*PanicError)
+	if !errors.Is(pe, sentinel) {
+		t.Fatalf("errors.Is failed through PanicError: %v", pe)
+	}
+}
+
+func TestForNoPanicNoInterference(t *testing.T) {
+	var sum atomic.Int64
+	For(100, 8, func(i int) { sum.Add(int64(i)) })
+	if sum.Load() != 4950 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+}

@@ -13,10 +13,72 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is how For re-raises a panic that escaped a body invocation.
+// Without containment, a panic inside a pooled worker kills the process
+// with a stack that names the pool, not the work; For instead lets every
+// index finish, then re-panics with the failing index attached — and, when
+// several indices panicked, deterministically reports the lowest one
+// (mirroring ForError's lowest-index error rule, so the parallel path
+// blames the same index the serial loop would have died on first).
+type PanicError struct {
+	// Index is the loop index whose body panicked.
+	Index int
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error implements error.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("par: body panicked at index %d: %v", p.Index, p.Value)
+}
+
+// Unwrap exposes a wrapped error panic value for errors.Is/As chains.
+func (p *PanicError) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// panicState collects panics across workers, keeping the lowest index.
+type panicState struct {
+	mu sync.Mutex
+	pe *PanicError
+}
+
+func (s *panicState) record(i int, v any, stack []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pe == nil || i < s.pe.Index {
+		s.pe = &PanicError{Index: i, Value: v, Stack: stack}
+	}
+}
+
+// rethrow panics with the recorded PanicError, if any.
+func (s *panicState) rethrow() {
+	if s.pe != nil {
+		panic(s.pe)
+	}
+}
+
+// guard runs body(i), converting an escaping panic into a record.
+func (s *panicState) guard(i int, body func(int)) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.record(i, v, debug.Stack())
+		}
+	}()
+	body(i)
+}
 
 // Parallelism normalizes a parallelism knob: values below 1 mean
 // GOMAXPROCS (the default everywhere in the analysis path), anything else is
@@ -32,15 +94,22 @@ func Parallelism(p int) int {
 // until all invocations return. p follows Parallelism's convention; with an
 // effective parallelism of 1 (or n <= 1) the loop runs inline with no
 // goroutines, so the serial path has zero scheduling overhead.
+//
+// A panic in any body is contained: the remaining indices still run, and
+// once the pool drains For panics with a *PanicError naming the lowest
+// panicking index. The serial path gets the same treatment so callers see
+// one failure contract at every parallelism.
 func For(n, p int, body func(i int)) {
 	p = Parallelism(p)
 	if p > n {
 		p = n
 	}
+	var ps panicState
 	if p <= 1 {
 		for i := 0; i < n; i++ {
-			body(i)
+			ps.guard(i, body)
 		}
+		ps.rethrow()
 		return
 	}
 	var next atomic.Int64
@@ -54,11 +123,12 @@ func For(n, p int, body func(i int)) {
 				if i >= n {
 					return
 				}
-				body(i)
+				ps.guard(i, body)
 			}
 		}()
 	}
 	wg.Wait()
+	ps.rethrow()
 }
 
 // ForError is For with fallible bodies. Every index runs regardless of other

@@ -1,0 +1,130 @@
+package pipeline
+
+import (
+	"testing"
+
+	"github.com/incprof/incprof/internal/faults"
+	"github.com/incprof/incprof/internal/interval"
+	"github.com/incprof/incprof/internal/phase"
+)
+
+func TestCollectWithFaultsDropsDumpsDeterministically(t *testing.T) {
+	app := mustApp(t, "graph500", 0.2)
+	plan := &faults.Plan{Seed: 17, Drop: 0.3}
+
+	clean, err := Collect(app, CollectOptions{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := Collect(mustApp(t, "graph500", 0.2), CollectOptions{Profile: true, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.DroppedDumps == 0 {
+		t.Fatal("30% drop plan lost nothing")
+	}
+	if faulty.Dumps+faulty.DroppedDumps != clean.Dumps {
+		t.Fatalf("kept %d + dropped %d != clean %d", faulty.Dumps, faulty.DroppedDumps, clean.Dumps)
+	}
+
+	// Same plan, same run: identical surviving stream.
+	again, err := Collect(mustApp(t, "graph500", 0.2), CollectOptions{Profile: true, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Dumps != faulty.Dumps || again.DroppedDumps != faulty.DroppedDumps {
+		t.Fatalf("reruns diverge: %d/%d vs %d/%d dumps",
+			again.Dumps, again.DroppedDumps, faulty.Dumps, faulty.DroppedDumps)
+	}
+	for rank := range faulty.Snapshots {
+		a, b := faulty.Snapshots[rank], again.Snapshots[rank]
+		if len(a) != len(b) {
+			t.Fatalf("rank %d kept %d vs %d snapshots", rank, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Seq != b[i].Seq {
+				t.Fatalf("rank %d snapshot %d: seq %d vs %d", rank, i, a[i].Seq, b[i].Seq)
+			}
+		}
+	}
+}
+
+func TestAnalyzeRobustAbsorbsFaultyCollection(t *testing.T) {
+	app := mustApp(t, "graph500", 0.2)
+	res, err := Collect(app, CollectOptions{Profile: true, Faults: &faults.Plan{Seed: 23, Drop: 0.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The strict path refuses holes in the Seq stream only when a
+	// regression appears; dropped dumps merely merge intervals there. The
+	// robust path must surface them as gaps instead.
+	an, err := Analyze(res, AnalyzeOptions{Robust: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an.Gaps) == 0 {
+		t.Fatal("robust analysis reported no gaps for a 25% drop run")
+	}
+	for _, g := range an.Gaps {
+		if g.Kind != interval.GapMissing {
+			t.Fatalf("unexpected gap kind %v", g.Kind)
+		}
+	}
+	if an.Detection == nil || an.Detection.K < 1 {
+		t.Fatalf("degraded analysis did not complete: %+v", an.Detection)
+	}
+	repaired := 0
+	for _, p := range an.Profiles {
+		if p.Repaired {
+			repaired++
+		}
+	}
+	if repaired == 0 {
+		t.Fatal("no repaired profiles flagged")
+	}
+}
+
+func TestAnalyzeRobustMatchesStrictOnCleanRun(t *testing.T) {
+	app := mustApp(t, "minife", 0.2)
+	res, err := Collect(app, CollectOptions{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := Analyze(res, AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	robust, err := Analyze(res, AnalyzeOptions{Robust: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(robust.Gaps) != 0 {
+		t.Fatalf("clean run produced gaps: %+v", robust.Gaps)
+	}
+	if strict.Detection.K != robust.Detection.K {
+		t.Fatalf("k diverged on clean data: strict %d, robust %d",
+			strict.Detection.K, robust.Detection.K)
+	}
+	if len(strict.Profiles) != len(robust.Profiles) {
+		t.Fatalf("profile counts diverged: %d vs %d", len(strict.Profiles), len(robust.Profiles))
+	}
+	sl := labels(strict.Detection.Phases, len(strict.Profiles))
+	rl := labels(robust.Detection.Phases, len(robust.Profiles))
+	for i := range sl {
+		if sl[i] != rl[i] {
+			t.Fatalf("assignment %d diverged on clean data", i)
+		}
+	}
+}
+
+// labels flattens per-phase interval membership into per-interval labels.
+func labels(phases []phase.Phase, n int) []int {
+	out := make([]int, n)
+	for _, p := range phases {
+		for _, iv := range p.Intervals {
+			out[iv] = p.ID
+		}
+	}
+	return out
+}

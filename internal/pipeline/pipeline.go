@@ -21,6 +21,7 @@ import (
 
 	"github.com/incprof/incprof/internal/apps"
 	"github.com/incprof/incprof/internal/callgraph"
+	"github.com/incprof/incprof/internal/faults"
 	"github.com/incprof/incprof/internal/gmon"
 	"github.com/incprof/incprof/internal/heartbeat"
 	"github.com/incprof/incprof/internal/incprof"
@@ -41,6 +42,10 @@ type CollectOptions struct {
 	Profile bool
 	// Cost is the MPI collective cost model.
 	Cost mpi.CostModel
+	// Faults, when non-nil, interposes the fault injector between every
+	// rank's collector and its store, exercising the degraded data path.
+	// Injection is deterministic per (Faults.Seed, rank, dump Seq).
+	Faults *faults.Plan
 }
 
 // CollectionResult is the outcome of one application run under (or without)
@@ -63,13 +68,19 @@ type CollectionResult struct {
 	RepSamples int64
 	RepCalls   int64
 	RepDumps   int64
+	// DroppedDumps is the total number of dumps lost across ranks — to
+	// store failures the collector's retry could not absorb, plus any the
+	// fault injector discarded.
+	DroppedDumps int
 }
 
 // Collect runs the application once.
 func Collect(app apps.App, opts CollectOptions) (*CollectionResult, error) {
 	ranks := app.Meta().Ranks
 	res := &CollectionResult{Snapshots: make([][]*gmon.Snapshot, ranks)}
-	stores := make([]*incprof.MemStore, ranks)
+	stores := make([]incprof.Store, ranks)
+	fstores := make([]*faults.Store, ranks)
+	collDropped := make([]int, ranks)
 	vtimes := make([]time.Duration, ranks)
 	start := time.Now()
 	var repSamples, repCalls, repDumps int64
@@ -77,11 +88,17 @@ func Collect(app apps.App, opts CollectOptions) (*CollectionResult, error) {
 		rt := r.Runtime()
 		if opts.Profile {
 			p := profiler.New(rt, opts.SamplePeriod)
-			st := incprof.NewMemStore()
+			var st incprof.Store = incprof.NewMemStore()
+			if opts.Faults != nil {
+				fs := faults.NewStore(st, *opts.Faults, r.ID())
+				fstores[r.ID()] = fs
+				st = fs
+			}
 			stores[r.ID()] = st
 			c := incprof.New(rt, p, incprof.Options{Interval: opts.Interval, Store: st})
 			defer func() {
 				c.Close()
+				collDropped[r.ID()] = c.Dropped()
 				if r.ID() == 0 {
 					repSamples = p.TotalSamples()
 					repCalls = p.TotalCalls()
@@ -107,6 +124,10 @@ func Collect(app apps.App, opts CollectOptions) (*CollectionResult, error) {
 		}
 		res.Snapshots[id] = snaps
 		res.Dumps += len(snaps)
+		res.DroppedDumps += collDropped[id]
+		if fstores[id] != nil {
+			res.DroppedDumps += fstores[id].Dropped()
+		}
 	}
 	for _, vt := range vtimes {
 		if vt > res.VirtualRuntime {
@@ -141,6 +162,14 @@ type AnalyzeOptions struct {
 	// MergePhases combines phases with identical site sets after
 	// detection (the paper's §VI-A/§VI-D postprocessing idea).
 	MergePhases bool
+	// Robust switches snapshot differencing to the gap-aware path
+	// (interval.DifferenceRobust): missing, duplicate, late, and
+	// regressed dumps degrade the analysis instead of failing it, and the
+	// gaps encountered are reported on the Analysis.
+	Robust bool
+	// Gap selects the repair policy for missing dumps when Robust is set;
+	// the zero value is GapSplit.
+	Gap interval.GapPolicy
 }
 
 // Analysis is the phase-analysis output plus the interval profiles it ran
@@ -148,6 +177,9 @@ type AnalyzeOptions struct {
 type Analysis struct {
 	Detection *phase.Detection
 	Profiles  []interval.Profile
+	// Gaps lists the collection faults robust differencing absorbed;
+	// empty on the strict path and on clean streams.
+	Gaps []interval.Gap
 }
 
 // Analyze differences the chosen rank's snapshots and runs phase detection.
@@ -159,9 +191,23 @@ func Analyze(res *CollectionResult, opts AnalyzeOptions) (*Analysis, error) {
 	if len(snaps) == 0 {
 		return nil, fmt.Errorf("pipeline: rank %d has no snapshots (was Profile set?)", opts.Rank)
 	}
-	profs, err := interval.DifferenceP(snaps, opts.Parallelism)
-	if err != nil {
-		return nil, err
+	var profs []interval.Profile
+	var gaps []interval.Gap
+	var err error
+	if opts.Robust {
+		rres, rerr := interval.DifferenceRobust(snaps, interval.RobustOptions{
+			Policy:      opts.Gap,
+			Parallelism: opts.Parallelism,
+		})
+		if rerr != nil {
+			return nil, rerr
+		}
+		profs, gaps = rres.Profiles, rres.Gaps
+	} else {
+		profs, err = interval.DifferenceP(snaps, opts.Parallelism)
+		if err != nil {
+			return nil, err
+		}
 	}
 	popts := opts.Phase
 	if popts.Cluster.Parallelism == 0 {
@@ -186,7 +232,7 @@ func Analyze(res *CollectionResult, opts AnalyzeOptions) (*Analysis, error) {
 	if opts.MergePhases {
 		det.MergeDuplicatePhases()
 	}
-	return &Analysis{Detection: det, Profiles: profs}, nil
+	return &Analysis{Detection: det, Profiles: profs, Gaps: gaps}, nil
 }
 
 // HeartbeatOptions configures an instrumented run.
