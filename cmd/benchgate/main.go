@@ -1,0 +1,165 @@
+// Command benchgate is the benchmark regression gate for the observability
+// layer: it compares two `go test -bench` outputs — a baseline built with
+// -tags obs_off (instrumentation compiled out) and the default build
+// (instrumentation present but disabled) — and fails if any shared benchmark
+// regressed by more than the threshold.
+//
+// Each benchmark's figure is the MINIMUM ns/op across its -count repetitions,
+// the standard noise-rejection trick: the minimum is the run least disturbed
+// by the machine, so a genuine slowdown shows up while scheduler jitter does
+// not. A regression only fails the gate when it is also SIGNIFICANT — larger
+// than the baseline's own min-to-max spread — so the 2% contract is enforced
+// on quiet runners without flaking on loaded ones (where the spread itself
+// exceeds the threshold, no sub-spread delta is distinguishable from noise).
+// The comparison is written to a JSON report (BENCH_obs.json in CI) so
+// regressions are diagnosable from the artifact alone.
+//
+// Usage:
+//
+//	go test -tags obs_off ./internal/interval -bench . -count 5 > off.txt
+//	go test ./internal/interval -bench . -count 5 > on.txt
+//	benchgate -baseline off.txt -current on.txt -out BENCH_obs.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// nsPerOp parses a `go test -bench` output file into every ns/op sample seen
+// for each benchmark name (the -cpu/-procs suffix is kept: it is part of the
+// benchmark's identity).
+func nsPerOp(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		for i := 2; i < len(fields); i++ {
+			if fields[i] != "ns/op" {
+				continue
+			}
+			ns, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad ns/op in %q: %v", path, sc.Text(), err)
+			}
+			out[fields[0]] = append(out[fields[0]], ns)
+			break
+		}
+	}
+	return out, sc.Err()
+}
+
+func minMax(samples []float64) (lo, hi float64) {
+	lo, hi = samples[0], samples[0]
+	for _, s := range samples[1:] {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	return lo, hi
+}
+
+type comparison struct {
+	Name       string  `json:"name"`
+	BaselineNs float64 `json:"baseline_ns_op"`
+	CurrentNs  float64 `json:"current_ns_op"`
+	DeltaPct   float64 `json:"delta_pct"`
+	NoisePct   float64 `json:"noise_pct"` // baseline min-to-max spread
+	Pass       bool    `json:"pass"`
+}
+
+type report struct {
+	ThresholdPct float64      `json:"threshold_pct"`
+	Benchmarks   []comparison `json:"benchmarks"`
+	Pass         bool         `json:"pass"`
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "bench output of the -tags obs_off build (required)")
+	current := flag.String("current", "", "bench output of the default build (required)")
+	out := flag.String("out", "BENCH_obs.json", "JSON report path; - for stdout")
+	threshold := flag.Float64("threshold", 2.0, "max allowed regression, percent")
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -current are required")
+		os.Exit(2)
+	}
+
+	base, err := nsPerOp(*baseline)
+	fail(err)
+	cur, err := nsPerOp(*current)
+	fail(err)
+
+	rep := report{ThresholdPct: *threshold, Pass: true}
+	names := make([]string, 0, len(base))
+	for name := range base {
+		if _, ok := cur[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fail(fmt.Errorf("no benchmarks shared between %s and %s", *baseline, *current))
+	}
+	for _, name := range names {
+		bLo, bHi := minMax(base[name])
+		cLo, _ := minMax(cur[name])
+		delta := (cLo - bLo) / bLo * 100
+		noise := (bHi - bLo) / bLo * 100
+		pass := delta <= *threshold || delta <= noise
+		if !pass {
+			rep.Pass = false
+		}
+		rep.Benchmarks = append(rep.Benchmarks, comparison{
+			Name: name, BaselineNs: bLo, CurrentNs: cLo,
+			DeltaPct: delta, NoisePct: noise, Pass: pass,
+		})
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	fail(err)
+	buf = append(buf, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(buf)
+	} else {
+		err = os.WriteFile(*out, buf, 0o644)
+	}
+	fail(err)
+
+	for _, c := range rep.Benchmarks {
+		status := "ok"
+		if !c.Pass {
+			status = "REGRESSED"
+		}
+		fmt.Printf("%-60s %12.0f -> %12.0f ns/op  %+6.2f%% (noise %.2f%%)  %s\n",
+			c.Name, c.BaselineNs, c.CurrentNs, c.DeltaPct, c.NoisePct, status)
+	}
+	if !rep.Pass {
+		fmt.Fprintf(os.Stderr, "benchgate: regression over %.1f%% threshold\n", *threshold)
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"github.com/incprof/incprof/internal/harness"
+	"github.com/incprof/incprof/internal/obs/obsflag"
 	"github.com/incprof/incprof/internal/par"
 )
 
@@ -40,6 +41,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "clustering seed")
 	parallel := flag.Int("parallel", 0, "worker-pool bound for analysis and per-app experiments; 0 means GOMAXPROCS, 1 forces serial (results are identical either way)")
 	csvDir := flag.String("csvdir", "", "export figure series as CSV files into this directory")
+	obsFlags := obsflag.Register()
 	flag.Parse()
 
 	cfg := harness.Config{Scale: *scale, Width: *width, Seed: *seed, Parallelism: *parallel, CSVDir: *csvDir}
@@ -51,6 +53,8 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	obsRun, err := obsFlags.Setup(*seed)
+	run(err)
 
 	switch {
 	case *ablation != "":
@@ -117,4 +121,5 @@ func main() {
 			}
 		}
 	}
+	run(obsRun.Finish())
 }

@@ -23,6 +23,8 @@ import (
 	"github.com/incprof/incprof/internal/incprof"
 	"github.com/incprof/incprof/internal/interval"
 	"github.com/incprof/incprof/internal/mpi"
+	"github.com/incprof/incprof/internal/obs"
+	"github.com/incprof/incprof/internal/obs/obsflag"
 	"github.com/incprof/incprof/internal/online"
 	"github.com/incprof/incprof/internal/phase"
 	"github.com/incprof/incprof/internal/report"
@@ -45,12 +47,15 @@ func main() {
 	merge := flag.Bool("merge", false, "merge phases with identical site sets")
 	salvage := flag.Bool("salvage", false, "degraded mode: skip corrupt/truncated dumps and absorb missing, duplicate, late, or regressed dumps as gaps instead of failing")
 	gapPolicy := flag.String("gap", "split", "missing-dump repair policy in salvage mode: split, drop, or scale")
+	obsFlags := obsflag.Register()
 	flag.Parse()
 
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "phasedetect: -dir is required")
 		os.Exit(2)
 	}
+	obsRun, err := obsFlags.Setup(*seed)
+	fail(err)
 	var policy interval.GapPolicy
 	switch *gapPolicy {
 	case "split":
@@ -63,7 +68,6 @@ func main() {
 		fail(fmt.Errorf("unknown gap policy %q (have split, drop, scale)", *gapPolicy))
 	}
 	var snaps []*gmon.Snapshot
-	var err error
 	switch {
 	case *text:
 		snaps, err = incprof.LoadTextReports(*dir)
@@ -91,9 +95,10 @@ func main() {
 		fail(fmt.Errorf("no snapshots found in %s", *dir))
 	}
 
+	root := obs.Start("phasedetect")
 	var profiles []interval.Profile
 	if *salvage {
-		res, rerr := interval.DifferenceRobust(snaps, interval.RobustOptions{Policy: policy, Parallelism: *parallel})
+		res, rerr := interval.DifferenceRobust(snaps, interval.RobustOptions{Policy: policy, Parallelism: *parallel, Span: root})
 		fail(rerr)
 		profiles = res.Profiles
 		for _, g := range res.Gaps {
@@ -103,14 +108,17 @@ func main() {
 			fmt.Printf("salvage: %d gaps, %d repaired intervals (%s policy)\n", len(res.Gaps), n, policy)
 		}
 	} else {
+		diff := root.Child("interval.difference")
 		profiles, err = interval.DifferenceP(snaps, *parallel)
 		fail(err)
+		diff.SetInt("profiles", int64(len(profiles))).End()
 	}
 
 	opts := phase.Options{
 		KMax:              *kmax,
 		CoverageThreshold: *threshold,
 		Cluster:           cluster.Options{Seed: *seed, Parallelism: *parallel},
+		Span:              root,
 	}
 	if !*includeMPI {
 		opts.Features.Exclude = mpi.IsMPIFunc
@@ -230,6 +238,9 @@ func main() {
 			}
 		}
 	}
+
+	root.End()
+	fail(obsRun.Finish())
 }
 
 func fail(err error) {

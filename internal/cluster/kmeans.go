@@ -8,7 +8,9 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"time"
 
+	"github.com/incprof/incprof/internal/obs"
 	"github.com/incprof/incprof/internal/par"
 	"github.com/incprof/incprof/internal/xmath"
 )
@@ -45,6 +47,8 @@ type Options struct {
 	// happen in index order, so the result is identical for every
 	// Parallelism value given the same Seed.
 	Parallelism int
+	// Span, when non-nil, parents the tracing spans Sweep records.
+	Span *obs.Span
 }
 
 func (o Options) withDefaults() Options {
@@ -274,15 +278,32 @@ func Sweep(points [][]float64, kmax int, opts Options) ([]*Result, error) {
 	if kmax > len(points) {
 		kmax = len(points)
 	}
+	sweep := obs.Under(opts.Span, "cluster.sweep", 0)
+	sweep.SetInt("kmax", int64(kmax)).SetInt("points", int64(len(points)))
+	defer sweep.End()
+	hist := obs.H("cluster.sweep.k")
 	out := make([]*Result, kmax)
 	err := par.ForError(kmax, opts.Parallelism, func(i int) error {
 		k := i + 1
 		o := opts
 		o.Seed = opts.Seed + uint64(k)*0x9e3779b97f4a7c15
+		// The per-k span is keyed by k, not the loop's completion order, so
+		// the exported trace is identical at any Parallelism.
+		sp := sweep.ChildKey("cluster.kmeans", uint64(k))
+		var start time.Time
+		if hist != nil {
+			start = time.Now()
+		}
 		res, err := KMeans(points, k, o)
 		if err != nil {
+			sp.End()
 			return err
 		}
+		if hist != nil {
+			hist.Observe(time.Since(start))
+		}
+		sp.SetInt("k", int64(k)).SetFloat("wcss", res.WCSS).SetInt("iterations", int64(res.Iterations))
+		sp.End()
 		out[i] = res
 		return nil
 	})

@@ -3,6 +3,7 @@ package cluster
 import (
 	"math"
 
+	"github.com/incprof/incprof/internal/obs"
 	"github.com/incprof/incprof/internal/par"
 	"github.com/incprof/incprof/internal/xmath"
 )
@@ -121,6 +122,7 @@ func Silhouette(points [][]float64, assign []int, k int) float64 {
 // contribution is stored by index and reduced in index order, so the score
 // is bit-identical for every parallelism value.
 func SilhouetteP(points [][]float64, assign []int, k, parallelism int) float64 {
+	obs.C("cluster.silhouette").Inc()
 	if k <= 1 || len(points) < 2 {
 		return 0
 	}

@@ -230,15 +230,29 @@ func Decode(r io.Reader) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Field validation: a dump produced by Encode always carries
+	// non-negative header fields and counters (they are cumulative counts
+	// and virtual times), so anything negative is corruption — reject it
+	// here rather than letting a fabricated value distort the downstream
+	// gap arithmetic.
+	if seq < 0 || seq > math.MaxInt32 {
+		return nil, fmt.Errorf("gmon: sequence number %d out of range", seq)
+	}
 	s.Seq = int(seq)
 	ts, err := getVarint()
 	if err != nil {
 		return nil, err
 	}
+	if ts < 0 {
+		return nil, fmt.Errorf("gmon: negative timestamp %d", ts)
+	}
 	s.Timestamp = time.Duration(ts)
 	sp, err := getVarint()
 	if err != nil {
 		return nil, err
+	}
+	if sp < 0 {
+		return nil, fmt.Errorf("gmon: negative sample period %d", sp)
 	}
 	s.SamplePeriod = time.Duration(sp)
 	nf, err := getUvarint()
@@ -266,6 +280,9 @@ func Decode(r io.Reader) (*Snapshot, error) {
 		f.SelfTime = time.Duration(st)
 		if f.Calls, err = getVarint(); err != nil {
 			return nil, err
+		}
+		if f.Samples < 0 || st < 0 || f.Calls < 0 {
+			return nil, fmt.Errorf("gmon: negative counters for %q", f.Name)
 		}
 	}
 	na, err := getUvarint()

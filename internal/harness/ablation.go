@@ -14,6 +14,7 @@ import (
 	"github.com/incprof/incprof/internal/incprof"
 	"github.com/incprof/incprof/internal/interval"
 	"github.com/incprof/incprof/internal/mpi"
+	"github.com/incprof/incprof/internal/obs"
 	"github.com/incprof/incprof/internal/phase"
 	"github.com/incprof/incprof/internal/pipeline"
 	"github.com/incprof/incprof/internal/report"
@@ -26,6 +27,9 @@ var AblationNames = []string{"kselect", "dbscan", "features", "coverage", "sampl
 // correspond to design decisions the paper discusses in §V-A and §VI-E.
 func Ablation(w io.Writer, name string, cfg Config) error {
 	cfg = cfg.withDefaults()
+	sp := obs.StartKey("harness.ablation", obs.KeyString(name))
+	sp.SetStr("ablation", name)
+	defer sp.End()
 	switch name {
 	case "kselect":
 		return ablateKSelect(w, cfg)

@@ -10,6 +10,7 @@ import (
 
 	"github.com/incprof/incprof/internal/apps"
 	"github.com/incprof/incprof/internal/heartbeat"
+	"github.com/incprof/incprof/internal/obs"
 	"github.com/incprof/incprof/internal/par"
 	"github.com/incprof/incprof/internal/pipeline"
 	"github.com/incprof/incprof/internal/report"
@@ -77,6 +78,9 @@ type Table1Row struct {
 func Table1(cfg Config) ([]Table1Row, error) {
 	cfg = cfg.withDefaults()
 	order := []string{"graph500", "minife", "miniamr", "lammps", "gadget"}
+	sp := obs.Start("harness.table1")
+	sp.SetInt("apps", int64(len(order)))
+	defer sp.End()
 	rows := make([]Table1Row, len(order))
 	err := par.ForError(len(order), cfg.Parallelism, func(i int) error {
 		name := order[i]
@@ -84,7 +88,12 @@ func Table1(cfg Config) ([]Table1Row, error) {
 		if err != nil {
 			return err
 		}
-		e, err := pipeline.RunExperiment(app, experimentOptions(cfg))
+		// Keyed by the app name, not the completion order, so the trace is
+		// identical at any Parallelism.
+		appSp := sp.ChildKey("harness.app", obs.KeyString(name))
+		appSp.SetStr("app", name)
+		defer appSp.End()
+		e, err := pipeline.RunExperiment(app, experimentOptions(cfg, appSp))
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
@@ -110,10 +119,12 @@ func Table1(cfg Config) ([]Table1Row, error) {
 	return rows, nil
 }
 
-func experimentOptions(cfg Config) pipeline.ExperimentOptions {
+func experimentOptions(cfg Config, span *obs.Span) pipeline.ExperimentOptions {
 	opts := pipeline.ExperimentOptions{}
 	opts.Analyze.Phase.Cluster.Seed = cfg.Seed
 	opts.Analyze.Parallelism = cfg.Parallelism
+	opts.Analyze.Span = span
+	opts.Collect.Span = span
 	return opts
 }
 
@@ -157,7 +168,10 @@ func SiteTable(w io.Writer, appName string, cfg Config) (*SiteTableResult, error
 	if err != nil {
 		return nil, err
 	}
-	opts := experimentOptions(cfg)
+	sp := obs.StartKey("harness.sitetable", obs.KeyString(appName))
+	sp.SetStr("app", appName)
+	defer sp.End()
+	opts := experimentOptions(cfg, sp)
 	opts.SkipBaseline = true
 	opts.SkipManual = true
 	e, err := pipeline.RunExperiment(app, opts)
@@ -249,7 +263,10 @@ func Figure(w io.Writer, appName string, cfg Config) (*FigureResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := experimentOptions(cfg)
+	sp := obs.StartKey("harness.figure", obs.KeyString(appName))
+	sp.SetStr("app", appName)
+	defer sp.End()
+	opts := experimentOptions(cfg, sp)
 	opts.SkipBaseline = true
 	e, err := pipeline.RunExperiment(app, opts)
 	if err != nil {

@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/incprof/incprof/internal/obs"
+)
+
+var updateObsGolden = flag.Bool("update", false, "rewrite the obs golden files under testdata/obs")
+
+// requireObs skips the test when the instrumentation was compiled out with
+// -tags obs_off (there is nothing to export in that build).
+func requireObs(t *testing.T) {
+	t.Helper()
+	obs.Enable(obs.Config{Seed: 1})
+	enabled := obs.Enabled()
+	obs.Disable()
+	if !enabled {
+		t.Skip("built with -tags obs_off")
+	}
+}
+
+// captureObs runs one per-app experiment under an enabled observability run
+// and returns the deterministic trace-tree and metrics-snapshot exports.
+func captureObs(t *testing.T, app string, parallelism int) (trace, metrics []byte) {
+	t.Helper()
+	obs.Enable(obs.Config{Seed: 1})
+	defer obs.Disable()
+	if _, err := SiteTable(io.Discard, app, Config{Scale: 0.2, Seed: 1, Parallelism: parallelism}); err != nil {
+		t.Fatal(err)
+	}
+	var tb, mb bytes.Buffer
+	if err := obs.WriteTraceTree(&tb, obs.ExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteMetricsJSON(&mb, obs.ExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return tb.Bytes(), mb.Bytes()
+}
+
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *updateObsGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run go test -run TestObsGolden -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden (regenerate with -update if intended):\ngot:\n%s", path, got)
+	}
+}
+
+// TestObsGoldenPerApp pins the trace tree and metrics snapshot for every
+// evaluation application, asserting both are byte-identical between a serial
+// and an 8-worker run — the observability layer honors the same determinism
+// contract as the analysis results it describes.
+func TestObsGoldenPerApp(t *testing.T) {
+	requireObs(t)
+	for _, app := range []string{"graph500", "minife", "miniamr", "lammps", "gadget"} {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			trace1, metrics1 := captureObs(t, app, 1)
+			trace8, metrics8 := captureObs(t, app, 8)
+			if !bytes.Equal(trace1, trace8) {
+				t.Error("trace tree differs between parallelism 1 and 8")
+			}
+			if !bytes.Equal(metrics1, metrics8) {
+				t.Error("metrics snapshot differs between parallelism 1 and 8")
+			}
+			checkGolden(t, filepath.Join("testdata", "obs", app+".trace.txt"), trace1)
+			checkGolden(t, filepath.Join("testdata", "obs", app+".metrics.json"), metrics1)
+		})
+	}
+}
+
+// TestObsGoldenTable1 pins the rendered Table I at evaluation scale and
+// asserts the bytes match between parallelism settings, with the trace of the
+// run exported alongside — the same artifact `evaluate -table 1 -trace` emits.
+func TestObsGoldenTable1(t *testing.T) {
+	requireObs(t)
+	render := func(parallelism int) (table, trace []byte) {
+		obs.Enable(obs.Config{Seed: 1})
+		defer obs.Disable()
+		cfg := Config{Scale: 0.2, Seed: 1, Parallelism: parallelism}
+		rows, err := Table1(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf, tb bytes.Buffer
+		if err := WriteTable1(&buf, rows, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WriteTraceTree(&tb, obs.ExportOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), tb.Bytes()
+	}
+	table1, trace1 := render(1)
+	table8, trace8 := render(8)
+	if !bytes.Equal(table1, table8) {
+		t.Error("Table I differs between parallelism 1 and 8")
+	}
+	if !bytes.Equal(trace1, trace8) {
+		t.Error("Table I trace differs between parallelism 1 and 8")
+	}
+	checkGolden(t, filepath.Join("testdata", "obs", "table1.txt"), table1)
+	checkGolden(t, filepath.Join("testdata", "obs", "table1.trace.txt"), trace1)
+}

@@ -1,0 +1,77 @@
+package incprof
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/interval"
+)
+
+// fuzzSnapshot builds a small valid snapshot for seeding the corpus.
+func fuzzSnapshot(seq int) *gmon.Snapshot {
+	s := &gmon.Snapshot{
+		Seq:          seq,
+		Timestamp:    time.Duration(seq+1) * time.Second,
+		SamplePeriod: 10 * time.Millisecond,
+		Funcs: []gmon.FuncRecord{
+			{Name: "compute", Samples: int64(90 * (seq + 1)), SelfTime: time.Duration(seq+1) * 900 * time.Millisecond, Calls: int64(10 * (seq + 1))},
+			{Name: "halo", Samples: int64(10 * (seq + 1)), SelfTime: time.Duration(seq+1) * 100 * time.Millisecond, Calls: int64(20 * (seq + 1))},
+		},
+	}
+	s.Normalize()
+	return s
+}
+
+// FuzzSnapshotsSalvage hardens the salvage loader end to end: a dump file
+// holding arbitrary bytes must never panic the load — it is either decoded or
+// reported in the LoadReport — and whatever survives must be safe to feed to
+// the robust differencing path.
+func FuzzSnapshotsSalvage(f *testing.F) {
+	var valid bytes.Buffer
+	if err := fuzzSnapshot(1).Encode(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add(valid.Bytes()[:len(valid.Bytes())/2])
+	f.Add([]byte(gmon.Magic))
+	f.Add([]byte("IGMN\x01\x80\x80\x80\x80\x80\x80\x80\x80\x80\x01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		st, err := NewDirStore(dir, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One known-good dump beside the fuzzed one: salvage must always
+		// account for both files, loaded or skipped.
+		if err := st.Put(fuzzSnapshot(0)); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "gmon.out.1"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		snaps, rep, err := st.SnapshotsSalvage()
+		if err != nil {
+			t.Fatalf("salvage must absorb corrupt dumps, got %v", err)
+		}
+		if rep.Loaded+len(rep.Skipped) != 2 {
+			t.Fatalf("loaded %d + skipped %d != 2 files", rep.Loaded, len(rep.Skipped))
+		}
+		if len(snaps) != rep.Loaded {
+			t.Fatalf("len(snaps)=%d but report.Loaded=%d", len(snaps), rep.Loaded)
+		}
+		// The survivors feed the repair path without panicking; at least
+		// the known-good dump is always there.
+		res, err := interval.DifferenceRobust(snaps, interval.RobustOptions{})
+		if err != nil {
+			t.Fatalf("DifferenceRobust on salvaged snapshots: %v", err)
+		}
+		if len(res.Profiles) == 0 {
+			t.Fatal("no profiles from salvaged snapshots")
+		}
+	})
+}

@@ -18,10 +18,13 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/incprof/incprof/internal/exec"
 	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/obs"
 	"github.com/incprof/incprof/internal/profiler"
 	"github.com/incprof/incprof/internal/vclock"
 )
@@ -47,17 +50,29 @@ type Options struct {
 }
 
 // Collector periodically dumps cumulative profiles from a Profiler.
+//
+// The dump/drop/retry counters are atomics: a store's Put retry may overlap
+// a reader polling Dropped() from another goroutine (the fault suite's
+// stress test does exactly that), and the per-rank counters are folded into
+// run totals after mpi.Run joins — plain ints here were a data race waiting
+// for a concurrent store.
 type Collector struct {
 	rt      *exec.Runtime
 	prof    *profiler.Profiler
 	store   Store
 	ticker  *vclock.Ticker
 	intvl   time.Duration
-	dumps   int
-	dropped int
-	encode  time.Duration // host time spent producing dumps (overhead stat)
+	dumps   atomic.Int64
+	dropped atomic.Int64
+	retries atomic.Int64
+	encode  atomic.Int64 // host nanoseconds spent producing dumps
+	mu      sync.Mutex   // guards lastErr and closed
 	lastErr error
 	closed  bool
+
+	// Metric handles, resolved once at construction; nil no-ops when
+	// observability is disabled.
+	mDumps, mDropped, mRetries *obs.Counter
 }
 
 // New starts a collector over rt and prof. Dumping begins one interval from
@@ -74,7 +89,12 @@ func New(rt *exec.Runtime, prof *profiler.Profiler, opts Options) *Collector {
 	if st == nil {
 		st = NewMemStore()
 	}
-	c := &Collector{rt: rt, prof: prof, store: st, intvl: intvl}
+	c := &Collector{
+		rt: rt, prof: prof, store: st, intvl: intvl,
+		mDumps:   obs.C("incprof.dumps"),
+		mDropped: obs.C("incprof.dumps.dropped"),
+		mRetries: obs.C("incprof.put.retries"),
+	}
 	// Dumps run at PriorityDump so that a profiling-clock tick landing on
 	// the same instant is accounted before the snapshot is taken.
 	c.ticker = rt.Clock().NewTickerPriority(intvl, vclock.PriorityDump, func(vclock.Time) { c.dump() })
@@ -88,62 +108,90 @@ func (c *Collector) dump() {
 	if err != nil {
 		// One immediate retry: production stores fail transiently (a full
 		// pipe, a reconnecting transport) far more often than permanently.
+		c.retries.Add(1)
+		c.mRetries.Inc()
 		err = c.store.Put(s)
 	}
 	if err != nil {
-		c.dropped++
+		c.dropped.Add(1)
+		c.mDropped.Inc()
+		c.mu.Lock()
 		if c.lastErr == nil {
 			c.lastErr = err
 		}
+		c.mu.Unlock()
 	}
-	c.dumps++
-	c.encode += time.Since(start)
+	c.dumps.Add(1)
+	c.mDumps.Inc()
+	c.encode.Add(int64(time.Since(start)))
 }
 
 // Interval returns the dump period.
 func (c *Collector) Interval() time.Duration { return c.intvl }
 
-// Dumps returns the number of snapshots taken so far.
-func (c *Collector) Dumps() int { return c.dumps }
+// Dumps returns the number of snapshots taken so far. Safe to call
+// concurrently with dumping.
+func (c *Collector) Dumps() int { return int(c.dumps.Load()) }
 
 // Dropped returns the number of dumps lost because Store.Put failed even
 // after the retry. Err reports the first such failure; Dropped makes the
-// full extent of the loss observable.
-func (c *Collector) Dropped() int { return c.dropped }
+// full extent of the loss observable. Safe to call concurrently with
+// dumping.
+func (c *Collector) Dropped() int { return int(c.dropped.Load()) }
+
+// Retries returns the number of Put retry attempts the collector made
+// (whether or not the retry then succeeded). Safe to call concurrently with
+// dumping.
+func (c *Collector) Retries() int { return int(c.retries.Load()) }
 
 // Halt stops the wakeup cycle without the final partial-interval snapshot
 // Close takes — the collector simply dies mid-run, which is how the fault
 // injector models a failing rank. Err and the counters remain readable.
+// Like Close, only the first Halt/Close transition stops the ticker: vclock
+// timers are not safe for concurrent Stop, so the closed flag serializes it.
 func (c *Collector) Halt() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
 	c.closed = true
+	c.mu.Unlock()
 	c.ticker.Stop()
 }
 
 // HostEncodeTime returns the real (host) time spent taking and storing
 // dumps; it feeds the overhead accounting in the evaluation harness.
-func (c *Collector) HostEncodeTime() time.Duration { return c.encode }
+func (c *Collector) HostEncodeTime() time.Duration { return time.Duration(c.encode.Load()) }
 
 // Store returns the store receiving the dumps.
 func (c *Collector) Store() Store { return c.store }
 
 // Err returns the first storage error encountered, if any.
-func (c *Collector) Err() error { return c.lastErr }
+func (c *Collector) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastErr
+}
 
 // Close stops the wakeup cycle and, if virtual time has advanced past the
 // last dump, takes one final partial-interval snapshot so the tail of the
 // run is represented. It returns the first error encountered during the
 // collection. Close is idempotent.
 func (c *Collector) Close() error {
+	c.mu.Lock()
 	if c.closed {
+		defer c.mu.Unlock()
 		return c.lastErr
 	}
 	c.closed = true
+	c.mu.Unlock()
 	c.ticker.Stop()
-	last := time.Duration(c.dumps) * c.intvl
+	last := time.Duration(c.dumps.Load()) * c.intvl
 	if c.rt.Now().Duration() > last {
 		c.dump()
 	}
-	return c.lastErr
+	return c.Err()
 }
 
 // MemStore keeps snapshots in memory.
@@ -296,6 +344,7 @@ func (d *DirStore) load(salvage bool) ([]*gmon.Snapshot, LoadReport, error) {
 		if err != nil {
 			report.Skipped = append(report.Skipped, SkippedFile{Name: f.name, Seq: f.seq, Err: err})
 			if salvage {
+				obs.C("incprof.salvage.skipped").Inc()
 				continue
 			}
 			return nil, report, nil // strict caller reports Skipped[0]
@@ -303,6 +352,9 @@ func (d *DirStore) load(salvage bool) ([]*gmon.Snapshot, LoadReport, error) {
 		out = append(out, s)
 	}
 	report.Loaded = len(out)
+	if salvage {
+		obs.C("incprof.salvage.loaded").Add(int64(report.Loaded))
+	}
 	return out, report, nil
 }
 

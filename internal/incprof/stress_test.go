@@ -1,0 +1,189 @@
+package incprof
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/incprof/incprof/internal/exec"
+	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profiler"
+)
+
+// oddPutStore fails every odd Put attempt, so each dump's first Put fails and
+// the immediate retry lands: the retry counter advances on every dump while
+// nothing is dropped.
+type oddPutStore struct {
+	MemStore
+	attempts atomic.Int64
+}
+
+func (s *oddPutStore) Put(snap *gmon.Snapshot) error {
+	if s.attempts.Add(1)%2 == 1 {
+		return errors.New("transient store failure")
+	}
+	return s.MemStore.Put(snap)
+}
+
+// brickedStore fails every Put, first attempt and retry alike.
+type brickedStore struct {
+	puts atomic.Int64
+}
+
+func (s *brickedStore) Put(*gmon.Snapshot) error {
+	s.puts.Add(1)
+	return errors.New("store bricked")
+}
+
+func (s *brickedStore) Snapshots() ([]*gmon.Snapshot, error) { return nil, nil }
+
+// spawnReaders hammers every counter accessor from n goroutines until stop is
+// closed. Under -race this is the proof that polling a collector mid-run —
+// what the harness overhead accounting and the fault suite both do — never
+// races with the dump path.
+func spawnReaders(n int, c *Collector, stop <-chan struct{}, wg *sync.WaitGroup) {
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = c.Dumps()
+				_ = c.Dropped()
+				_ = c.Retries()
+				_ = c.Err()
+				_ = c.HostEncodeTime()
+			}
+		}()
+	}
+}
+
+// TestCollectorCounterStressRetries drives 200 dumps through a store that
+// fails every first Put while eight goroutines poll the counters: every dump
+// must be retried exactly once, nothing dropped, and the counts exact.
+func TestCollectorCounterStressRetries(t *testing.T) {
+	const dumps = 200
+	rt := exec.New(nil)
+	p := profiler.New(rt, 10*time.Millisecond)
+	st := &oddPutStore{}
+	c := New(rt, p, Options{Store: st})
+	defer c.Halt()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	spawnReaders(8, c, stop, &wg)
+	for i := 0; i < dumps; i++ {
+		c.dump()
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := c.Dumps(); got != dumps {
+		t.Errorf("Dumps = %d, want %d", got, dumps)
+	}
+	if got := c.Retries(); got != dumps {
+		t.Errorf("Retries = %d, want %d (every first Put fails)", got, dumps)
+	}
+	if got := c.Dropped(); got != 0 {
+		t.Errorf("Dropped = %d, want 0 (every retry lands)", got)
+	}
+	if err := c.Err(); err != nil {
+		t.Errorf("Err = %v, want nil after successful retries", err)
+	}
+	snaps, err := st.Snapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != dumps {
+		t.Errorf("store holds %d snapshots, want %d", len(snaps), dumps)
+	}
+}
+
+// TestCollectorCounterStressDrops runs the same stress against a store that
+// never accepts a Put — every dump retries once and then drops — and finishes
+// with a concurrent Halt/Close storm to race the closed flag and lastErr.
+func TestCollectorCounterStressDrops(t *testing.T) {
+	const dumps = 200
+	rt := exec.New(nil)
+	p := profiler.New(rt, 10*time.Millisecond)
+	st := &brickedStore{}
+	c := New(rt, p, Options{Store: st})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	spawnReaders(8, c, stop, &wg)
+	for i := 0; i < dumps; i++ {
+		c.dump()
+	}
+
+	var closers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		closers.Add(1)
+		go func() {
+			defer closers.Done()
+			if err := c.Close(); err == nil {
+				t.Error("Close returned nil for a collector that dropped dumps")
+			}
+		}()
+		closers.Add(1)
+		go func() {
+			defer closers.Done()
+			c.Halt()
+		}()
+	}
+	closers.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got := c.Dumps(); got != dumps {
+		t.Errorf("Dumps = %d, want %d", got, dumps)
+	}
+	if got := c.Retries(); got != dumps {
+		t.Errorf("Retries = %d, want %d", got, dumps)
+	}
+	if got := c.Dropped(); got != dumps {
+		t.Errorf("Dropped = %d, want %d (no Put ever lands)", got, dumps)
+	}
+	if got := int(st.puts.Load()); got != 2*dumps {
+		t.Errorf("store saw %d Puts, want %d (attempt + retry per dump)", got, 2*dumps)
+	}
+	if err := c.Err(); err == nil {
+		t.Error("Err = nil, want the first drop's error")
+	}
+}
+
+// TestCollectorTickerWithConcurrentReaders is the production shape: dumps
+// driven by the virtual-clock ticker on the run's goroutine, counters polled
+// from others, with transient store failures throughout.
+func TestCollectorTickerWithConcurrentReaders(t *testing.T) {
+	rt := exec.New(nil)
+	p := profiler.New(rt, 10*time.Millisecond)
+	st := &oddPutStore{}
+	c := New(rt, p, Options{Store: st})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	spawnReaders(4, c, stop, &wg)
+	runToyApp(rt, 5)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := c.Dumps(); got != 5 {
+		t.Errorf("Dumps = %d, want 5", got)
+	}
+	if got := c.Retries(); got != c.Dumps() {
+		t.Errorf("Retries = %d, want %d", got, c.Dumps())
+	}
+	if got := c.Dropped(); got != 0 {
+		t.Errorf("Dropped = %d, want 0", got)
+	}
+}

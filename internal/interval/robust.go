@@ -12,8 +12,16 @@ import (
 	"time"
 
 	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/obs"
 	"github.com/incprof/incprof/internal/par"
 )
+
+// maxSplitFanout bounds how many repaired profiles GapSplit synthesizes for
+// one gap. A corrupt dump can carry an absurd Seq jump (fuzzing finds
+// multi-billion gaps); past the cap the span is repaired as a single
+// whole-delta profile instead, which conserves per-function totals exactly
+// while keeping the allocation proportional to the data actually seen.
+const maxSplitFanout = 4096
 
 // GapPolicy selects how DifferenceRobust repairs the span covered by
 // missing dumps.
@@ -111,6 +119,8 @@ type RobustOptions struct {
 	// Parallelism bounds the worker pool (0 means GOMAXPROCS, 1 forces
 	// serial); the output is identical for every value.
 	Parallelism int
+	// Span, when non-nil, parents the tracing span this call records.
+	Span *obs.Span
 }
 
 // Result is DifferenceRobust's output: the per-interval profiles that could
@@ -153,13 +163,16 @@ func DifferenceRobust(snaps []*gmon.Snapshot, opts RobustOptions) (*Result, erro
 	if len(snaps) == 0 {
 		return nil, fmt.Errorf("interval: no snapshots")
 	}
+	sp := obs.Under(opts.Span, "interval.robust", 0)
+	sp.SetInt("snapshots", int64(len(snaps))).SetStr("policy", opts.Policy.String())
+	defer sp.End()
 
 	// Serial pre-pass: drop nils, duplicates, and late arrivals; rebase
 	// timestamps across collector restarts so Start/End stay monotone.
 	kept := make([]*gmon.Snapshot, 0, len(snaps))
-	adjTS := make([]time.Duration, 0, len(snaps))  // rebased timestamps
-	restart := make([]bool, 0, len(snaps))         // timestamp regressed at this snapshot
-	preGaps := make(map[int][]Gap)                 // kept index -> gaps recorded just after it
+	adjTS := make([]time.Duration, 0, len(snaps)) // rebased timestamps
+	restart := make([]bool, 0, len(snaps))        // timestamp regressed at this snapshot
+	preGaps := make(map[int][]Gap)                // kept index -> gaps recorded just after it
 	var tsOffset time.Duration
 	for _, s := range snaps {
 		if s == nil {
@@ -218,6 +231,19 @@ func DifferenceRobust(snaps []*gmon.Snapshot, opts RobustOptions) (*Result, erro
 		}
 		for _, g := range preGaps[i] {
 			res.Gaps = append(res.Gaps, g)
+		}
+	}
+	sp.SetInt("profiles", int64(len(res.Profiles))).SetInt("gaps", int64(len(res.Gaps)))
+	if obs.Enabled() {
+		// Gap-kind and repair-policy counter names are built dynamically, so
+		// the whole block stays behind Enabled to keep the disabled path
+		// allocation-free.
+		obs.C("interval.profiles").Add(int64(len(res.Profiles)))
+		for _, g := range res.Gaps {
+			obs.C("interval.gaps." + g.Kind.String()).Inc()
+		}
+		if n := res.Repaired(); n > 0 {
+			obs.C("interval.repaired." + opts.Policy.String()).Add(int64(n))
 		}
 	}
 	return res, nil
@@ -282,6 +308,14 @@ func diffPair(kept []*gmon.Snapshot, adjTS []time.Duration, restart []bool, i in
 			p.Repaired = true
 			return pairOut{profiles: []Profile{p}, gap: gap}
 		default: // GapSplit
+			if missing+1 > maxSplitFanout {
+				// The gap is too wide to split (likely a corrupt Seq): keep
+				// the whole delta in one repaired profile so totals are still
+				// conserved without allocating millions of profiles.
+				p := makeProfile(s, base, start, end)
+				p.Repaired = true
+				return pairOut{profiles: []Profile{p}, gap: gap}
+			}
 			return pairOut{profiles: splitSpan(s, base, start, end, missing+1), gap: gap}
 		}
 	default:

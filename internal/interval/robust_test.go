@@ -232,8 +232,8 @@ func TestRobustDuplicateAndLateSeqsSkipped(t *testing.T) {
 	snaps := []*gmon.Snapshot{
 		rsnap(0, time.Second, 50, 5),
 		rsnap(1, 2*time.Second, 120, 12),
-		dup,                           // duplicate delivery
-		rsnap(0, time.Second, 50, 5),   // late re-delivery of Seq 0
+		dup,                          // duplicate delivery
+		rsnap(0, time.Second, 50, 5), // late re-delivery of Seq 0
 		rsnap(2, 3*time.Second, 130, 13),
 	}
 	res, err := DifferenceRobust(snaps, RobustOptions{})

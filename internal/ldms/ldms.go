@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/incprof/incprof/internal/obs"
 	"github.com/incprof/incprof/internal/vclock"
 )
 
@@ -212,6 +213,7 @@ func (a *Aggregator) CollectOnce() error {
 	stores := append([]Store(nil), a.stores...)
 	a.pulls++
 	a.mu.Unlock()
+	obs.C("ldms.pulls").Inc()
 	var first error
 	for i, s := range samplers {
 		if breaker.Threshold > 0 {
@@ -220,6 +222,7 @@ func (a *Aggregator) CollectOnce() error {
 				states[i].skip--
 				a.skipped++
 				a.mu.Unlock()
+				obs.C("ldms.pulls.skipped").Inc()
 				continue
 			}
 			a.mu.Unlock()
@@ -233,6 +236,7 @@ func (a *Aggregator) CollectOnce() error {
 					states[i].fails = 0
 					states[i].skip = breaker.Cooldown
 					a.trips++
+					obs.C("ldms.breaker.trips").Inc()
 				}
 			} else {
 				states[i].fails = 0
@@ -240,11 +244,13 @@ func (a *Aggregator) CollectOnce() error {
 			a.mu.Unlock()
 		}
 		if err != nil {
+			obs.C("ldms.sample.errors").Inc()
 			if first == nil {
 				first = err
 			}
 			continue
 		}
+		obs.C("ldms.samples").Inc()
 		for _, st := range stores {
 			if err := st.Store(set); err != nil && first == nil {
 				first = err
@@ -422,6 +428,9 @@ func (r *remoteSampler) Sample() (MetricSet, error) {
 	var lastErr error
 	for attempt := 0; attempt <= r.opts.Retries; attempt++ {
 		if attempt > 0 {
+			// Volatile: how many retries fire depends on transport timing,
+			// not on the analysis inputs.
+			obs.CV("ldms.sample.retries").Inc()
 			r.opts.sleep(r.opts.backoffFor(attempt - 1))
 		}
 		set, err := r.sampleOnce()

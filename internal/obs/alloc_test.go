@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The acceptance criterion for the whole layer: with observability disabled,
+// the instrumentation calls sprinkled through the hot path must be free —
+// zero allocations per call, so the published benchmark numbers describe the
+// analysis, not its telemetry.
+
+func TestDisabledSpanPathAllocatesNothing(t *testing.T) {
+	Disable()
+	if n := testing.AllocsPerRun(1000, func() {
+		sp := StartKey("cluster.sweep", 3)
+		sp.SetInt("k", 3)
+		sp.SetFloat("wcss", 1.5)
+		sp.Child("inner").End()
+		sp.End()
+	}); n != 0 {
+		t.Fatalf("disabled span path allocates %.1f per call, want 0", n)
+	}
+}
+
+func TestDisabledMetricPathAllocatesNothing(t *testing.T) {
+	Disable()
+	if n := testing.AllocsPerRun(1000, func() {
+		C("incprof.dumps").Inc()
+		CV("ldms.retries").Add(2)
+		G("par.workers").Set(4)
+		GV("par.inflight.peak").SetMax(9)
+		H("cluster.sweep.k").Observe(time.Millisecond)
+	}); n != 0 {
+		t.Fatalf("disabled metric path allocates %.1f per call, want 0", n)
+	}
+}
+
+// Handles resolved once while disabled stay nil and free even if callers
+// cache them (the collector does).
+func TestDisabledCachedHandlesAllocateNothing(t *testing.T) {
+	Disable()
+	c := C("cached.counter")
+	h := H("cached.hist")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		h.Observe(time.Microsecond)
+	}); n != 0 {
+		t.Fatalf("cached nil handles allocate %.1f per call, want 0", n)
+	}
+}

@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ExportOptions selects how much of the collected state the exporters emit.
+// The zero value is the deterministic subset: no wall-clock durations, no
+// volatile metrics — byte-identical output for a fixed seed at any
+// parallelism.
+type ExportOptions struct {
+	// Timings includes span durations and histogram sums (wall clock,
+	// run-to-run variable).
+	Timings bool
+	// Volatile includes metrics registered through CV/GV/HV, whose values
+	// may depend on scheduling (pool high-water marks, retry timing).
+	Volatile bool
+}
+
+// treeNode is one exported span with its children resolved.
+type treeNode struct {
+	span     *Span
+	children []*treeNode
+	sortKey  string
+}
+
+// buildTree assembles the ended spans into a forest with deterministic
+// sibling order: siblings sort by (name, key, rendered attributes), which
+// depend only on what the instrumented code did, never on which worker
+// finished first.
+func buildTree(st *state) []*treeNode {
+	st.mu.Lock()
+	done := append([]*Span(nil), st.done...)
+	st.mu.Unlock()
+
+	// One node per ended span; the byID index is first-wins so an ID
+	// collision (two spans started with the same name and key) degrades to
+	// both spans parenting under the first, never to a lost span.
+	nodes := make([]*treeNode, len(done))
+	byID := make(map[uint64]*treeNode, len(done))
+	for i, s := range done {
+		nodes[i] = &treeNode{span: s}
+		if _, ok := byID[s.id]; !ok {
+			byID[s.id] = nodes[i]
+		}
+	}
+	var roots []*treeNode
+	for _, n := range nodes {
+		if n.span.parent != 0 {
+			if p, ok := byID[n.span.parent]; ok && p != n {
+				p.children = append(p.children, n)
+				continue
+			}
+		}
+		roots = append(roots, n)
+	}
+	var fill func(n *treeNode)
+	fill = func(n *treeNode) {
+		var b strings.Builder
+		b.WriteString(n.span.name)
+		fmt.Fprintf(&b, "\x00%d", n.span.key)
+		for _, a := range n.span.attrs {
+			b.WriteString("\x00")
+			b.WriteString(a.K)
+			b.WriteString("=")
+			b.WriteString(a.render())
+		}
+		n.sortKey = b.String()
+		for _, c := range n.children {
+			fill(c)
+		}
+		sort.SliceStable(n.children, func(i, j int) bool {
+			return n.children[i].sortKey < n.children[j].sortKey
+		})
+	}
+	for _, r := range roots {
+		fill(r)
+	}
+	sort.SliceStable(roots, func(i, j int) bool { return roots[i].sortKey < roots[j].sortKey })
+	return roots
+}
+
+// WriteTraceTree renders the collected spans as an indented text tree.
+// Returns without output when observability is disabled or no span ended.
+func WriteTraceTree(w io.Writer, opts ExportOptions) error {
+	st := active()
+	if st == nil {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "trace seed=%d\n", st.cfg.Seed); err != nil {
+		return err
+	}
+	var render func(n *treeNode, depth int) error
+	render = func(n *treeNode, depth int) error {
+		var b strings.Builder
+		b.WriteString(strings.Repeat("  ", depth+1))
+		b.WriteString(n.span.name)
+		if n.span.key != 0 {
+			fmt.Fprintf(&b, "[%d]", n.span.key)
+		}
+		for _, a := range n.span.attrs {
+			b.WriteString(" ")
+			b.WriteString(a.K)
+			b.WriteString("=")
+			b.WriteString(a.render())
+		}
+		if opts.Timings {
+			fmt.Fprintf(&b, " (%s)", n.span.dur)
+		}
+		b.WriteString("\n")
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+		for _, c := range n.children {
+			if err := render(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range buildTree(st) {
+		if err := render(r, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spanJSON mirrors one span for the JSON exporter.
+type spanJSON struct {
+	Name       string      `json:"name"`
+	Key        uint64      `json:"key,omitempty"`
+	ID         string      `json:"id"`
+	Attrs      [][2]string `json:"attrs,omitempty"`
+	DurationMS float64     `json:"duration_ms,omitempty"`
+	Children   []spanJSON  `json:"children,omitempty"`
+}
+
+func toJSON(n *treeNode, opts ExportOptions) spanJSON {
+	j := spanJSON{
+		Name: n.span.name,
+		Key:  n.span.key,
+		ID:   fmt.Sprintf("%016x", n.span.id),
+	}
+	for _, a := range n.span.attrs {
+		j.Attrs = append(j.Attrs, [2]string{a.K, a.render()})
+	}
+	if opts.Timings {
+		j.DurationMS = float64(n.span.dur.Nanoseconds()) / 1e6
+	}
+	for _, c := range n.children {
+		j.Children = append(j.Children, toJSON(c, opts))
+	}
+	return j
+}
+
+// WriteTraceJSON renders the span forest as indented JSON.
+func WriteTraceJSON(w io.Writer, opts ExportOptions) error {
+	st := active()
+	if st == nil {
+		return nil
+	}
+	out := struct {
+		Seed  uint64     `json:"seed"`
+		Spans []spanJSON `json:"spans"`
+	}{Seed: st.cfg.Seed}
+	for _, r := range buildTree(st) {
+		out.Spans = append(out.Spans, toJSON(r, opts))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// histogramJSON is a histogram's exported shape.
+type histogramJSON struct {
+	Count int64   `json:"count"`
+	SumMS float64 `json:"sum_ms,omitempty"`
+}
+
+// WriteMetricsJSON renders the metrics registry as indented JSON with sorted
+// names. Without opts.Volatile/Timings the output contains only
+// deterministic quantities.
+func WriteMetricsJSON(w io.Writer, opts ExportOptions) error {
+	st := active()
+	if st == nil {
+		return nil
+	}
+	r := st.reg
+	out := struct {
+		Seed       uint64                   `json:"seed"`
+		Counters   map[string]int64         `json:"counters"`
+		Gauges     map[string]int64         `json:"gauges"`
+		Histograms map[string]histogramJSON `json:"histograms"`
+	}{
+		Seed:       st.cfg.Seed,
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]histogramJSON{},
+	}
+	r.mu.RLock()
+	for name, c := range r.counters {
+		if c.volatile && !opts.Volatile {
+			continue
+		}
+		out.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		if g.volatile && !opts.Volatile {
+			continue
+		}
+		out.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		if h.volatile && !opts.Volatile {
+			continue
+		}
+		hj := histogramJSON{Count: h.Count()}
+		if opts.Timings {
+			hj.SumMS = float64(h.Sum().Nanoseconds()) / 1e6
+		}
+		out.Histograms[name] = hj
+	}
+	r.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

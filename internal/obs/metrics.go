@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. A nil *Counter (disabled
+// path) accepts every method as a no-op.
+type Counter struct {
+	name     string
+	volatile bool
+	v        atomic.Int64
+}
+
+// Add increments the counter. Nil-safe.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc adds one. Nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time level. Nil-safe like Counter.
+type Gauge struct {
+	name     string
+	volatile bool
+	v        atomic.Int64
+}
+
+// Set stores the gauge value. Nil-safe.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the gauge by delta (e.g. queue depth up/down). Nil-safe.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// SetMax raises the gauge to v if v is higher (a high-water mark). Nil-safe.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current level (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram accumulates observations as a count and a sum. The count of a
+// well-placed histogram is deterministic (how many k values were swept); the
+// sum is wall time and therefore only exported when ExportOptions.Timings is
+// set. Nil-safe like Counter.
+type Histogram struct {
+	name     string
+	volatile bool
+	count    atomic.Int64
+	sum      atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration. Nil-safe.
+func (h *Histogram) Observe(d time.Duration) {
+	if h != nil {
+		h.count.Add(1)
+		h.sum.Add(int64(d))
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the accumulated duration (0 on nil).
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Registry holds an enabled run's metrics. Metric identity is the name;
+// the first registration of a name fixes its kind and volatility.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+func (r *Registry) counter(name string, volatile bool) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{name: name, volatile: volatile}
+		r.counters[name] = c
+	}
+	return c
+}
+
+func (r *Registry) gauge(name string, volatile bool) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{name: name, volatile: volatile}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+func (r *Registry) histogram(name string, volatile bool) *Histogram {
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = &Histogram{name: name, volatile: volatile}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// C returns the named counter, or nil when observability is disabled.
+// Counters obtained through C must be deterministic for a fixed seed at any
+// parallelism; use CV for values that may legitimately vary.
+func C(name string) *Counter {
+	st := active()
+	if st == nil {
+		return nil
+	}
+	return st.reg.counter(name, false)
+}
+
+// CV is C for volatile counters (excluded from deterministic exports).
+func CV(name string) *Counter {
+	st := active()
+	if st == nil {
+		return nil
+	}
+	return st.reg.counter(name, true)
+}
+
+// G returns the named deterministic gauge, or nil when disabled.
+func G(name string) *Gauge {
+	st := active()
+	if st == nil {
+		return nil
+	}
+	return st.reg.gauge(name, false)
+}
+
+// GV is G for volatile gauges (pool high-water marks and the like).
+func GV(name string) *Gauge {
+	st := active()
+	if st == nil {
+		return nil
+	}
+	return st.reg.gauge(name, true)
+}
+
+// H returns the named histogram, or nil when disabled. Histogram counts are
+// exported always (and must be deterministic); sums only under Timings.
+func H(name string) *Histogram {
+	st := active()
+	if st == nil {
+		return nil
+	}
+	return st.reg.histogram(name, false)
+}
+
+// HV is H for histograms whose count is itself volatile.
+func HV(name string) *Histogram {
+	st := active()
+	if st == nil {
+		return nil
+	}
+	return st.reg.histogram(name, true)
+}

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedClock makes span durations deterministic for exporter tests.
+func fixedClock() func() time.Time {
+	base := time.Unix(0, 0)
+	return func() time.Time { return base }
+}
+
+// enableOrSkip enables observability, skipping the test under -tags obs_off
+// (where Enable is inert by design and there is no enabled behavior to test).
+func enableOrSkip(t *testing.T, cfg Config) {
+	t.Helper()
+	Enable(cfg)
+	if !Enabled() {
+		t.Skip("observability compiled out (obs_off)")
+	}
+}
+
+func TestDisabledPathIsNilSafe(t *testing.T) {
+	Disable()
+	sp := Start("x")
+	if sp != nil {
+		t.Fatal("Start should return nil while disabled")
+	}
+	// Every chained call must be a no-op, not a panic.
+	sp.SetInt("a", 1).SetStr("b", "c").SetFloat("d", 1.5).SetBool("e", true)
+	sp.Child("y").ChildKey("z", 3).End()
+	sp.End()
+	C("c").Add(2)
+	C("c").Inc()
+	G("g").Set(7)
+	G("g").Add(1)
+	G("g").SetMax(9)
+	H("h").Observe(time.Second)
+	if got := C("c").Value(); got != 0 {
+		t.Fatalf("disabled counter value = %d", got)
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceTree(&buf, ExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMetricsJSON(&buf, ExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("disabled exporters wrote %q", buf.String())
+	}
+}
+
+// runWorkload emits the same span/metric shape with a configurable amount of
+// concurrency; the exported artifacts must not depend on it.
+func runWorkload(parallel bool) {
+	root := Start("analyze")
+	root.SetInt("profiles", 42)
+	var wg sync.WaitGroup
+	for k := 1; k <= 8; k++ {
+		k := k
+		work := func() {
+			sp := root.ChildKey("kmeans", uint64(k))
+			sp.SetInt("k", int64(k))
+			sp.SetFloat("wcss", 100.0/float64(k))
+			sp.End()
+			C("sweep.ks").Inc()
+			H("sweep.k").Observe(time.Duration(k) * time.Millisecond)
+		}
+		if parallel {
+			wg.Add(1)
+			go func() { defer wg.Done(); work() }()
+		} else {
+			work()
+		}
+	}
+	wg.Wait()
+	GV("pool.peak").SetMax(int64(7))
+	root.SetBool("robust", true)
+	root.End()
+}
+
+func export(t *testing.T, opts ExportOptions) (tree, js, metrics string) {
+	t.Helper()
+	var b1, b2, b3 bytes.Buffer
+	if err := WriteTraceTree(&b1, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTraceJSON(&b2, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMetricsJSON(&b3, opts); err != nil {
+		t.Fatal(err)
+	}
+	return b1.String(), b2.String(), b3.String()
+}
+
+func TestExportsAreSchedulingIndependent(t *testing.T) {
+	defer Disable()
+
+	enableOrSkip(t, Config{Seed: 7, Clock: fixedClock()})
+	runWorkload(false)
+	serialTree, serialJSON, serialMetrics := export(t, ExportOptions{})
+
+	for trial := 0; trial < 4; trial++ {
+		enableOrSkip(t, Config{Seed: 7, Clock: fixedClock()})
+		runWorkload(true)
+		tree, js, metrics := export(t, ExportOptions{})
+		if tree != serialTree {
+			t.Fatalf("trace tree differs under concurrency:\n%s\nvs\n%s", tree, serialTree)
+		}
+		if js != serialJSON {
+			t.Fatalf("trace JSON differs under concurrency")
+		}
+		if metrics != serialMetrics {
+			t.Fatalf("metrics JSON differs under concurrency:\n%s\nvs\n%s", metrics, serialMetrics)
+		}
+	}
+	if !strings.Contains(serialTree, "kmeans[3] k=3") {
+		t.Fatalf("tree missing keyed span:\n%s", serialTree)
+	}
+	if !strings.Contains(serialMetrics, `"sweep.ks": 8`) {
+		t.Fatalf("metrics missing counter:\n%s", serialMetrics)
+	}
+}
+
+func TestSeedChangesSpanIDs(t *testing.T) {
+	defer Disable()
+	enableOrSkip(t, Config{Seed: 1, Clock: fixedClock()})
+	Start("a").End()
+	_, js1, _ := export(t, ExportOptions{})
+	enableOrSkip(t, Config{Seed: 2, Clock: fixedClock()})
+	Start("a").End()
+	_, js2, _ := export(t, ExportOptions{})
+	if js1 == js2 {
+		t.Fatal("span IDs should derive from the seed")
+	}
+}
+
+func TestVolatileAndTimingFiltering(t *testing.T) {
+	defer Disable()
+	enableOrSkip(t, Config{Seed: 1, Clock: fixedClock()})
+	C("det.counter").Add(3)
+	CV("vol.counter").Add(4)
+	G("det.gauge").Set(5)
+	GV("vol.gauge").Set(6)
+	H("det.hist").Observe(time.Second)
+	HV("vol.hist").Observe(time.Second)
+
+	_, _, det := export(t, ExportOptions{})
+	for _, name := range []string{"vol.counter", "vol.gauge", "vol.hist", "sum_ms"} {
+		if strings.Contains(det, name) {
+			t.Fatalf("deterministic export leaked %q:\n%s", name, det)
+		}
+	}
+	_, _, full := export(t, ExportOptions{Volatile: true, Timings: true})
+	for _, name := range []string{"vol.counter", "vol.gauge", "vol.hist", "sum_ms", "det.counter"} {
+		if !strings.Contains(full, name) {
+			t.Fatalf("full export missing %q:\n%s", name, full)
+		}
+	}
+}
+
+func TestMetricKindsAndIdentity(t *testing.T) {
+	defer Disable()
+	enableOrSkip(t, Config{Seed: 1})
+	c := C("same")
+	if c != C("same") {
+		t.Fatal("counter identity not stable per name")
+	}
+	c.Add(2)
+	c.Inc()
+	if c.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", c.Value())
+	}
+	g := G("g")
+	g.Set(10)
+	g.Add(-3)
+	g.SetMax(5) // below current: no-op
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Value())
+	}
+	g.SetMax(11)
+	if g.Value() != 11 {
+		t.Fatalf("gauge after SetMax = %d, want 11", g.Value())
+	}
+	h := H("h")
+	h.Observe(2 * time.Second)
+	h.Observe(time.Second)
+	if h.Count() != 2 || h.Sum() != 3*time.Second {
+		t.Fatalf("histogram = (%d, %v)", h.Count(), h.Sum())
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	defer Disable()
+	enableOrSkip(t, Config{Seed: 1, Clock: fixedClock()})
+	sp := Start("once")
+	sp.End()
+	sp.End()
+	tree, _, _ := export(t, ExportOptions{})
+	if got := strings.Count(tree, "once"); got != 1 {
+		t.Fatalf("span recorded %d times:\n%s", got, tree)
+	}
+}
+
+func TestUnparentedChildPromotedToRoot(t *testing.T) {
+	defer Disable()
+	enableOrSkip(t, Config{Seed: 1, Clock: fixedClock()})
+	root := Start("root")
+	child := root.Child("orphan")
+	child.End()
+	// root never ends: the child must still appear in the export.
+	tree, _, _ := export(t, ExportOptions{})
+	if !strings.Contains(tree, "orphan") {
+		t.Fatalf("orphan span lost:\n%s", tree)
+	}
+}
+
+func TestProfileCapture(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	heap := filepath.Join(dir, "heap.pprof")
+	p, err := StartProfiles(cpu, heap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to say.
+	x := 0
+	for i := 0; i < 1e6; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	for _, f := range []string{cpu, heap} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", f)
+		}
+	}
+	var nilCap *ProfileCapture
+	if err := nilCap.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteRuntimeJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRuntimeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "goroutines") {
+		t.Fatalf("runtime snapshot missing fields: %s", buf.String())
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !obs_off
+
+package obs
+
+// compiledOut reports whether the observability layer was compiled out with
+// -tags obs_off. In the default build it is a constant false; Enabled() then
+// costs one atomic pointer load.
+const compiledOut = false

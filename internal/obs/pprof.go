@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// ProfileCapture is an in-flight runtime profiling session started by
+// StartProfiles. It is independent of Enable: pprof capture works even when
+// tracing and metrics are off.
+type ProfileCapture struct {
+	cpu      *os.File
+	heapPath string
+}
+
+// StartProfiles opts into runtime profiling around a pipeline stage: when
+// cpuPath is non-empty CPU profiling starts immediately, and when heapPath
+// is non-empty a heap profile is written at Stop. Either may be empty.
+func StartProfiles(cpuPath, heapPath string) (*ProfileCapture, error) {
+	p := &ProfileCapture{heapPath: heapPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: creating cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("obs: starting cpu profile: %w", err)
+		}
+		p.cpu = f
+	}
+	return p, nil
+}
+
+// Stop ends CPU profiling and writes the heap profile, if requested.
+// Nil-safe and idempotent.
+func (p *ProfileCapture) Stop() error {
+	if p == nil {
+		return nil
+	}
+	var first error
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpu.Close(); err != nil {
+			first = err
+		}
+		p.cpu = nil
+	}
+	if p.heapPath != "" {
+		f, err := os.Create(p.heapPath)
+		if err != nil {
+			if first == nil {
+				first = fmt.Errorf("obs: creating heap profile: %w", err)
+			}
+		} else {
+			runtime.GC() // get up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = fmt.Errorf("obs: writing heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		p.heapPath = ""
+	}
+	return first
+}
+
+// WriteRuntimeJSON emits an expvar-style snapshot of the Go runtime —
+// goroutines, heap, GC — as indented JSON. Every value here is inherently
+// volatile; it never appears in the deterministic exports.
+func WriteRuntimeJSON(w io.Writer) error {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	out := struct {
+		Goroutines   int    `json:"goroutines"`
+		GOMAXPROCS   int    `json:"gomaxprocs"`
+		HeapAlloc    uint64 `json:"heap_alloc_bytes"`
+		HeapObjects  uint64 `json:"heap_objects"`
+		TotalAlloc   uint64 `json:"total_alloc_bytes"`
+		Mallocs      uint64 `json:"mallocs"`
+		NumGC        uint32 `json:"num_gc"`
+		PauseTotalNS uint64 `json:"gc_pause_total_ns"`
+	}{
+		Goroutines:   runtime.NumGoroutine(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		HeapAlloc:    ms.HeapAlloc,
+		HeapObjects:  ms.HeapObjects,
+		TotalAlloc:   ms.TotalAlloc,
+		Mallocs:      ms.Mallocs,
+		NumGC:        ms.NumGC,
+		PauseTotalNS: ms.PauseTotalNs,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

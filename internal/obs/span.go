@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"strconv"
+	"time"
+)
+
+// attrKind discriminates Attr payloads.
+type attrKind uint8
+
+const (
+	attrInt attrKind = iota
+	attrStr
+	attrFloat
+	attrBool
+)
+
+// Attr is one span attribute. Values render deterministically: ints in
+// decimal, floats with strconv 'g' shortest form, bools as true/false.
+type Attr struct {
+	K    string
+	kind attrKind
+	s    string
+	i    int64
+	f    float64
+}
+
+// render returns the attribute value's canonical text form.
+func (a Attr) render() string {
+	switch a.kind {
+	case attrStr:
+		return a.s
+	case attrFloat:
+		return strconv.FormatFloat(a.f, 'g', -1, 64)
+	case attrBool:
+		if a.i != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return strconv.FormatInt(a.i, 10)
+	}
+}
+
+// Span is one traced operation. A nil *Span (the disabled path) accepts
+// every method as a no-op, so call sites never branch on Enabled.
+//
+// A span is owned by the goroutine that started it until End, which hands it
+// to the trace under a lock; concurrent sibling spans are therefore safe, and
+// the exporter's deterministic sibling ordering erases whatever completion
+// order the scheduler produced.
+type Span struct {
+	st     *state
+	id     uint64
+	parent uint64
+	name   string
+	key    uint64
+	attrs  []Attr
+	start  time.Time
+	ended  bool
+	dur    time.Duration
+}
+
+// Start begins a top-level span. Returns nil when observability is disabled.
+// Sibling top-level spans with the same name need distinct keys (StartKey)
+// to get distinct IDs; the exporter tolerates collisions but distinct IDs
+// keep parent links unambiguous.
+func Start(name string) *Span { return StartKey(name, 0) }
+
+// StartKey begins a top-level span whose ID also derives from key, so
+// same-named spans fanned out in parallel stay distinct and deterministic
+// (use the loop index or another scheduling-independent value as the key).
+func StartKey(name string, key uint64) *Span {
+	st := active()
+	if st == nil {
+		return nil
+	}
+	return &Span{
+		st:    st,
+		id:    spanID(st.cfg.Seed, 0, name, key),
+		name:  name,
+		key:   key,
+		start: st.cfg.Clock(),
+	}
+}
+
+// Under begins a child of parent when parent is non-nil, otherwise a
+// top-level span — the idiom for pipeline stages that accept an optional
+// parent span through their options.
+func Under(parent *Span, name string, key uint64) *Span {
+	if parent != nil {
+		return parent.ChildKey(name, key)
+	}
+	return StartKey(name, key)
+}
+
+// KeyString derives a deterministic sibling key from a string (an app or
+// ablation name), for fan-outs that are not index-addressed.
+func KeyString(s string) uint64 {
+	return hashString(fnvOffset, s)
+}
+
+// Child begins a sub-span. Nil-safe.
+func (s *Span) Child(name string) *Span { return s.ChildKey(name, 0) }
+
+// ChildKey begins a sub-span with an explicit sibling key (see StartKey).
+// Nil-safe.
+func (s *Span) ChildKey(name string, key uint64) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{
+		st:     s.st,
+		id:     spanID(s.st.cfg.Seed, s.id, name, key),
+		parent: s.id,
+		name:   name,
+		key:    key,
+		start:  s.st.cfg.Clock(),
+	}
+}
+
+// SetInt attaches an integer attribute. Nil-safe; returns s for chaining.
+func (s *Span) SetInt(k string, v int64) *Span {
+	if s != nil {
+		s.attrs = append(s.attrs, Attr{K: k, kind: attrInt, i: v})
+	}
+	return s
+}
+
+// SetStr attaches a string attribute. Nil-safe.
+func (s *Span) SetStr(k, v string) *Span {
+	if s != nil {
+		s.attrs = append(s.attrs, Attr{K: k, kind: attrStr, s: v})
+	}
+	return s
+}
+
+// SetFloat attaches a float attribute. Nil-safe.
+func (s *Span) SetFloat(k string, v float64) *Span {
+	if s != nil {
+		s.attrs = append(s.attrs, Attr{K: k, kind: attrFloat, f: v})
+	}
+	return s
+}
+
+// SetBool attaches a boolean attribute. Nil-safe.
+func (s *Span) SetBool(k string, v bool) *Span {
+	if s != nil {
+		i := int64(0)
+		if v {
+			i = 1
+		}
+		s.attrs = append(s.attrs, Attr{K: k, kind: attrBool, i: i})
+	}
+	return s
+}
+
+// End finishes the span and records it in the trace. Nil-safe and
+// idempotent. Attributes set after End are lost.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.dur = s.st.cfg.Clock().Sub(s.start)
+	s.st.mu.Lock()
+	s.st.done = append(s.st.done, s)
+	s.st.mu.Unlock()
+}

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"github.com/incprof/incprof/internal/interval"
+	"github.com/incprof/incprof/internal/obs"
 )
 
 // Options tunes the tracker.
@@ -172,7 +173,7 @@ func (t *Tracker) Observe(p interval.Profile) Event {
 		ev.Transition = best != t.lastPhase && t.lastPhase != -1
 		t.lastPhase = best
 		t.assignments = append(t.assignments, best)
-		return ev
+		return record(ev)
 	}
 	if best == -1 || (bestDist > t.opts.Threshold && len(t.centroids) < t.opts.MaxPhases) {
 		// Found a new phase at this interval.
@@ -197,6 +198,22 @@ func (t *Tracker) Observe(p interval.Profile) Event {
 	ev.Transition = best != t.lastPhase && t.lastPhase != -1
 	t.lastPhase = best
 	t.assignments = append(t.assignments, best)
+	return record(ev)
+}
+
+// record counts the event in the metrics registry (every call is a nil-safe
+// no-op while observability is disabled) and passes it through.
+func record(ev Event) Event {
+	obs.C("online.intervals").Inc()
+	if ev.NewPhase {
+		obs.C("online.phases.founded").Inc()
+	}
+	if ev.Transition {
+		obs.C("online.transitions").Inc()
+	}
+	if ev.LowConfidence {
+		obs.C("online.lowconf").Inc()
+	}
 	return ev
 }
 

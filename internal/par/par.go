@@ -18,6 +18,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"github.com/incprof/incprof/internal/obs"
 )
 
 // PanicError is how For re-raises a panic that escaped a body invocation.
@@ -104,14 +106,32 @@ func For(n, p int, body func(i int)) {
 	if p > n {
 		p = n
 	}
+	// Pool telemetry: invocation and task counts are deterministic (the
+	// loop structure does not depend on the worker budget); the effective
+	// worker count and in-flight high-water mark vary with -parallel and
+	// are therefore volatile. All handles are nil no-ops when obs is off.
+	obs.C("par.for.calls").Inc()
+	obs.C("par.for.tasks").Add(int64(n))
+	depth := obs.GV("par.inflight.peak")
+	var inflight atomic.Int64
 	var ps panicState
+	guard := func(i int) {
+		if depth != nil {
+			depth.SetMax(inflight.Add(1))
+			ps.guard(i, body)
+			inflight.Add(-1)
+			return
+		}
+		ps.guard(i, body)
+	}
 	if p <= 1 {
 		for i := 0; i < n; i++ {
-			ps.guard(i, body)
+			guard(i)
 		}
 		ps.rethrow()
 		return
 	}
+	obs.GV("par.workers.peak").SetMax(int64(p))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(p)
@@ -123,7 +143,7 @@ func For(n, p int, body func(i int)) {
 				if i >= n {
 					return
 				}
-				ps.guard(i, body)
+				guard(i)
 			}
 		}()
 	}

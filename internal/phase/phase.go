@@ -19,6 +19,7 @@ import (
 
 	"github.com/incprof/incprof/internal/cluster"
 	"github.com/incprof/incprof/internal/interval"
+	"github.com/incprof/incprof/internal/obs"
 )
 
 // InstType distinguishes the two instrumentation placements of §V-B.
@@ -161,6 +162,8 @@ type Options struct {
 	Cluster cluster.Options
 	// DBSCANMinPts applies to DBSCANAlg; 0 means 3.
 	DBSCANMinPts int
+	// Span, when non-nil, parents the tracing spans Detect records.
+	Span *obs.Span
 }
 
 func (o Options) withDefaults() Options {
@@ -202,7 +205,15 @@ func Detect(profiles []interval.Profile, opts Options) (*Detection, error) {
 	if len(profiles) == 0 {
 		return nil, fmt.Errorf("phase: no interval profiles")
 	}
+	sp := obs.Under(opts.Span, "phase.detect", 0)
+	sp.SetInt("profiles", int64(len(profiles))).
+		SetStr("algorithm", opts.Algorithm.String()).
+		SetStr("selection", opts.Selection.String())
+	defer sp.End()
+
+	feat := sp.Child("interval.features")
 	m := interval.Features(profiles, opts.Features)
+	feat.SetInt("dims", int64(m.Dims())).End()
 	if m.Dims() == 0 {
 		return nil, fmt.Errorf("phase: no active functions in any interval")
 	}
@@ -212,7 +223,11 @@ func Detect(profiles []interval.Profile, opts Options) (*Detection, error) {
 	var centroids [][]float64
 	switch opts.Algorithm {
 	case KMeansAlg:
-		results, err := cluster.Sweep(m.Rows, opts.KMax, opts.Cluster)
+		copts := opts.Cluster
+		if copts.Span == nil {
+			copts.Span = sp
+		}
+		results, err := cluster.Sweep(m.Rows, opts.KMax, copts)
 		if err != nil {
 			return nil, err
 		}
@@ -220,12 +235,14 @@ func Detect(profiles []interval.Profile, opts Options) (*Detection, error) {
 		for i, r := range results {
 			det.WCSS[i] = r.WCSS
 		}
+		sel := sp.Child("phase.select")
 		var best *cluster.Result
 		if opts.Selection == Silhouette {
 			best = cluster.SelectSilhouetteP(m.Rows, results, opts.Cluster.Parallelism)
 		} else {
 			best = cluster.SelectElbow(results)
 		}
+		sel.SetStr("method", opts.Selection.String()).SetInt("k", int64(best.K)).End()
 		det.K = best.K
 		assign = best.Assign
 		centroids = best.Centroids
@@ -248,10 +265,15 @@ func Detect(profiles []interval.Profile, opts Options) (*Detection, error) {
 	}
 
 	det.Phases = buildPhases(profiles, assign, centroids, det.K)
+	sites := sp.Child("phase.sites")
 	total := len(profiles)
+	nsites := 0
 	for i := range det.Phases {
 		selectSites(&det.Phases[i], profiles, m, opts.CoverageThreshold, total)
+		nsites += len(det.Phases[i].Sites)
 	}
+	sites.SetInt("phases", int64(len(det.Phases))).SetInt("sites", int64(nsites)).End()
+	sp.SetInt("k", int64(det.K))
 	return det, nil
 }
 

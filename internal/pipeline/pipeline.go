@@ -27,6 +27,7 @@ import (
 	"github.com/incprof/incprof/internal/incprof"
 	"github.com/incprof/incprof/internal/interval"
 	"github.com/incprof/incprof/internal/mpi"
+	"github.com/incprof/incprof/internal/obs"
 	"github.com/incprof/incprof/internal/phase"
 	"github.com/incprof/incprof/internal/profiler"
 )
@@ -46,6 +47,8 @@ type CollectOptions struct {
 	// rank's collector and its store, exercising the degraded data path.
 	// Injection is deterministic per (Faults.Seed, rank, dump Seq).
 	Faults *faults.Plan
+	// Span, when non-nil, parents the tracing span Collect records.
+	Span *obs.Span
 }
 
 // CollectionResult is the outcome of one application run under (or without)
@@ -77,6 +80,9 @@ type CollectionResult struct {
 // Collect runs the application once.
 func Collect(app apps.App, opts CollectOptions) (*CollectionResult, error) {
 	ranks := app.Meta().Ranks
+	sp := obs.Under(opts.Span, "pipeline.collect", 0)
+	sp.SetStr("app", app.Meta().Name).SetInt("ranks", int64(ranks)).SetBool("profile", opts.Profile)
+	defer sp.End()
 	res := &CollectionResult{Snapshots: make([][]*gmon.Snapshot, ranks)}
 	stores := make([]incprof.Store, ranks)
 	fstores := make([]*faults.Store, ranks)
@@ -134,6 +140,7 @@ func Collect(app apps.App, opts CollectOptions) (*CollectionResult, error) {
 			res.VirtualRuntime = vt
 		}
 	}
+	sp.SetInt("dumps", int64(res.Dumps)).SetInt("dropped", int64(res.DroppedDumps))
 	return res, nil
 }
 
@@ -170,6 +177,8 @@ type AnalyzeOptions struct {
 	// Gap selects the repair policy for missing dumps when Robust is set;
 	// the zero value is GapSplit.
 	Gap interval.GapPolicy
+	// Span, when non-nil, parents the tracing span Analyze records.
+	Span *obs.Span
 }
 
 // Analysis is the phase-analysis output plus the interval profiles it ran
@@ -191,6 +200,9 @@ func Analyze(res *CollectionResult, opts AnalyzeOptions) (*Analysis, error) {
 	if len(snaps) == 0 {
 		return nil, fmt.Errorf("pipeline: rank %d has no snapshots (was Profile set?)", opts.Rank)
 	}
+	sp := obs.Under(opts.Span, "pipeline.analyze", 0)
+	sp.SetInt("rank", int64(opts.Rank)).SetInt("snapshots", int64(len(snaps))).SetBool("robust", opts.Robust)
+	defer sp.End()
 	var profs []interval.Profile
 	var gaps []interval.Gap
 	var err error
@@ -198,16 +210,21 @@ func Analyze(res *CollectionResult, opts AnalyzeOptions) (*Analysis, error) {
 		rres, rerr := interval.DifferenceRobust(snaps, interval.RobustOptions{
 			Policy:      opts.Gap,
 			Parallelism: opts.Parallelism,
+			Span:        sp,
 		})
 		if rerr != nil {
 			return nil, rerr
 		}
 		profs, gaps = rres.Profiles, rres.Gaps
 	} else {
+		diff := sp.Child("interval.difference")
 		profs, err = interval.DifferenceP(snaps, opts.Parallelism)
 		if err != nil {
+			diff.End()
 			return nil, err
 		}
+		diff.SetInt("profiles", int64(len(profs))).End()
+		obs.C("interval.profiles").Add(int64(len(profs)))
 	}
 	popts := opts.Phase
 	if popts.Cluster.Parallelism == 0 {
@@ -215,6 +232,9 @@ func Analyze(res *CollectionResult, opts AnalyzeOptions) (*Analysis, error) {
 	}
 	if !opts.IncludeMPI && popts.Features.Exclude == nil {
 		popts.Features.Exclude = mpi.IsMPIFunc
+	}
+	if popts.Span == nil {
+		popts.Span = sp
 	}
 	det, err := phase.Detect(profs, popts)
 	if err != nil {
