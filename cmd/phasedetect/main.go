@@ -3,11 +3,18 @@
 // cluster with k-means for k = 1..kmax, select k with the Elbow method, and
 // run Algorithm 1 to choose per-phase instrumentation sites.
 //
+// With -follow it tails the dump directory while the collector is still
+// writing, streaming each new snapshot through the incremental engine:
+// live phase labels and periodic model refreshes print as "live:"-prefixed
+// lines, and the final report is identical to a batch run over the finished
+// directory (filter with `grep -v '^live:'` to compare).
+//
 // Usage:
 //
 //	phasedetect -dir profiles/rank0
 //	phasedetect -dir profiles/rank0 -text          # parse gprof.txt.N instead
 //	phasedetect -dir profiles/rank0 -selection silhouette -threshold 0.9
+//	phasedetect -dir profiles/rank0 -follow        # live mode
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"github.com/incprof/incprof/internal/online"
 	"github.com/incprof/incprof/internal/phase"
 	"github.com/incprof/incprof/internal/report"
+	"github.com/incprof/incprof/internal/stream"
 )
 
 func main() {
@@ -47,12 +55,19 @@ func main() {
 	merge := flag.Bool("merge", false, "merge phases with identical site sets")
 	salvage := flag.Bool("salvage", false, "degraded mode: skip corrupt/truncated dumps and absorb missing, duplicate, late, or regressed dumps as gaps instead of failing")
 	gapPolicy := flag.String("gap", "split", "missing-dump repair policy in salvage mode: split, drop, or scale")
+	follow := flag.Bool("follow", false, "tail -dir while the collector is writing: stream dumps through the incremental engine, print live: lines, report when the stream goes idle")
+	followPoll := flag.Duration("follow-poll", 200*time.Millisecond, "directory poll interval in -follow mode")
+	followIdle := flag.Duration("follow-idle", 2*time.Second, "end -follow mode after this long without a new dump")
+	refreshEvery := flag.Int("refresh", 10, "full model refresh cadence (intervals) in -follow mode")
 	obsFlags := obsflag.Register()
 	flag.Parse()
 
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "phasedetect: -dir is required")
 		os.Exit(2)
+	}
+	if *follow && (*text || *gmonout) {
+		fail(fmt.Errorf("-follow tails binary gmon.out.N dumps only (no -text / -gmonout)"))
 	}
 	obsRun, err := obsFlags.Setup(*seed)
 	fail(err)
@@ -67,53 +82,8 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown gap policy %q (have split, drop, scale)", *gapPolicy))
 	}
-	var snaps []*gmon.Snapshot
-	switch {
-	case *text:
-		snaps, err = incprof.LoadTextReports(*dir)
-	case *gmonout:
-		var st *incprof.GmonOutStore
-		st, err = incprof.NewGmonOutStore(*dir)
-		if err == nil {
-			snaps, err = st.Snapshots()
-		}
-	default:
-		var st *incprof.DirStore
-		st, err = incprof.NewDirStore(*dir, false)
-		if err == nil && *salvage {
-			var rep incprof.LoadReport
-			snaps, rep, err = st.SnapshotsSalvage()
-			for _, sk := range rep.Skipped {
-				fmt.Printf("salvage: skipped %s (seq %d): %v\n", sk.Name, sk.Seq, sk.Err)
-			}
-		} else if err == nil {
-			snaps, err = st.Snapshots()
-		}
-	}
-	fail(err)
-	if len(snaps) == 0 {
-		fail(fmt.Errorf("no snapshots found in %s", *dir))
-	}
 
 	root := obs.Start("phasedetect")
-	var profiles []interval.Profile
-	if *salvage {
-		res, rerr := interval.DifferenceRobust(snaps, interval.RobustOptions{Policy: policy, Parallelism: *parallel, Span: root})
-		fail(rerr)
-		profiles = res.Profiles
-		for _, g := range res.Gaps {
-			fmt.Printf("gap: %s seq %d..%d (%d missing)\n", g.Kind, g.FromSeq, g.ToSeq, g.Missing)
-		}
-		if n := res.Repaired(); n > 0 {
-			fmt.Printf("salvage: %d gaps, %d repaired intervals (%s policy)\n", len(res.Gaps), n, policy)
-		}
-	} else {
-		diff := root.Child("interval.difference")
-		profiles, err = interval.DifferenceP(snaps, *parallel)
-		fail(err)
-		diff.SetInt("profiles", int64(len(profiles))).End()
-	}
-
 	opts := phase.Options{
 		KMax:              *kmax,
 		CoverageThreshold: *threshold,
@@ -140,10 +110,25 @@ func main() {
 		fail(fmt.Errorf("unknown algorithm %q", *algorithm))
 	}
 
-	det, err := phase.Detect(profiles, opts)
-	fail(err)
+	var (
+		det      *phase.Detection
+		profiles []interval.Profile
+		lastSnap *gmon.Snapshot
+	)
+	if *follow {
+		det, profiles, lastSnap = followDir(*dir, opts, policy, followConfig{
+			poll:    *followPoll,
+			idle:    *followIdle,
+			refresh: *refreshEvery,
+			salvage: *salvage,
+			span:    root,
+		})
+	} else {
+		det, profiles, lastSnap = batchDir(*dir, opts, policy, *text, *gmonout, *salvage, *parallel, root)
+	}
+
 	if *promote {
-		g := callgraph.FromSnapshot(snaps[len(snaps)-1])
+		g := callgraph.FromSnapshot(lastSnap)
 		n := callgraph.PromoteDetection(det, g, callgraph.PromoteOptions{Exclude: mpi.IsMPIFunc})
 		fmt.Printf("call-graph promotion changed %d sites\n", n)
 	}
@@ -241,6 +226,138 @@ func main() {
 
 	root.End()
 	fail(obsRun.Finish())
+}
+
+// batchDir is the original one-shot path: load every stored dump, difference
+// them, detect phases.
+func batchDir(dir string, opts phase.Options, policy interval.GapPolicy, text, gmonout, salvage bool, parallel int, root *obs.Span) (*phase.Detection, []interval.Profile, *gmon.Snapshot) {
+	var snaps []*gmon.Snapshot
+	var err error
+	switch {
+	case text:
+		snaps, err = incprof.LoadTextReports(dir)
+	case gmonout:
+		var st *incprof.GmonOutStore
+		st, err = incprof.NewGmonOutStore(dir)
+		if err == nil {
+			snaps, err = st.Snapshots()
+		}
+	default:
+		var st *incprof.DirStore
+		st, err = incprof.NewDirStore(dir, false)
+		if err == nil && salvage {
+			var rep incprof.LoadReport
+			snaps, rep, err = st.SnapshotsSalvage()
+			for _, sk := range rep.Skipped {
+				fmt.Printf("salvage: skipped %s (seq %d): %v\n", sk.Name, sk.Seq, sk.Err)
+			}
+		} else if err == nil {
+			snaps, err = st.Snapshots()
+		}
+	}
+	fail(err)
+	if len(snaps) == 0 {
+		fail(fmt.Errorf("no snapshots found in %s", dir))
+	}
+
+	var profiles []interval.Profile
+	if salvage {
+		res, rerr := interval.DifferenceRobust(snaps, interval.RobustOptions{Policy: policy, Parallelism: parallel, Span: root})
+		fail(rerr)
+		profiles = res.Profiles
+		reportGaps(res.Gaps, res.Repaired(), policy)
+	} else {
+		diff := root.Child("interval.difference")
+		profiles, err = interval.DifferenceP(snaps, parallel)
+		fail(err)
+		diff.SetInt("profiles", int64(len(profiles))).End()
+	}
+
+	det, err := phase.Detect(profiles, opts)
+	fail(err)
+	return det, profiles, snaps[len(snaps)-1]
+}
+
+type followConfig struct {
+	poll    time.Duration
+	idle    time.Duration
+	refresh int
+	salvage bool
+	span    *obs.Span
+}
+
+// followDir tails the dump directory through the streaming engine. Live
+// progress prints with a "live:" prefix; everything else matches the batch
+// path's output for the same final directory contents.
+func followDir(dir string, opts phase.Options, policy interval.GapPolicy, cfg followConfig) (*phase.Detection, []interval.Profile, *gmon.Snapshot) {
+	eng := stream.New(stream.Options{
+		Robust:       cfg.salvage,
+		Gap:          policy,
+		Phase:        opts,
+		RefreshEvery: cfg.refresh,
+		Span:         cfg.span,
+		OnLabel: func(ev online.Event) {
+			mark := ""
+			if ev.NewPhase {
+				mark = " (new phase)"
+			} else if ev.Transition {
+				mark = " (transition)"
+			}
+			if ev.LowConfidence {
+				mark += " (low confidence)"
+			}
+			fmt.Printf("live: interval %d -> phase %d%s\n", ev.Interval, ev.Phase, mark)
+		},
+		OnRefresh: func(r stream.Refresh) {
+			if r.Final {
+				return
+			}
+			warm := ""
+			if r.WarmAccepted {
+				warm = ", warm start accepted"
+			}
+			fmt.Printf("live: refresh %d: k=%d over %d intervals (%d sites reused, %d recomputed%s)\n",
+				r.Index, r.K, r.Intervals, r.SitesReused, r.SitesRecomputed, warm)
+		},
+		OnGap: func(g interval.Gap) {
+			fmt.Printf("live: gap %s seq %d..%d (%d missing)\n", g.Kind, g.FromSeq, g.ToSeq, g.Missing)
+		},
+	})
+	res, err := incprof.TailDir(dir, eng, incprof.TailOptions{
+		Poll:    cfg.poll,
+		Idle:    cfg.idle,
+		Salvage: cfg.salvage,
+		OnSkip: func(sk incprof.SkippedFile) {
+			fmt.Printf("salvage: skipped %s (seq %d): %v\n", sk.Name, sk.Seq, sk.Err)
+		},
+	})
+	fail(err)
+	if res.Emitted == 0 {
+		fail(fmt.Errorf("no snapshots found in %s", dir))
+	}
+	r, err := eng.Finish()
+	fail(err)
+	if cfg.salvage {
+		repaired := 0
+		for _, p := range r.Profiles {
+			if p.Repaired {
+				repaired++
+			}
+		}
+		reportGaps(r.Gaps, repaired, policy)
+	}
+	return r.Detection, r.Profiles, res.Last
+}
+
+// reportGaps prints the salvage-mode gap summary, shared verbatim by the
+// batch and follow paths so their reports diff clean.
+func reportGaps(gaps []interval.Gap, repaired int, policy interval.GapPolicy) {
+	for _, g := range gaps {
+		fmt.Printf("gap: %s seq %d..%d (%d missing)\n", g.Kind, g.FromSeq, g.ToSeq, g.Missing)
+	}
+	if repaired > 0 {
+		fmt.Printf("salvage: %d gaps, %d repaired intervals (%s policy)\n", len(gaps), repaired, policy)
+	}
 }
 
 func fail(err error) {

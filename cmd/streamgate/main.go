@@ -1,0 +1,148 @@
+// Command streamgate is the memory regression gate for the streaming
+// differencer: it pushes a long synthetic snapshot stream through the
+// stream.Differencer stage and fails if the steady-state heap grows with the
+// stream length — the O(1)-memory contract that separates the incremental
+// path from the batch differencers, which hold every snapshot at once.
+//
+// Snapshots are generated one at a time and discarded after ingestion, so
+// the only run-length-proportional state that COULD accumulate is inside the
+// stage. The gate warms up for the first quarter of the stream (letting maps
+// and the reorder window reach their working size), then samples the live
+// heap after each subsequent decile; growth between the warmup baseline and
+// the final sample must stay under the threshold no matter how long the
+// stream is. The samples are written to a JSON report (BENCH_stream.json in
+// CI) so a failure is diagnosable from the artifact alone.
+//
+// Usage:
+//
+//	streamgate -n 20000 -funcs 200 -out BENCH_stream.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/interval"
+	"github.com/incprof/incprof/internal/stream"
+)
+
+// liveHeap returns HeapAlloc after a forced collection, so only reachable
+// state is counted.
+func liveHeap() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+type sample struct {
+	Snapshots int    `json:"snapshots"`
+	HeapBytes uint64 `json:"heap_bytes"`
+}
+
+type gateReport struct {
+	Snapshots      int      `json:"snapshots"`
+	Funcs          int      `json:"funcs"`
+	Robust         bool     `json:"robust"`
+	Reorder        int      `json:"reorder"`
+	BaselineBytes  uint64   `json:"baseline_bytes"`
+	FinalBytes     uint64   `json:"final_bytes"`
+	GrowthBytes    int64    `json:"growth_bytes"`
+	ThresholdBytes int64    `json:"threshold_bytes"`
+	Samples        []sample `json:"samples"`
+	Pass           bool     `json:"pass"`
+}
+
+func main() {
+	n := flag.Int("n", 20000, "stream length in snapshots")
+	funcs := flag.Int("funcs", 200, "functions per snapshot")
+	seed := flag.Int64("seed", 1, "synthetic workload seed")
+	robust := flag.Bool("robust", true, "use the robust differencing kernel")
+	reorder := flag.Int("reorder", 0, "reorder window size")
+	threshold := flag.Int64("threshold", 2<<20, "max allowed heap growth past warmup, bytes")
+	out := flag.String("out", "BENCH_stream.json", "JSON report path; - for stdout")
+	flag.Parse()
+
+	d := stream.NewDifferencer(stream.DifferencerOptions{Robust: *robust, Reorder: *reorder})
+	head := stream.Pipe[*gmon.Snapshot, interval.Profile](d, stream.Discard[interval.Profile]{})
+
+	rng := rand.New(rand.NewSource(*seed))
+	names := make([]string, *funcs)
+	cumSamples := make([]int64, *funcs)
+	cumCalls := make([]int64, *funcs)
+	for i := range names {
+		names[i] = fmt.Sprintf("fn_%03d", i)
+	}
+	period := 10 * time.Millisecond
+
+	warmup := *n / 4
+	decile := (*n - warmup) / 10
+	rep := gateReport{Snapshots: *n, Funcs: *funcs, Robust: *robust, Reorder: *reorder, ThresholdBytes: *threshold}
+	for i := 0; i < *n; i++ {
+		s := &gmon.Snapshot{
+			Seq:          i,
+			Timestamp:    time.Duration(i+1) * time.Second,
+			SamplePeriod: period,
+			Funcs:        make([]gmon.FuncRecord, *funcs),
+		}
+		for j := range names {
+			cumSamples[j] += int64(rng.Intn(20))
+			cumCalls[j] += int64(rng.Intn(4))
+			s.Funcs[j] = gmon.FuncRecord{
+				Name:     names[j],
+				Samples:  cumSamples[j],
+				SelfTime: time.Duration(cumSamples[j]) * period,
+				Calls:    cumCalls[j],
+			}
+		}
+		if err := head.Emit(s); err != nil {
+			fail(err)
+		}
+		if i+1 == warmup {
+			rep.BaselineBytes = liveHeap()
+			rep.Samples = append(rep.Samples, sample{i + 1, rep.BaselineBytes})
+		} else if i+1 > warmup && decile > 0 && (i+1-warmup)%decile == 0 {
+			rep.Samples = append(rep.Samples, sample{i + 1, liveHeap()})
+		}
+	}
+	fail(head.Flush())
+	// The first dump differences against program start, so a clean stream
+	// of n snapshots yields exactly n profiles.
+	if got := d.Profiles(); got != *n {
+		fail(fmt.Errorf("differenced %d profiles from %d snapshots", got, *n))
+	}
+
+	rep.FinalBytes = liveHeap()
+	rep.GrowthBytes = int64(rep.FinalBytes) - int64(rep.BaselineBytes)
+	rep.Pass = rep.GrowthBytes <= *threshold
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	fail(err)
+	buf = append(buf, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(buf)
+	} else {
+		err = os.WriteFile(*out, buf, 0o644)
+	}
+	fail(err)
+
+	fmt.Printf("streamgate: %d snapshots x %d funcs: heap %d -> %d bytes (growth %+d, threshold %d)\n",
+		rep.Snapshots, rep.Funcs, rep.BaselineBytes, rep.FinalBytes, rep.GrowthBytes, rep.ThresholdBytes)
+	if !rep.Pass {
+		fmt.Fprintln(os.Stderr, "streamgate: steady-state heap grows with stream length")
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamgate:", err)
+		os.Exit(1)
+	}
+}

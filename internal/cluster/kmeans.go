@@ -258,9 +258,71 @@ func (r *Result) Members(c int) []int {
 }
 
 // DistanceToCentroid returns the Euclidean distance from point p (by index,
-// with its coordinates supplied) to its assigned centroid.
+// with its coordinates supplied) to its assigned centroid. The point may be
+// longer than the centroid (the streaming engine's feature space grows
+// mid-run); missing trailing centroid dimensions count as zero.
 func (r *Result) DistanceToCentroid(i int, point []float64) float64 {
-	return xmath.Euclidean(point, r.Centroids[r.Assign[i]])
+	return xmath.EuclideanPadded(point, r.Centroids[r.Assign[i]])
+}
+
+// Clone returns a deep copy of the result. Callers that refine or drift a
+// clustering (the streaming engine's warm-start path) must work on a clone:
+// the slices inside a Result are the clusterer's own, and mutating them
+// corrupts every other holder of the same Result.
+func (r *Result) Clone() *Result {
+	if r == nil {
+		return nil
+	}
+	c := *r
+	c.Assign = append([]int(nil), r.Assign...)
+	c.Sizes = append([]int(nil), r.Sizes...)
+	c.Centroids = CloneCentroids(r.Centroids)
+	return &c
+}
+
+// CloneCentroids deep-copies a centroid set — the safe way to seed a
+// warm start or an online tracker from a Result without aliasing it.
+func CloneCentroids(centroids [][]float64) [][]float64 {
+	if centroids == nil {
+		return nil
+	}
+	out := make([][]float64, len(centroids))
+	for i, c := range centroids {
+		out[i] = append([]float64(nil), c...)
+	}
+	return out
+}
+
+// WarmStart runs Lloyd iterations from an externally-supplied centroid set
+// (the incremental clusterer's previous model) instead of k-means++ seeding.
+// The given centroids are cloned, never mutated, and may be shorter than the
+// point dimensionality — a feature space that grew since they were computed —
+// in which case they are zero-padded. Only MaxIterations is honored from
+// opts; there is no restart loop (a warm start IS the restart).
+func WarmStart(points [][]float64, centroids [][]float64, opts Options) (*Result, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("cluster: no points")
+	}
+	if len(centroids) == 0 {
+		return nil, fmt.Errorf("cluster: no warm-start centroids")
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("cluster: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+	}
+	opts = opts.withDefaults()
+	seed := make([][]float64, len(centroids))
+	for i, c := range centroids {
+		if len(c) > dim {
+			return nil, fmt.Errorf("cluster: warm-start centroid %d has dimension %d, want <= %d", i, len(c), dim)
+		}
+		v := make([]float64, dim)
+		copy(v, c)
+		seed[i] = v
+	}
+	return lloyd(points, seed, opts.MaxIterations), nil
 }
 
 // Sweep runs KMeans for every k in [1, kmax] (clamped to the number of

@@ -41,12 +41,25 @@ type Store interface {
 	Snapshots() ([]*gmon.Snapshot, error)
 }
 
+// Sink receives dumped snapshots as a live stream, independent of storage —
+// the attachment point for streaming analysis. The stream package's Engine
+// satisfies it structurally, so a collector can feed phase detection while
+// the run is still in progress.
+type Sink interface {
+	Emit(s *gmon.Snapshot) error
+}
+
 // Options configures a Collector.
 type Options struct {
 	// Interval is the dump period; 0 means DefaultInterval.
 	Interval time.Duration
 	// Store receives the dumps; nil means a fresh MemStore.
 	Store Store
+	// Sink, when non-nil, additionally receives every snapshot as it is
+	// dumped, whether or not the store accepted it: live analysis keeps
+	// flowing even while storage is failing, and the robust analysis path
+	// reconciles any divergence from what was persisted.
+	Sink Sink
 }
 
 // Collector periodically dumps cumulative profiles from a Profiler.
@@ -60,6 +73,7 @@ type Collector struct {
 	rt      *exec.Runtime
 	prof    *profiler.Profiler
 	store   Store
+	sink    Sink
 	ticker  *vclock.Ticker
 	intvl   time.Duration
 	dumps   atomic.Int64
@@ -90,7 +104,7 @@ func New(rt *exec.Runtime, prof *profiler.Profiler, opts Options) *Collector {
 		st = NewMemStore()
 	}
 	c := &Collector{
-		rt: rt, prof: prof, store: st, intvl: intvl,
+		rt: rt, prof: prof, store: st, sink: opts.Sink, intvl: intvl,
 		mDumps:   obs.C("incprof.dumps"),
 		mDropped: obs.C("incprof.dumps.dropped"),
 		mRetries: obs.C("incprof.put.retries"),
@@ -120,6 +134,19 @@ func (c *Collector) dump() {
 			c.lastErr = err
 		}
 		c.mu.Unlock()
+	}
+	if c.sink != nil {
+		// The live stream sees every dump, store outcome notwithstanding:
+		// analysis latency must not couple to storage health. A sink
+		// failure is remembered like a store failure but does not stop
+		// collection.
+		if serr := c.sink.Emit(s); serr != nil {
+			c.mu.Lock()
+			if c.lastErr == nil {
+				c.lastErr = serr
+			}
+			c.mu.Unlock()
+		}
 	}
 	c.dumps.Add(1)
 	c.mDumps.Inc()

@@ -1,0 +1,162 @@
+// tail.go follows a DirStore directory while a collector is still writing
+// into it, feeding each new dump to a Sink in sequence order — the ingestion
+// side of live phase detection (phasedetect -follow). Decoding reuses the
+// same reader as the batch load, so a tailed run sees byte-identical
+// snapshots to a later Snapshots() call over the finished directory.
+package incprof
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/obs"
+)
+
+// TailOptions configures TailDir.
+type TailOptions struct {
+	// Poll is the directory re-scan interval. Default 200ms.
+	Poll time.Duration
+	// Idle ends the tail: once no new dump has been emitted for this
+	// long, the run is assumed finished. Default 2s.
+	Idle time.Duration
+	// Salvage skips permanently-undecodable dumps (reported via OnSkip)
+	// instead of failing the tail, mirroring SnapshotsSalvage.
+	Salvage bool
+	// OnSkip, if set, is called for each dump skipped in salvage mode.
+	OnSkip func(SkippedFile)
+}
+
+// TailResult summarizes a finished tail.
+type TailResult struct {
+	// Emitted counts the snapshots delivered to the sink.
+	Emitted int
+	// Skipped lists the undecodable dumps (salvage mode only).
+	Skipped []SkippedFile
+	// Last is the final snapshot emitted, nil if none.
+	Last *gmon.Snapshot
+}
+
+// dumpFile is one gmon.out.N directory entry.
+type dumpFile struct {
+	seq  int
+	name string
+}
+
+// listDumps returns the gmon.out.N entries under dir in Seq order.
+func listDumps(dir string) ([]dumpFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []dumpFile
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		rest, ok := strings.CutPrefix(e.Name(), "gmon.out.")
+		if !ok {
+			continue
+		}
+		seq, err := strconv.Atoi(rest)
+		if err != nil {
+			continue
+		}
+		files = append(files, dumpFile{seq, e.Name()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].seq < files[j].seq })
+	return files, nil
+}
+
+// TailDir polls dir for gmon.out.N dumps and emits each decoded snapshot to
+// sink in sequence order as it appears, returning once no new dump has
+// arrived for opts.Idle. A file that fails to decode is assumed to be
+// mid-write and blocks emission (order is preserved, never skipped around)
+// until the idle window expires; at that point it is either skipped
+// (salvage) or fails the tail. The sink's Flush is NOT called — the caller
+// owns stream termination.
+func TailDir(dir string, sink Sink, opts TailOptions) (TailResult, error) {
+	if opts.Poll <= 0 {
+		opts.Poll = 200 * time.Millisecond
+	}
+	if opts.Idle <= 0 {
+		opts.Idle = 2 * time.Second
+	}
+	var res TailResult
+	done := make(map[int]bool)
+	emit := func(s *gmon.Snapshot, seq int) error {
+		if err := sink.Emit(s); err != nil {
+			return err
+		}
+		done[seq] = true
+		res.Emitted++
+		res.Last = s
+		obs.C("incprof.tail.emitted").Inc()
+		return nil
+	}
+	idle := time.Duration(0)
+	for {
+		files, err := listDumps(dir)
+		if err != nil {
+			return res, err
+		}
+		progress := false
+		for _, f := range files {
+			if done[f.seq] {
+				continue
+			}
+			s, err := decodeDump(filepath.Join(dir, f.name))
+			if err != nil {
+				// Possibly still being written: retry next poll, and do
+				// not emit anything past it out of order.
+				break
+			}
+			if err := emit(s, f.seq); err != nil {
+				return res, err
+			}
+			progress = true
+		}
+		if progress {
+			idle = 0
+		} else {
+			idle += opts.Poll
+			if idle >= opts.Idle {
+				break
+			}
+		}
+		time.Sleep(opts.Poll)
+	}
+	// The run is over; whatever still fails to decode is corrupt, not
+	// mid-write. Sweep the remainder in order, skipping or failing.
+	files, err := listDumps(dir)
+	if err != nil {
+		return res, err
+	}
+	for _, f := range files {
+		if done[f.seq] {
+			continue
+		}
+		s, err := decodeDump(filepath.Join(dir, f.name))
+		if err != nil {
+			if !opts.Salvage {
+				return res, fmt.Errorf("incprof: decoding %s: %w", f.name, err)
+			}
+			sk := SkippedFile{Name: f.name, Seq: f.seq, Err: err}
+			res.Skipped = append(res.Skipped, sk)
+			obs.C("incprof.tail.skipped").Inc()
+			if opts.OnSkip != nil {
+				opts.OnSkip(sk)
+			}
+			continue
+		}
+		if err := emit(s, f.seq); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}

@@ -11,7 +11,6 @@ package interval
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"github.com/incprof/incprof/internal/gmon"
@@ -75,52 +74,15 @@ func Difference(snaps []*gmon.Snapshot) ([]Profile, error) {
 func DifferenceP(snaps []*gmon.Snapshot, parallelism int) ([]Profile, error) {
 	profiles := make([]Profile, len(snaps))
 	err := par.ForError(len(snaps), parallelism, func(i int) error {
-		s := snaps[i]
 		var prev *gmon.Snapshot
 		if i > 0 {
 			prev = snaps[i-1]
 		}
-		if prev != nil {
-			if s.Timestamp < prev.Timestamp {
-				return fmt.Errorf("interval: snapshot %d at %v precedes snapshot %d at %v",
-					s.Seq, s.Timestamp, prev.Seq, prev.Timestamp)
-			}
-			if s.SamplePeriod != prev.SamplePeriod {
-				return fmt.Errorf("interval: sample period changed between snapshots %d and %d", prev.Seq, s.Seq)
-			}
+		p, err := StrictPair(prev, snaps[i])
+		if err != nil {
+			return err
 		}
-		p := Profile{
-			Index:     i,
-			End:       s.Timestamp,
-			Self:      make(map[string]time.Duration),
-			ExactSelf: make(map[string]time.Duration),
-			Calls:     make(map[string]int64),
-		}
-		if prev != nil {
-			p.Start = prev.Timestamp
-		}
-		for _, rec := range s.Funcs {
-			var prevRec gmon.FuncRecord
-			if prev != nil {
-				prevRec, _ = prev.Func(rec.Name)
-			}
-			dSamples := rec.Samples - prevRec.Samples
-			dExact := rec.SelfTime - prevRec.SelfTime
-			dCalls := rec.Calls - prevRec.Calls
-			if dSamples < 0 || dExact < 0 || dCalls < 0 {
-				return fmt.Errorf("interval: cumulative counter for %q regressed between snapshots %d and %d",
-					rec.Name, prev.Seq, s.Seq)
-			}
-			if dSamples > 0 {
-				p.Self[rec.Name] = time.Duration(dSamples) * s.SamplePeriod
-			}
-			if dExact > 0 {
-				p.ExactSelf[rec.Name] = dExact
-			}
-			if dCalls > 0 {
-				p.Calls[rec.Name] = dCalls
-			}
-		}
+		p.Index = i
 		profiles[i] = p
 		return nil
 	})
@@ -128,6 +90,60 @@ func DifferenceP(snaps []*gmon.Snapshot, parallelism int) ([]Profile, error) {
 		return nil, err
 	}
 	return profiles, nil
+}
+
+// StrictPair differences one cumulative snapshot against its predecessor
+// under Difference's strict validation: monotone timestamps, a constant
+// sample period, and non-decreasing counters, any violation an error. prev
+// is nil for the first snapshot of a run (the profile is then cumulative
+// from program start). The returned Profile's Index is left zero; drivers
+// set it to the interval's position in their own stream.
+//
+// StrictPair is the single strict-differencing kernel: the batch pool
+// (DifferenceP) and the streaming engine's incremental differencer both call
+// it, so the two paths cannot diverge.
+func StrictPair(prev, s *gmon.Snapshot) (Profile, error) {
+	if prev != nil {
+		if s.Timestamp < prev.Timestamp {
+			return Profile{}, fmt.Errorf("interval: snapshot %d at %v precedes snapshot %d at %v",
+				s.Seq, s.Timestamp, prev.Seq, prev.Timestamp)
+		}
+		if s.SamplePeriod != prev.SamplePeriod {
+			return Profile{}, fmt.Errorf("interval: sample period changed between snapshots %d and %d", prev.Seq, s.Seq)
+		}
+	}
+	p := Profile{
+		End:       s.Timestamp,
+		Self:      make(map[string]time.Duration),
+		ExactSelf: make(map[string]time.Duration),
+		Calls:     make(map[string]int64),
+	}
+	if prev != nil {
+		p.Start = prev.Timestamp
+	}
+	for _, rec := range s.Funcs {
+		var prevRec gmon.FuncRecord
+		if prev != nil {
+			prevRec, _ = prev.Func(rec.Name)
+		}
+		dSamples := rec.Samples - prevRec.Samples
+		dExact := rec.SelfTime - prevRec.SelfTime
+		dCalls := rec.Calls - prevRec.Calls
+		if dSamples < 0 || dExact < 0 || dCalls < 0 {
+			return Profile{}, fmt.Errorf("interval: cumulative counter for %q regressed between snapshots %d and %d",
+				rec.Name, prev.Seq, s.Seq)
+		}
+		if dSamples > 0 {
+			p.Self[rec.Name] = time.Duration(dSamples) * s.SamplePeriod
+		}
+		if dExact > 0 {
+			p.ExactSelf[rec.Name] = dExact
+		}
+		if dCalls > 0 {
+			p.Calls[rec.Name] = dCalls
+		}
+	}
+	return p, nil
 }
 
 // FeatureKind selects which per-function quantity becomes the clustering
@@ -190,57 +206,16 @@ func (m *Matrix) Dims() int {
 // Features builds the clustering matrix from interval profiles. Only
 // functions observed (non-zero feature) in at least one interval become
 // dimensions; dimensions are ordered by name for determinism.
+//
+// Features is the batch driver of MatrixBuilder — the streaming engine feeds
+// the same builder one profile at a time — so both paths construct identical
+// matrices by construction.
 func Features(profiles []Profile, opts FeatureOptions) Matrix {
-	pick := func(p *Profile) map[string]time.Duration {
-		if opts.Kind == ExactSelf {
-			return p.ExactSelf
-		}
-		return p.Self
-	}
-	seen := make(map[string]bool)
+	b := NewMatrixBuilder(opts)
 	for i := range profiles {
-		for fn, d := range pick(&profiles[i]) {
-			if d > 0 && (opts.Exclude == nil || !opts.Exclude(fn)) {
-				seen[fn] = true
-			}
-		}
-		if opts.Kind == SelfPlusCalls {
-			for fn, n := range profiles[i].Calls {
-				if n > 0 && (opts.Exclude == nil || !opts.Exclude(fn)) {
-					seen[fn] = true
-				}
-			}
-		}
+		b.Add(&profiles[i])
 	}
-	names := make([]string, 0, len(seen))
-	for fn := range seen {
-		names = append(names, fn)
-	}
-	sort.Strings(names)
-
-	cols := names
-	if opts.Kind == SelfPlusCalls {
-		cols = make([]string, 0, 2*len(names))
-		cols = append(cols, names...)
-		for _, n := range names {
-			cols = append(cols, "#calls:"+n)
-		}
-	}
-	m := Matrix{FuncNames: cols, Rows: make([][]float64, len(profiles))}
-	for i := range profiles {
-		row := make([]float64, len(cols))
-		sel := pick(&profiles[i])
-		for j, fn := range names {
-			row[j] = sel[fn].Seconds()
-		}
-		if opts.Kind == SelfPlusCalls {
-			for j, fn := range names {
-				row[len(names)+j] = float64(profiles[i].Calls[fn])
-			}
-		}
-		m.Rows[i] = row
-	}
-	return m
+	return b.Matrix()
 }
 
 // Ranks computes the paper's per-function, per-phase rank: "the fraction of

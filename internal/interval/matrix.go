@@ -1,0 +1,172 @@
+// matrix.go holds the incremental feature-matrix builder: the streaming
+// counterpart of Features. Rows append one interval at a time, the feature
+// space grows when a function first shows activity mid-run, and earlier rows
+// are implicitly backfilled with zeros for late-appearing dimensions — so a
+// builder fed row by row produces a Matrix identical to a batch Features call
+// over the same profiles. Features itself is a thin wrapper over the builder:
+// there is exactly one code path that decides what becomes a dimension and
+// what value a cell gets.
+package interval
+
+import (
+	"sort"
+	"time"
+)
+
+// MatrixBuilder accumulates interval profiles into a clustering matrix
+// incrementally. Internally rows are stored sparsely (only non-zero cells),
+// so memory is O(total non-zero cells + functions), not
+// O(intervals × functions); Matrix materializes the dense, name-sorted
+// canonical form on demand.
+//
+// The zero value is not usable; construct with NewMatrixBuilder.
+type MatrixBuilder struct {
+	opts FeatureOptions
+
+	// seen is the set of functions that have qualified as a dimension —
+	// positive feature value in at least one row, not excluded. sorted
+	// caches the name-sorted order and is invalidated on growth.
+	seen   map[string]bool
+	sorted []string
+
+	// rows and callRows hold each interval's non-zero cells by function
+	// name. Values are keyed by name, not column index, so a dimension
+	// that appears late needs no backfill pass over old rows: their cells
+	// are simply absent, i.e. zero.
+	rows     []map[string]float64
+	callRows []map[string]int64
+}
+
+// NewMatrixBuilder returns an empty builder for the given feature options.
+func NewMatrixBuilder(opts FeatureOptions) *MatrixBuilder {
+	return &MatrixBuilder{opts: opts, seen: make(map[string]bool)}
+}
+
+// pick selects the per-function duration map the configured feature kind
+// reads, mirroring Features.
+func (b *MatrixBuilder) pick(p *Profile) map[string]time.Duration {
+	if b.opts.Kind == ExactSelf {
+		return p.ExactSelf
+	}
+	return p.Self
+}
+
+// Add appends one interval's row. A function first crossing zero activity
+// here grows the feature space; rows added earlier read as zero in the new
+// dimension.
+func (b *MatrixBuilder) Add(p *Profile) {
+	sel := b.pick(p)
+	row := make(map[string]float64, len(sel))
+	for fn, d := range sel {
+		if d > 0 && !b.excluded(fn) {
+			b.grow(fn)
+		}
+		if d != 0 && !b.excluded(fn) {
+			// Non-zero cells are stored even when the function has not
+			// (yet) qualified as a dimension: batch Features emits the
+			// stored value for every row once the function qualifies in
+			// any row, including rows where it was zero or negative.
+			row[fn] = d.Seconds()
+		}
+	}
+	b.rows = append(b.rows, row)
+	if b.opts.Kind == SelfPlusCalls {
+		calls := make(map[string]int64, len(p.Calls))
+		for fn, n := range p.Calls {
+			if b.excluded(fn) {
+				continue
+			}
+			if n > 0 {
+				b.grow(fn)
+			}
+			if n != 0 {
+				calls[fn] = n
+			}
+		}
+		b.callRows = append(b.callRows, calls)
+	} else {
+		b.callRows = append(b.callRows, nil)
+	}
+}
+
+func (b *MatrixBuilder) excluded(fn string) bool {
+	return b.opts.Exclude != nil && b.opts.Exclude(fn)
+}
+
+// grow registers fn as a dimension on first qualification.
+func (b *MatrixBuilder) grow(fn string) {
+	if !b.seen[fn] {
+		b.seen[fn] = true
+		b.sorted = nil
+	}
+}
+
+// NumRows returns the number of intervals added so far.
+func (b *MatrixBuilder) NumRows() int { return len(b.rows) }
+
+// NumFuncs returns the number of function dimensions observed so far (before
+// the SelfPlusCalls doubling).
+func (b *MatrixBuilder) NumFuncs() int { return len(b.seen) }
+
+// names returns the dimension names in canonical (sorted) order.
+func (b *MatrixBuilder) names() []string {
+	if b.sorted == nil {
+		b.sorted = make([]string, 0, len(b.seen))
+		for fn := range b.seen {
+			b.sorted = append(b.sorted, fn)
+		}
+		sort.Strings(b.sorted)
+	}
+	return b.sorted
+}
+
+// Matrix materializes the canonical clustering matrix over everything added
+// so far: columns name-sorted, rows dense with zero backfill for dimensions
+// that appeared after the row was added. The result is identical to
+// Features over the same profiles and shares no storage with the builder, so
+// callers may hold it across further Add calls.
+func (b *MatrixBuilder) Matrix() Matrix {
+	names := b.names()
+	cols := names
+	if b.opts.Kind == SelfPlusCalls {
+		cols = make([]string, 0, 2*len(names))
+		cols = append(cols, names...)
+		for _, n := range names {
+			cols = append(cols, "#calls:"+n)
+		}
+	}
+	m := Matrix{FuncNames: append([]string(nil), cols...), Rows: make([][]float64, len(b.rows))}
+	for i, sparse := range b.rows {
+		row := make([]float64, len(cols))
+		for j, fn := range names {
+			row[j] = sparse[fn]
+		}
+		if b.opts.Kind == SelfPlusCalls {
+			for j, fn := range names {
+				row[len(names)+j] = float64(b.callRows[i][fn])
+			}
+		}
+		m.Rows[i] = row
+	}
+	return m
+}
+
+// Row materializes the i-th row alone in the current canonical space — the
+// cheap path for a live stage that only needs the newest interval's vector.
+func (b *MatrixBuilder) Row(i int) []float64 {
+	names := b.names()
+	n := len(names)
+	if b.opts.Kind == SelfPlusCalls {
+		n *= 2
+	}
+	row := make([]float64, n)
+	for j, fn := range names {
+		row[j] = b.rows[i][fn]
+	}
+	if b.opts.Kind == SelfPlusCalls {
+		for j, fn := range names {
+			row[len(names)+j] = float64(b.callRows[i][fn])
+		}
+	}
+	return row
+}

@@ -1,0 +1,140 @@
+package interval
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// growthProfiles builds a run whose feature space grows mid-stream: "init"
+// is active from the start, "solve" first appears at interval 4, "io" at
+// interval 8. Earlier rows must read as zero in the late dimensions.
+func growthProfiles(n int) []Profile {
+	out := make([]Profile, n)
+	for i := range out {
+		p := Profile{
+			Index:     i,
+			Start:     time.Duration(i) * time.Second,
+			End:       time.Duration(i+1) * time.Second,
+			Self:      map[string]time.Duration{"init": time.Duration(100+i) * time.Millisecond},
+			ExactSelf: map[string]time.Duration{"init": time.Duration(90+i) * time.Millisecond},
+			Calls:     map[string]int64{"init": int64(i + 1)},
+		}
+		if i >= 4 {
+			p.Self["solve"] = time.Duration(200+i) * time.Millisecond
+			p.ExactSelf["solve"] = time.Duration(180+i) * time.Millisecond
+			p.Calls["solve"] = int64(2 * i)
+		}
+		if i >= 8 {
+			p.Self["io"] = time.Duration(30) * time.Millisecond
+			p.ExactSelf["io"] = time.Duration(25) * time.Millisecond
+			p.Calls["io"] = 3
+		}
+		// An excluded function active throughout must never become a
+		// dimension.
+		p.Self["MPI_Allreduce"] = 50 * time.Millisecond
+		p.ExactSelf["MPI_Allreduce"] = 50 * time.Millisecond
+		p.Calls["MPI_Allreduce"] = 7
+		out[i] = p
+	}
+	return out
+}
+
+func exclude(fn string) bool { return strings.HasPrefix(fn, "MPI_") }
+
+// The satellite contract: a builder fed one profile at a time produces a
+// Matrix identical to a batch Features call — zero backfill included — for
+// every feature kind. Subtests run in parallel so `go test -race` and
+// different -parallel values exercise concurrent builders over shared
+// profile data.
+func TestBuilderMatchesBatchUnderDimensionGrowth(t *testing.T) {
+	profiles := growthProfiles(12)
+	for _, kind := range []FeatureKind{SampledSelf, ExactSelf, SelfPlusCalls} {
+		kind := kind
+		t.Run(fmt.Sprintf("kind=%d", kind), func(t *testing.T) {
+			t.Parallel()
+			opts := FeatureOptions{Kind: kind, Exclude: exclude}
+			want := Features(profiles, opts)
+
+			b := NewMatrixBuilder(opts)
+			for i := range profiles {
+				b.Add(&profiles[i])
+			}
+			got := b.Matrix()
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("incremental matrix diverges from batch\n got %+v\nwant %+v", got, want)
+			}
+
+			// Early rows are zero-backfilled in late dimensions.
+			col := -1
+			for j, fn := range got.FuncNames {
+				if fn == "io" {
+					col = j
+				}
+			}
+			if col < 0 {
+				t.Fatal("late dimension io missing")
+			}
+			for i := 0; i < 8; i++ {
+				if got.Rows[i][col] != 0 {
+					t.Fatalf("row %d not backfilled with zero in late dimension", i)
+				}
+			}
+			for _, fn := range got.FuncNames {
+				if strings.Contains(fn, "MPI_") {
+					t.Fatalf("excluded function %q became a dimension", fn)
+				}
+			}
+		})
+	}
+}
+
+// Row(i) equals the i-th row of the materialized Matrix at every point in
+// the stream — the live stage's cheap path agrees with the canonical form
+// even while dimensions are still appearing.
+func TestBuilderRowMatchesMatrixMidGrowth(t *testing.T) {
+	profiles := growthProfiles(12)
+	for _, kind := range []FeatureKind{SampledSelf, ExactSelf, SelfPlusCalls} {
+		kind := kind
+		t.Run(fmt.Sprintf("kind=%d", kind), func(t *testing.T) {
+			t.Parallel()
+			b := NewMatrixBuilder(FeatureOptions{Kind: kind, Exclude: exclude})
+			for i := range profiles {
+				b.Add(&profiles[i])
+				m := b.Matrix()
+				for r := 0; r <= i; r++ {
+					if !reflect.DeepEqual(b.Row(r), m.Rows[r]) {
+						t.Fatalf("after %d adds, Row(%d) != Matrix().Rows[%d]", i+1, r, r)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Counters: NumRows/NumFuncs track the stream; the builder's Matrix shares
+// no storage with it, so a snapshot taken mid-run is immutable under further
+// growth.
+func TestBuilderMatrixSnapshotImmutableUnderGrowth(t *testing.T) {
+	profiles := growthProfiles(12)
+	b := NewMatrixBuilder(FeatureOptions{Exclude: exclude})
+	for i := 0; i < 6; i++ {
+		b.Add(&profiles[i])
+	}
+	early := b.Matrix()
+	earlyCopy := Features(profiles[:6], FeatureOptions{Exclude: exclude})
+	if b.NumRows() != 6 || b.NumFuncs() != 2 {
+		t.Fatalf("NumRows=%d NumFuncs=%d, want 6 and 2", b.NumRows(), b.NumFuncs())
+	}
+	for i := 6; i < 12; i++ {
+		b.Add(&profiles[i])
+	}
+	if b.NumFuncs() != 3 {
+		t.Fatalf("NumFuncs=%d after growth, want 3", b.NumFuncs())
+	}
+	if !reflect.DeepEqual(early, earlyCopy) {
+		t.Fatal("mid-run Matrix snapshot mutated by later growth")
+	}
+}

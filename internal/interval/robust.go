@@ -252,21 +252,31 @@ func DifferenceRobust(snaps []*gmon.Snapshot, opts RobustOptions) (*Result, erro
 // diffPair differences kept[i] against its predecessor, detecting and
 // repairing gaps and regressions local to the pair.
 func diffPair(kept []*gmon.Snapshot, adjTS []time.Duration, restart []bool, i int, policy GapPolicy) pairOut {
-	s := kept[i]
 	var prev *gmon.Snapshot
-	prevSeq := -1
 	var start time.Duration
 	if i > 0 {
 		prev = kept[i-1]
-		prevSeq = prev.Seq
 		start = adjTS[i-1]
 	}
-	end := adjTS[i]
+	return robustPair(prev, kept[i], start, adjTS[i], restart[i], policy)
+}
+
+// robustPair is the single robust-differencing kernel shared by the batch
+// pool (DifferenceRobust via diffPair) and the streaming RobustStream: it
+// differences s against its kept predecessor (nil at stream start), detects
+// resyncs and missing spans, and applies the repair policy. tsRestart
+// reports that the timestamp pre-pass already caught a clock regression at
+// this snapshot.
+func robustPair(prev, s *gmon.Snapshot, start, end time.Duration, tsRestart bool, policy GapPolicy) pairOut {
+	prevSeq := -1
+	if prev != nil {
+		prevSeq = prev.Seq
+	}
 	missing := s.Seq - prevSeq - 1
 
 	// Decide whether the pair needs a resync: the counters (or the clock,
 	// caught in the pre-pass) regressed, or the sample period changed.
-	resync := restart[i]
+	resync := tsRestart
 	kind := GapRegression
 	if prev != nil && !resync && s.SamplePeriod != prev.SamplePeriod {
 		resync = true
@@ -414,6 +424,100 @@ func scaleProfile(p *Profile, n int) {
 			delete(p.Calls, fn)
 		}
 	}
+}
+
+// RobustStream is the incremental form of DifferenceRobust: snapshots push
+// one at a time and the stream retains only the previous kept snapshot plus
+// two clock-rebase scalars — O(1) memory in the run length — instead of the
+// whole dump list. Feeding a RobustStream the same snapshots in the same
+// order as a DifferenceRobust call yields byte-identical Profiles (indices,
+// spans, Repaired flags) and Gaps (order, FirstProfile): both run the shared
+// robustPair kernel, and the batch pre-pass is replayed here one element at
+// a time.
+//
+// RobustStream is not safe for concurrent use.
+type RobustStream struct {
+	policy GapPolicy
+
+	prev      *gmon.Snapshot // last kept snapshot
+	prevAdj   time.Duration  // its rebased timestamp
+	tsOffset  time.Duration  // accumulated clock-restart rebase
+	started   bool           // at least one snapshot kept
+	pushed    int            // snapshots pushed, nil or not (error reporting)
+	nProfiles int            // profiles emitted so far (Index / FirstProfile)
+}
+
+// NewRobustStream returns an empty stream repairing missing spans under
+// policy.
+func NewRobustStream(policy GapPolicy) *RobustStream {
+	return &RobustStream{policy: policy}
+}
+
+// Push ingests the next snapshot and returns the profiles and gaps it
+// produced, in the exact order DifferenceRobust would have assembled them.
+// A nil snapshot, a duplicate, or a late arrival produces no profiles; the
+// latter two produce their Gap record. Returned profiles carry their final
+// stream-wide Index values.
+func (r *RobustStream) Push(s *gmon.Snapshot) ([]Profile, []Gap) {
+	r.pushed++
+	if s == nil {
+		return nil, nil
+	}
+	if r.started {
+		if s.Seq == r.prev.Seq {
+			return nil, []Gap{{Kind: GapDuplicate, FromSeq: s.Seq, ToSeq: s.Seq, FirstProfile: -1}}
+		}
+		if s.Seq < r.prev.Seq {
+			return nil, []Gap{{Kind: GapLate, FromSeq: r.prev.Seq, ToSeq: s.Seq, FirstProfile: -1}}
+		}
+	}
+	adj := r.tsOffset + s.Timestamp
+	restart := false
+	if r.started && adj < r.prevAdj {
+		// The collector's clock restarted: rebase this and all following
+		// timestamps onto the end of the previous segment.
+		r.tsOffset = r.prevAdj
+		adj = r.tsOffset + s.Timestamp
+		restart = true
+	}
+	var start time.Duration
+	if r.started {
+		start = r.prevAdj
+	}
+	out := robustPair(r.prev, s, start, adj, restart, r.policy)
+	var gaps []Gap
+	if g := out.gap; g != nil {
+		if len(out.profiles) > 0 {
+			g.FirstProfile = r.nProfiles
+		} else {
+			g.FirstProfile = -1
+		}
+		gaps = append(gaps, *g)
+	}
+	for i := range out.profiles {
+		out.profiles[i].Index = r.nProfiles
+		r.nProfiles++
+	}
+	r.prev, r.prevAdj, r.started = s, adj, true
+	return out.profiles, gaps
+}
+
+// Profiles returns the number of profiles emitted so far.
+func (r *RobustStream) Profiles() int { return r.nProfiles }
+
+// Started reports whether any snapshot has been kept yet.
+func (r *RobustStream) Started() bool { return r.started }
+
+// Err returns the terminal validation error a drained stream would have
+// reported: pushing only nils, duplicates, and late arrivals is the
+// streaming analogue of DifferenceRobust's "no usable snapshots". It
+// returns nil while the stream is healthy (or still empty with nothing
+// pushed).
+func (r *RobustStream) Err() error {
+	if !r.started && r.pushed > 0 {
+		return fmt.Errorf("interval: no usable snapshots (all %d were nil or duplicates)", r.pushed)
+	}
+	return nil
 }
 
 // shareInt64 returns the j-th of n even shares of d; the last share absorbs

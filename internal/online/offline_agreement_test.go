@@ -1,0 +1,54 @@
+// This test lives in an external test package: it drives the full batch
+// pipeline, which (via the streaming engine) imports online, so an
+// in-package test would be an import cycle.
+package online_test
+
+import (
+	"testing"
+
+	"github.com/incprof/incprof/internal/apps"
+	_ "github.com/incprof/incprof/internal/apps/graph500"
+	"github.com/incprof/incprof/internal/mpi"
+	"github.com/incprof/incprof/internal/online"
+	"github.com/incprof/incprof/internal/pipeline"
+)
+
+// Streaming labels agree with offline k-means on a real collection
+// (pairwise Rand agreement), validating the tracker as a live proxy for
+// the paper's analysis.
+func TestAgreesWithOfflineDetection(t *testing.T) {
+	app, err := apps.New("graph500", 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pipeline.Collect(app, pipeline.CollectOptions{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := pipeline.Analyze(res, pipeline.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline := make([]int, len(an.Profiles))
+	for _, p := range an.Detection.Phases {
+		for _, idx := range p.Intervals {
+			offline[idx] = p.ID
+		}
+	}
+	tr := online.New(online.Options{Exclude: mpi.IsMPIFunc})
+	tr.ObserveAll(an.Profiles)
+	onlineLabels := tr.Assignments()
+
+	var same, total float64
+	for i := 0; i < len(offline); i++ {
+		for j := i + 1; j < len(offline); j++ {
+			total++
+			if (offline[i] == offline[j]) == (onlineLabels[i] == onlineLabels[j]) {
+				same++
+			}
+		}
+	}
+	if agreement := same / total; agreement < 0.75 {
+		t.Fatalf("online/offline Rand agreement = %v, want >= 0.75", agreement)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"github.com/incprof/incprof/internal/interval"
 	"github.com/incprof/incprof/internal/obs"
+	"github.com/incprof/incprof/internal/xmath"
 )
 
 // Options tunes the tracker.
@@ -37,6 +38,10 @@ type Options struct {
 	MaxPhases int
 	// Exclude drops functions from the feature space.
 	Exclude func(name string) bool
+	// OnEvent, when non-nil, receives every assignment event as it is
+	// produced — the tracker's stream-stage output. All ingestion paths
+	// (Observe, ObserveAll, and the Emit stage method) notify it.
+	OnEvent func(Event)
 }
 
 func (o Options) withDefaults() Options {
@@ -77,17 +82,25 @@ type Event struct {
 	LowConfidence bool
 }
 
-// Tracker is the streaming phase clusterer. The feature space grows as new
-// functions appear in the stream.
+// Tracker is the streaming phase clusterer, structured as a stream stage: it
+// implements the stream package's Sink[interval.Profile] shape (Emit/Flush)
+// and reports assignments through Options.OnEvent, while the Observe and
+// ObserveAll entry points remain as batch-friendly drivers of the same
+// stage. The feature space grows as new functions appear in the stream.
 type Tracker struct {
 	opts Options
 
 	dims      map[string]int
+	dimNames  []string    // dim index -> function name (Reseed mapping)
 	centroids [][]float64 // per phase, padded lazily to current dims
 	sizes     []int
 
 	assignments []int
 	lastPhase   int
+
+	// collect is ObserveAll's transient event capture while it drives the
+	// Emit stage path.
+	collect func(Event)
 }
 
 // New creates a tracker.
@@ -103,6 +116,7 @@ func (t *Tracker) dim(fn string) int {
 	}
 	i := len(t.dims)
 	t.dims[fn] = i
+	t.dimNames = append(t.dimNames, fn)
 	return i
 }
 
@@ -132,19 +146,11 @@ func (t *Tracker) vector(p *interval.Profile) []float64 {
 }
 
 // distance computes Euclidean distance, treating missing trailing
-// dimensions of the centroid as zero.
+// dimensions of the centroid as zero (centroids are padded lazily, so they
+// are never longer than the observation vector). It delegates to the shared
+// xmath kernel rather than keeping a private loop.
 func distance(centroid, v []float64) float64 {
-	var s float64
-	n := len(v)
-	for i := 0; i < n; i++ {
-		c := 0.0
-		if i < len(centroid) {
-			c = centroid[i]
-		}
-		d := v[i] - c
-		s += d * d
-	}
-	return math.Sqrt(s)
+	return xmath.EuclideanPadded(centroid, v)
 }
 
 // Observe ingests the next interval and returns its assignment event.
@@ -156,6 +162,34 @@ func distance(centroid, v []float64) float64 {
 // exists yet does a repaired interval found one (there is nothing else to
 // label it with), still flagged low-confidence.
 func (t *Tracker) Observe(p interval.Profile) Event {
+	ev := t.observe(p)
+	if t.opts.OnEvent != nil {
+		t.opts.OnEvent(ev)
+	}
+	return ev
+}
+
+// Emit implements the stream Sink stage over interval profiles: it ingests
+// one interval and reports the assignment through Options.OnEvent (and
+// ObserveAll's collector when that drives the stage). It never fails; the
+// error return satisfies the stage contract.
+func (t *Tracker) Emit(p interval.Profile) error {
+	ev := t.observe(p)
+	if t.collect != nil {
+		t.collect(ev)
+	}
+	if t.opts.OnEvent != nil {
+		t.opts.OnEvent(ev)
+	}
+	return nil
+}
+
+// Flush implements the stream Sink stage; the tracker holds no buffered
+// state, so it is a no-op.
+func (t *Tracker) Flush() error { return nil }
+
+// observe is the stage core shared by Observe, Emit, and ObserveAll.
+func (t *Tracker) observe(p interval.Profile) Event {
 	v := t.vector(&p)
 	idx := len(t.assignments)
 
@@ -217,13 +251,52 @@ func record(ev Event) Event {
 	return ev
 }
 
-// ObserveAll ingests a whole run and returns its events.
+// ObserveAll ingests a whole run and returns its events. It drives the Emit
+// stage path one profile at a time, so everything a live stream surfaces —
+// including the low-confidence labels repaired intervals carry — flows
+// through identically: the returned events and any Options.OnEvent handler
+// see exactly what per-interval Observe calls would have produced.
 func (t *Tracker) ObserveAll(profiles []interval.Profile) []Event {
 	out := make([]Event, 0, len(profiles))
+	t.collect = func(ev Event) { out = append(out, ev) }
+	defer func() { t.collect = nil }()
 	for _, p := range profiles {
-		out = append(out, t.Observe(p))
+		_ = t.Emit(p)
 	}
 	return out
+}
+
+// Reseed replaces the tracker's phase model with externally-computed
+// centroids — the streaming engine calls it after each authoritative
+// re-cluster so live labels come from the same centroids the batch analysis
+// converges to. names labels the columns of the centroid vectors by
+// function; unknown functions grow the tracker's feature space, and the
+// vectors are deep-copied into it, never aliased. sizes, when non-nil,
+// carries the per-phase member counts of the new model (nil resets them to
+// zero). Phase IDs refer to the new model after a reseed, so no transition
+// is reported against a pre-reseed label.
+func (t *Tracker) Reseed(names []string, centroids [][]float64, sizes []int) {
+	for _, fn := range names {
+		t.dim(fn)
+	}
+	t.centroids = make([][]float64, len(centroids))
+	for c, src := range centroids {
+		v := make([]float64, len(t.dims))
+		for j, fn := range names {
+			if j < len(src) {
+				v[t.dims[fn]] = src[j]
+			}
+		}
+		t.centroids[c] = v
+	}
+	t.sizes = make([]int, len(centroids))
+	for c := range sizes {
+		if c < len(t.sizes) {
+			t.sizes[c] = sizes[c]
+		}
+	}
+	t.lastPhase = -1
+	obs.C("online.reseeds").Inc()
 }
 
 // Phases returns the number of phases founded so far.

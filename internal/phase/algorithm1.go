@@ -7,6 +7,15 @@ import (
 	"github.com/incprof/incprof/internal/xmath"
 )
 
+// SelectPhaseSites runs Algorithm 1 for one phase, filling p.Sites and the
+// per-site coverage percentages — the exported form of the per-phase site
+// selection Detect applies, used by the streaming engine so its incremental
+// recomputation (only for phases whose membership or centroid changed) goes
+// through the identical code path.
+func SelectPhaseSites(p *Phase, profiles []interval.Profile, m interval.Matrix, threshold float64, totalIntervals int) {
+	selectSites(p, profiles, m, threshold, totalIntervals)
+}
+
 // siteKey identifies a (function, instrumentation type) pair, the dedup unit
 // of Algorithm 1 line 18.
 type siteKey struct {

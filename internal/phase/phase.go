@@ -166,6 +166,12 @@ type Options struct {
 	Span *obs.Span
 }
 
+// WithDefaults returns the options with the paper's defaults filled in —
+// the exact normalization Detect applies, exported so the streaming engine's
+// intermediate refreshes resolve KMax, the coverage threshold, and DBSCAN
+// minPts identically to the batch path.
+func (o Options) WithDefaults() Options { return o.withDefaults() }
+
 func (o Options) withDefaults() Options {
 	if o.KMax == 0 {
 		o.KMax = 8
@@ -214,6 +220,34 @@ func Detect(profiles []interval.Profile, opts Options) (*Detection, error) {
 	feat := sp.Child("interval.features")
 	m := interval.Features(profiles, opts.Features)
 	feat.SetInt("dims", int64(m.Dims())).End()
+	return detectMatrix(profiles, m, opts, sp)
+}
+
+// DetectMatrix is Detect over a prebuilt feature matrix: clustering, k
+// selection, phase assembly, and Algorithm 1 run exactly as in Detect, but
+// the caller supplies the matrix. The streaming engine uses it so that its
+// incrementally-built matrix flows through the one detection code path —
+// fed the matrix Features would have built, DetectMatrix's output is
+// byte-identical to Detect's.
+func DetectMatrix(profiles []interval.Profile, m interval.Matrix, opts Options) (*Detection, error) {
+	opts = opts.withDefaults()
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("phase: no interval profiles")
+	}
+	if len(m.Rows) != len(profiles) {
+		return nil, fmt.Errorf("phase: matrix has %d rows for %d profiles", len(m.Rows), len(profiles))
+	}
+	sp := obs.Under(opts.Span, "phase.detect", 0)
+	sp.SetInt("profiles", int64(len(profiles))).
+		SetStr("algorithm", opts.Algorithm.String()).
+		SetStr("selection", opts.Selection.String())
+	defer sp.End()
+	return detectMatrix(profiles, m, opts, sp)
+}
+
+// detectMatrix is the shared core of Detect and DetectMatrix; opts must have
+// defaults applied and sp is the enclosing phase.detect span.
+func detectMatrix(profiles []interval.Profile, m interval.Matrix, opts Options, sp *obs.Span) (*Detection, error) {
 	if m.Dims() == 0 {
 		return nil, fmt.Errorf("phase: no active functions in any interval")
 	}
@@ -308,6 +342,15 @@ func dbscanCentroids(points [][]float64, labels []int, k int) [][]float64 {
 		}
 	}
 	return cents
+}
+
+// BuildPhases groups intervals by cluster assignment and orders phases by
+// first occurrence in time, renumbering IDs accordingly — the phase-assembly
+// step of Detect, exported so the streaming engine's intermediate refreshes
+// assemble phases through the same code as the batch path. Sites are not
+// selected; see SelectPhaseSites.
+func BuildPhases(profiles []interval.Profile, assign []int, centroids [][]float64, k int) []Phase {
+	return buildPhases(profiles, assign, centroids, k)
 }
 
 // buildPhases groups intervals by cluster and orders phases by first

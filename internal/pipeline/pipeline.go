@@ -30,6 +30,7 @@ import (
 	"github.com/incprof/incprof/internal/obs"
 	"github.com/incprof/incprof/internal/phase"
 	"github.com/incprof/incprof/internal/profiler"
+	"github.com/incprof/incprof/internal/stream"
 )
 
 // CollectOptions configures a collection run.
@@ -149,9 +150,10 @@ type AnalyzeOptions struct {
 	// Phase configures detection; zero values take the paper defaults.
 	Phase phase.Options
 	// Parallelism bounds the worker pools the analysis hot path fans out
-	// on: snapshot differencing, the k-means sweep, and silhouette
-	// scoring. 0 means GOMAXPROCS, 1 forces the serial path. The result
-	// is identical for every value given the same Phase.Cluster.Seed.
+	// on: the k-means sweep and silhouette scoring. (Differencing is
+	// incremental in the streaming engine and therefore serial.) 0 means
+	// GOMAXPROCS, 1 forces the serial path. The result is identical for
+	// every value given the same Phase.Cluster.Seed.
 	Parallelism int
 	// Rank selects the representative rank (default 0).
 	Rank int
@@ -203,29 +205,6 @@ func Analyze(res *CollectionResult, opts AnalyzeOptions) (*Analysis, error) {
 	sp := obs.Under(opts.Span, "pipeline.analyze", 0)
 	sp.SetInt("rank", int64(opts.Rank)).SetInt("snapshots", int64(len(snaps))).SetBool("robust", opts.Robust)
 	defer sp.End()
-	var profs []interval.Profile
-	var gaps []interval.Gap
-	var err error
-	if opts.Robust {
-		rres, rerr := interval.DifferenceRobust(snaps, interval.RobustOptions{
-			Policy:      opts.Gap,
-			Parallelism: opts.Parallelism,
-			Span:        sp,
-		})
-		if rerr != nil {
-			return nil, rerr
-		}
-		profs, gaps = rres.Profiles, rres.Gaps
-	} else {
-		diff := sp.Child("interval.difference")
-		profs, err = interval.DifferenceP(snaps, opts.Parallelism)
-		if err != nil {
-			diff.End()
-			return nil, err
-		}
-		diff.SetInt("profiles", int64(len(profs))).End()
-		obs.C("interval.profiles").Add(int64(len(profs)))
-	}
 	popts := opts.Phase
 	if popts.Cluster.Parallelism == 0 {
 		popts.Cluster.Parallelism = opts.Parallelism
@@ -233,13 +212,23 @@ func Analyze(res *CollectionResult, opts AnalyzeOptions) (*Analysis, error) {
 	if !opts.IncludeMPI && popts.Features.Exclude == nil {
 		popts.Features.Exclude = mpi.IsMPIFunc
 	}
-	if popts.Span == nil {
-		popts.Span = sp
+	// Analyze is the batch driver of the streaming engine: the snapshots
+	// replay through the same differencer, feature builder, and terminal
+	// detection a live feed uses, so batch and live analysis cannot diverge.
+	eng := stream.New(stream.Options{
+		Robust: opts.Robust,
+		Gap:    opts.Gap,
+		Phase:  popts,
+		Span:   sp,
+	})
+	if err := (stream.SliceSource[*gmon.Snapshot]{Items: snaps}).Run(eng); err != nil {
+		return nil, err
 	}
-	det, err := phase.Detect(profs, popts)
+	r, err := eng.Finish()
 	if err != nil {
 		return nil, err
 	}
+	det, profs, gaps := r.Detection, r.Profiles, r.Gaps
 	if opts.PromoteSites {
 		// The final snapshot's arcs cover the whole run.
 		g := callgraph.FromSnapshot(snaps[len(snaps)-1])

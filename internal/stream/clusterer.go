@@ -1,0 +1,60 @@
+// clusterer.go holds the incremental clustering state of the engine: a
+// mini-batch k-means model nudged by every arriving interval, which in turn
+// warm-starts the periodic full cluster.Sweep refreshes.
+package stream
+
+import (
+	"github.com/incprof/incprof/internal/cluster"
+	"github.com/incprof/incprof/internal/xmath"
+)
+
+// miniBatch is a Sculley-style mini-batch (batch size 1) k-means model: each
+// arriving point joins its nearest centroid, which moves toward it with a
+// per-centroid learning rate 1/count. Between full refreshes it tracks the
+// drift of the run cheaply — O(k·dims) per interval — and its centroids seed
+// the warm-start candidate of the next refresh. It never replaces the full
+// sweep: refreshes re-cluster all rows and reseed it.
+type miniBatch struct {
+	centroids [][]float64
+	counts    []int64
+}
+
+// newMiniBatch clones a refresh's selected model into a mini-batch state;
+// sizes (the per-cluster member counts) seed the learning-rate counters so a
+// large established cluster is not yanked around by its next few members.
+func newMiniBatch(centroids [][]float64, sizes []int) *miniBatch {
+	m := &miniBatch{
+		centroids: cluster.CloneCentroids(centroids),
+		counts:    make([]int64, len(centroids)),
+	}
+	for i := range sizes {
+		if i < len(m.counts) {
+			m.counts[i] = int64(sizes[i])
+		}
+	}
+	return m
+}
+
+// update assigns v to its nearest centroid, drifts that centroid toward v,
+// and returns the assignment. The feature space may have grown since the
+// centroids were computed; missing trailing dimensions read as zero and the
+// centroid is padded on first touch.
+func (m *miniBatch) update(v []float64) int {
+	best, bestD := 0, xmath.SquaredEuclideanPadded(v, m.centroids[0])
+	for c := 1; c < len(m.centroids); c++ {
+		if d := xmath.SquaredEuclideanPadded(v, m.centroids[c]); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	m.counts[best]++
+	eta := 1 / float64(m.counts[best])
+	c := m.centroids[best]
+	for len(c) < len(v) {
+		c = append(c, 0)
+	}
+	for i := range v {
+		c[i] += eta * (v[i] - c[i])
+	}
+	m.centroids[best] = c
+	return best
+}

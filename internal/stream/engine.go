@@ -1,0 +1,360 @@
+// engine.go assembles the stages into the incremental analysis engine. One
+// engine serves both execution modes:
+//
+//   - Batch: feed every snapshot, Flush once, read Result. The terminal
+//     refresh runs the identical phase.DetectMatrix call the batch
+//     phase.Detect performs over the identical matrix and profiles, so the
+//     result is byte-for-byte the batch analysis for a fixed seed.
+//   - Live: feed snapshots as they arrive; every RefreshEvery intervals the
+//     engine re-clusters everything seen so far (warm-started from its
+//     mini-batch model) and re-selects instrumentation sites incrementally,
+//     surfacing labels, gaps, and refreshed detections through callbacks.
+package stream
+
+import (
+	"fmt"
+
+	"github.com/incprof/incprof/internal/cluster"
+	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/interval"
+	"github.com/incprof/incprof/internal/obs"
+	"github.com/incprof/incprof/internal/online"
+	"github.com/incprof/incprof/internal/phase"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Robust selects gap-aware differencing (interval.RobustStream); false
+	// selects strict differencing, where any discontinuity fails the
+	// stream.
+	Robust bool
+	// Gap is the robust-mode repair policy for missing dumps (default
+	// GapSplit).
+	Gap interval.GapPolicy
+	// Reorder is the differencer's bounded reorder window (see
+	// DifferencerOptions.Reorder); 0, the batch setting, disables it.
+	Reorder int
+	// Phase configures detection exactly as in the batch path; zero values
+	// take the paper defaults. Cluster.Seed fixes the model; the engine's
+	// final result is byte-identical to phase.Detect with these options
+	// over the same profiles.
+	Phase phase.Options
+	// RefreshEvery re-runs full detection every that many intervals,
+	// warm-started from the engine's mini-batch model. 0 (the batch
+	// setting) defers all clustering to Flush.
+	RefreshEvery int
+	// Online tunes the live label tracker; the tracker exists only when
+	// OnLabel is set. Its Exclude defaults to Phase.Features.Exclude.
+	Online online.Options
+	// OnLabel receives a live phase label per interval as it arrives.
+	OnLabel func(online.Event)
+	// OnGap receives each repaired stream discontinuity as it happens.
+	OnGap func(interval.Gap)
+	// OnRefresh receives every refresh result, including the final one.
+	OnRefresh func(Refresh)
+	// Span, when non-nil, parents the engine's tracing spans.
+	Span *obs.Span
+}
+
+// Refresh summarizes one re-clustering pass.
+type Refresh struct {
+	// Index numbers refreshes from 0; Final marks the Flush-time pass.
+	Index int
+	Final bool
+	// Intervals is the number of profiles the pass covered.
+	Intervals int
+	// K is the selected number of phases.
+	K int
+	// WarmAccepted reports that the warm-started candidate beat the
+	// seeded sweep at its k and entered model selection.
+	WarmAccepted bool
+	// SitesReused and SitesRecomputed count phases whose Algorithm 1
+	// selection was served from the incremental cache vs rerun.
+	SitesReused, SitesRecomputed int
+	// Detection is the full result of this pass.
+	Detection *phase.Detection
+}
+
+// Engine is the streaming analysis pipeline. It implements the
+// Sink[*gmon.Snapshot] shape, so a collector (or any snapshot source) can
+// feed it directly. It is not safe for concurrent use.
+type Engine struct {
+	opts  Options
+	popts phase.Options // Phase with defaults resolved
+
+	head Sink[*gmon.Snapshot]
+	diff *Differencer
+
+	builder  *interval.MatrixBuilder
+	profiles []interval.Profile
+	tracker  *online.Tracker
+	mb       *miniBatch
+	sites    *siteCache
+
+	snaps        int
+	sinceRefresh int
+	refreshes    int
+	last         *phase.Detection
+	span         *obs.Span
+	flushed      bool
+}
+
+// New builds an engine. The differencer, feature builder, tracker, and
+// clustering state are wired as a stage graph behind the returned engine's
+// Emit.
+func New(opts Options) *Engine {
+	e := &Engine{
+		opts:    opts,
+		popts:   opts.Phase.WithDefaults(),
+		builder: interval.NewMatrixBuilder(opts.Phase.Features),
+		sites:   newSiteCache(),
+		span:    obs.Under(opts.Span, "stream.engine", 0),
+	}
+	e.span.SetBool("robust", opts.Robust).SetInt("refresh_every", int64(opts.RefreshEvery))
+	if opts.OnLabel != nil {
+		oopts := opts.Online
+		if oopts.Exclude == nil {
+			oopts.Exclude = opts.Phase.Features.Exclude
+		}
+		oopts.OnEvent = opts.OnLabel
+		e.tracker = online.New(oopts)
+	}
+	e.diff = NewDifferencer(DifferencerOptions{
+		Robust:  opts.Robust,
+		Policy:  opts.Gap,
+		Reorder: opts.Reorder,
+		OnGap:   opts.OnGap,
+	})
+	e.head = Instrument("snapshots", Pipe[*gmon.Snapshot, interval.Profile](
+		e.diff,
+		Instrument("intervals", SinkFunc[interval.Profile]{OnEmit: e.consume}),
+	))
+	return e
+}
+
+// Emit ingests the next cumulative snapshot.
+func (e *Engine) Emit(s *gmon.Snapshot) error {
+	e.snaps++
+	return e.head.Emit(s)
+}
+
+// consume is the terminal stage: every completed interval profile lands
+// here, updating the matrix, the live tracker, and the mini-batch model,
+// and triggering periodic refreshes.
+func (e *Engine) consume(p interval.Profile) error {
+	e.profiles = append(e.profiles, p)
+	e.builder.Add(&p)
+	if e.tracker != nil {
+		if err := e.tracker.Emit(p); err != nil {
+			return err
+		}
+	}
+	if e.mb != nil {
+		e.mb.update(e.builder.Row(len(e.profiles) - 1))
+	}
+	if e.opts.RefreshEvery > 0 {
+		e.sinceRefresh++
+		if e.sinceRefresh >= e.opts.RefreshEvery {
+			return e.refresh(false)
+		}
+	}
+	return nil
+}
+
+// Flush ends the stream: the reorder window drains, the terminal refresh
+// runs (the batch-equivalent detection), and the engine span closes. Flush
+// is idempotent; Emit must not be called after it.
+func (e *Engine) Flush() error {
+	if e.flushed {
+		return nil
+	}
+	e.flushed = true
+	defer e.span.End()
+	if err := e.head.Flush(); err != nil {
+		return err
+	}
+	if e.opts.Robust && e.snaps == 0 {
+		return fmt.Errorf("interval: no snapshots")
+	}
+	if err := e.refresh(true); err != nil {
+		return err
+	}
+	if e.tracker != nil {
+		return e.tracker.Flush()
+	}
+	return nil
+}
+
+// refresh re-runs detection over everything seen so far. The final pass is
+// exactly the batch code path — phase.DetectMatrix with the engine's options
+// over the incrementally-built matrix, no warm candidate, no site cache — so
+// its output is byte-identical to phase.Detect over the same profiles.
+// Intermediate passes keep the same pipeline but may accept a warm-started
+// candidate when it strictly beats the seeded sweep at its k, and serve
+// unchanged phases' site selections from the incremental cache.
+func (e *Engine) refresh(final bool) error {
+	m := e.builder.Matrix()
+	if !final && (len(e.profiles) == 0 || m.Dims() == 0) {
+		// Too early to cluster (no rows, or no function active yet): a live
+		// stream just waits for the next refresh; only the terminal pass
+		// turns this into the batch path's error.
+		obs.C("stream.refresh.skipped").Inc()
+		e.sinceRefresh = 0
+		return nil
+	}
+
+	var det *phase.Detection
+	var err error
+	var stats refreshStats
+	if final {
+		popts := e.popts
+		popts.Span = e.span
+		det, err = phase.DetectMatrix(e.profiles, m, popts)
+	} else {
+		det, stats, err = e.refreshIncremental(m)
+	}
+	if err != nil {
+		return err
+	}
+
+	e.last = det
+	if det.Options.Algorithm == phase.KMeansAlg {
+		// Reseed the incremental state from the fresh model, in phase-ID
+		// order so live labels line up with reported phase numbers.
+		cents := make([][]float64, len(det.Phases))
+		sizes := make([]int, len(det.Phases))
+		for i := range det.Phases {
+			cents[i] = det.Phases[i].Centroid
+			sizes[i] = len(det.Phases[i].Intervals)
+		}
+		e.mb = newMiniBatch(cents, sizes)
+		if e.tracker != nil && e.popts.Features.Kind == interval.SampledSelf {
+			// The tracker's feature space is sampled self seconds; only the
+			// SampledSelf matrix shares it, so other feature kinds leave the
+			// tracker's own drifting model in place.
+			e.tracker.Reseed(m.FuncNames, cents, sizes)
+		}
+	}
+
+	obs.C("stream.refreshes").Inc()
+	idx := e.refreshes
+	e.refreshes++
+	e.sinceRefresh = 0
+	if e.opts.OnRefresh != nil {
+		e.opts.OnRefresh(Refresh{
+			Index:           idx,
+			Final:           final,
+			Intervals:       len(e.profiles),
+			K:               det.K,
+			WarmAccepted:    stats.warmAccepted,
+			SitesReused:     stats.sitesReused,
+			SitesRecomputed: stats.sitesRecomputed,
+			Detection:       det,
+		})
+	}
+	return nil
+}
+
+// refreshIncremental is the intermediate-refresh detection: a full seeded
+// sweep plus an optional warm-started challenger, then the batch selection,
+// phase assembly, and cached Algorithm 1.
+func (e *Engine) refreshIncremental(m interval.Matrix) (*phase.Detection, refreshStats, error) {
+	var stats refreshStats
+	rsp := e.span.ChildKey("stream.refresh", uint64(e.refreshes+1))
+	defer rsp.End()
+	rsp.SetInt("intervals", int64(len(e.profiles)))
+
+	popts := e.popts
+	popts.Span = rsp
+	if popts.Algorithm != phase.KMeansAlg {
+		// DBSCAN has no centroids to warm-start and no sweep to challenge;
+		// intermediate refreshes simply rerun the batch detection.
+		det, err := phase.DetectMatrix(e.profiles, m, popts)
+		return det, stats, err
+	}
+
+	copts := popts.Cluster
+	copts.Span = rsp
+	results, err := cluster.Sweep(m.Rows, popts.KMax, copts)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	// Warm-started challenger: Lloyd from the mini-batch model's current
+	// centroids. It replaces the seeded result at its k only when strictly
+	// better, so a degenerate warm model can never worsen the sweep — and
+	// the terminal refresh never runs one, keeping the final model equal to
+	// the batch model.
+	if e.mb != nil {
+		k := len(e.mb.centroids)
+		if k >= 1 && k <= len(results) && k <= len(m.Rows) {
+			warm, werr := cluster.WarmStart(m.Rows, e.mb.centroids, copts)
+			if werr == nil && warm.WCSS < results[k-1].WCSS {
+				results[k-1] = warm
+				stats.warmAccepted = true
+				obs.C("stream.warm.accepted").Inc()
+			} else if werr == nil {
+				obs.C("stream.warm.rejected").Inc()
+			}
+		}
+	}
+
+	det := &phase.Detection{Matrix: m, Profiles: e.profiles, Options: popts}
+	det.WCSS = make([]float64, len(results))
+	for i, r := range results {
+		det.WCSS[i] = r.WCSS
+	}
+	var best *cluster.Result
+	if popts.Selection == phase.Silhouette {
+		best = cluster.SelectSilhouetteP(m.Rows, results, copts.Parallelism)
+	} else {
+		best = cluster.SelectElbow(results)
+	}
+	det.K = best.K
+	det.Phases = phase.BuildPhases(e.profiles, best.Assign, best.Centroids, best.K)
+	for i := range det.Phases {
+		if e.sites.fill(&det.Phases[i], e.profiles, m, popts.CoverageThreshold, len(e.profiles)) {
+			stats.sitesReused++
+		} else {
+			stats.sitesRecomputed++
+		}
+	}
+	rsp.SetInt("k", int64(det.K)).SetBool("warm", stats.warmAccepted)
+	return det, stats, nil
+}
+
+// Last returns the most recent refresh's detection (nil before the first
+// refresh) — the live view of the run's phase structure.
+func (e *Engine) Last() *phase.Detection { return e.last }
+
+// Profiles returns the interval profiles accumulated so far.
+func (e *Engine) Profiles() []interval.Profile { return e.profiles }
+
+// Gaps returns the stream discontinuities repaired so far.
+func (e *Engine) Gaps() []interval.Gap { return e.diff.Gaps() }
+
+// Result is the engine's terminal output, mirroring the batch analysis.
+type Result struct {
+	// Detection is the final detection, byte-identical to the batch
+	// phase.Detect over the same snapshots and options.
+	Detection *phase.Detection
+	// Profiles are the per-interval profiles the stream produced.
+	Profiles []interval.Profile
+	// Gaps lists every repaired discontinuity, in stream order.
+	Gaps []interval.Gap
+	// Refreshes counts detection passes, including the final one.
+	Refreshes int
+}
+
+// Finish flushes the engine and returns its terminal result.
+func (e *Engine) Finish() (*Result, error) {
+	if err := e.Flush(); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Detection: e.last,
+		Profiles:  e.profiles,
+		Gaps:      e.diff.Gaps(),
+		Refreshes: e.refreshes,
+	}, nil
+}

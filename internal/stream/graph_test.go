@@ -1,0 +1,116 @@
+package stream_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/incprof/incprof/internal/stream"
+)
+
+// collector is a terminal test sink recording everything it receives.
+type collector[T any] struct {
+	items   []T
+	flushes int
+}
+
+func (c *collector[T]) Emit(v T) error { c.items = append(c.items, v); return nil }
+func (c *collector[T]) Flush() error   { c.flushes++; return nil }
+
+// doubler is a trivial 1→2 stage used to exercise Pipe/Stage mechanics.
+type doubler struct{ down stream.Sink[int] }
+
+func (d *doubler) Start(down stream.Sink[int]) { d.down = down }
+func (d *doubler) Emit(v int) error {
+	if err := d.down.Emit(v); err != nil {
+		return err
+	}
+	return d.down.Emit(v * 10)
+}
+func (d *doubler) Flush() error { return d.down.Flush() }
+
+func TestSliceSourceReplaysInOrderAndFlushesOnce(t *testing.T) {
+	var c collector[int]
+	if err := (stream.SliceSource[int]{Items: []int{3, 1, 2}}).Run(&c); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(c.items) != "[3 1 2]" {
+		t.Fatalf("items = %v", c.items)
+	}
+	if c.flushes != 1 {
+		t.Fatalf("flushes = %d, want 1", c.flushes)
+	}
+}
+
+func TestSliceSourceStopsOnEmitError(t *testing.T) {
+	boom := fmt.Errorf("boom")
+	n := 0
+	sink := stream.SinkFunc[int]{OnEmit: func(v int) error {
+		n++
+		if v == 2 {
+			return boom
+		}
+		return nil
+	}}
+	err := (stream.SliceSource[int]{Items: []int{1, 2, 3}}).Run(sink)
+	if err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n != 2 {
+		t.Fatalf("sink saw %d items after error, want 2", n)
+	}
+}
+
+func TestPipeBindsStageToDownstream(t *testing.T) {
+	var c collector[int]
+	head := stream.Pipe[int, int](&doubler{}, &c)
+	if err := (stream.SliceSource[int]{Items: []int{1, 2}}).Run(head); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(c.items) != "[1 10 2 20]" {
+		t.Fatalf("items = %v", c.items)
+	}
+	if c.flushes != 1 {
+		t.Fatalf("flushes = %d, want 1", c.flushes)
+	}
+}
+
+func TestChanSourceDrainsUntilClose(t *testing.T) {
+	ch := make(chan int, 4)
+	for i := 0; i < 4; i++ {
+		ch <- i
+	}
+	close(ch)
+	var c collector[int]
+	if err := (stream.ChanSource[int]{C: ch}).Run(&c); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(c.items) != "[0 1 2 3]" {
+		t.Fatalf("items = %v", c.items)
+	}
+	if c.flushes != 1 {
+		t.Fatalf("flushes = %d, want 1", c.flushes)
+	}
+}
+
+func TestSinkFuncNilFlushIsNoop(t *testing.T) {
+	s := stream.SinkFunc[int]{OnEmit: func(int) error { return nil }}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstrumentPassesThrough(t *testing.T) {
+	var c collector[int]
+	s := stream.Instrument[int]("test", &c)
+	for i := 0; i < 3; i++ {
+		if err := s.Emit(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.items) != 3 || c.flushes != 1 {
+		t.Fatalf("items=%v flushes=%d", c.items, c.flushes)
+	}
+}

@@ -1,0 +1,105 @@
+// sites.go makes Algorithm 1 incremental: site selection for a phase depends
+// only on its membership, its centroid, the feature space, and the coverage
+// threshold — so between refreshes in which a phase did not change, its
+// greedy selection walk need not be repeated. The cache keys each phase by
+// exactly those inputs and replays the (cheap) coverage-percentage crediting
+// against the current run length on every hit, since App % alone depends on
+// the total interval count.
+package stream
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+
+	"github.com/incprof/incprof/internal/interval"
+	"github.com/incprof/incprof/internal/obs"
+	"github.com/incprof/incprof/internal/phase"
+)
+
+// siteCache memoizes per-phase Algorithm 1 selections across refreshes.
+type siteCache struct {
+	entries map[uint64][]phase.Site
+}
+
+func newSiteCache() *siteCache {
+	return &siteCache{entries: make(map[uint64][]phase.Site)}
+}
+
+// key fingerprints everything the selection walk reads: the coverage
+// threshold, the dimensionality of the feature space, the member interval
+// set, and the centroid's exact bits. The profiles themselves are immutable
+// once emitted and the matrix rows of the members are a function of
+// (profiles, dims) — a dimension added by non-member intervals leaves member
+// rows and the centroid untouched in the distance metric, and one added by a
+// member changes the centroid bits, so the fingerprint is sound.
+func (sc *siteCache) key(p *phase.Phase, dims int, threshold float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(math.Float64bits(threshold))
+	put(uint64(dims))
+	put(uint64(len(p.Intervals)))
+	for _, idx := range p.Intervals {
+		put(uint64(idx))
+	}
+	put(uint64(len(p.Centroid)))
+	for _, v := range p.Centroid {
+		put(math.Float64bits(v))
+	}
+	return h.Sum64()
+}
+
+// fill populates p.Sites, reusing the cached selection when the phase is
+// unchanged since some earlier refresh and running phase.SelectPhaseSites
+// otherwise. It reports whether the selection was reused. Coverage
+// percentages are (re)credited either way, so App % reflects the current
+// total interval count.
+func (sc *siteCache) fill(p *phase.Phase, profiles []interval.Profile, m interval.Matrix, threshold float64, total int) bool {
+	k := sc.key(p, m.Dims(), threshold)
+	if sites, ok := sc.entries[k]; ok {
+		p.Sites = append([]phase.Site(nil), sites...)
+		creditSites(p, profiles, total)
+		obs.C("stream.sites.reused").Inc()
+		return true
+	}
+	phase.SelectPhaseSites(p, profiles, m, threshold, total)
+	sc.entries[k] = append([]phase.Site(nil), p.Sites...)
+	obs.C("stream.sites.recomputed").Inc()
+	return false
+}
+
+// refreshStats aggregates one intermediate refresh's incremental accounting.
+type refreshStats struct {
+	warmAccepted    bool
+	sitesReused     int
+	sitesRecomputed int
+}
+
+// creditSites recomputes the per-site Phase % and App % columns for an
+// already-selected site list, crediting each member interval to its
+// earliest-selected active site exactly as the batch selection's final pass
+// does.
+func creditSites(p *phase.Phase, profiles []interval.Profile, total int) {
+	if len(p.Intervals) == 0 {
+		return
+	}
+	credit := make([]int, len(p.Sites))
+	for _, idx := range p.Intervals {
+		for si := range p.Sites {
+			if profiles[idx].Active(p.Sites[si].Function) {
+				credit[si]++
+				break
+			}
+		}
+	}
+	for si := range p.Sites {
+		p.Sites[si].PhasePct = 100 * float64(credit[si]) / float64(len(p.Intervals))
+		if total > 0 {
+			p.Sites[si].AppPct = 100 * float64(credit[si]) / float64(total)
+		}
+	}
+}
