@@ -19,6 +19,16 @@
 //	go test -tags obs_off ./internal/interval -bench . -count 5 > off.txt
 //	go test ./internal/interval -bench . -count 5 > on.txt
 //	benchgate -baseline off.txt -current on.txt -out BENCH_obs.json
+//
+// Sweep-trajectory mode (-sweep) tracks the clustering hot path across PRs
+// instead of across build tags: BENCH_sweep.json is a committed history of
+// sweep benchmark figures, and each run compares fresh numbers against the
+// newest entry with the same min-of-count / significance rules. -check only
+// compares (the CI gate); without it a passing run appends a new entry for
+// the current tree, which is how the history grows one entry per perf PR:
+//
+//	go test ./internal/cluster -bench 'Sweep|Silhouette' -count 5 > cur.txt
+//	benchgate -sweep cur.txt -history BENCH_sweep.json -note "exact pruning"
 package main
 
 import (
@@ -30,6 +40,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // nsPerOp parses a `go test -bench` output file into every ns/op sample seen
@@ -92,11 +103,19 @@ type report struct {
 }
 
 func main() {
-	baseline := flag.String("baseline", "", "bench output of the -tags obs_off build (required)")
-	current := flag.String("current", "", "bench output of the default build (required)")
+	baseline := flag.String("baseline", "", "bench output of the -tags obs_off build (required unless -sweep)")
+	current := flag.String("current", "", "bench output of the default build (required unless -sweep)")
 	out := flag.String("out", "BENCH_obs.json", "JSON report path; - for stdout")
 	threshold := flag.Float64("threshold", 2.0, "max allowed regression, percent")
+	sweep := flag.String("sweep", "", "sweep mode: bench output to compare against -history")
+	history := flag.String("history", "BENCH_sweep.json", "sweep mode: committed trajectory file")
+	check := flag.Bool("check", false, "sweep mode: compare only, never append an entry")
+	note := flag.String("note", "", "sweep mode: label stored with an appended entry")
 	flag.Parse()
+	if *sweep != "" {
+		sweepMode(*sweep, *history, *note, *threshold, *check)
+		return
+	}
 	if *baseline == "" || *current == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -current are required")
 		os.Exit(2)
@@ -162,4 +181,99 @@ func fail(err error) {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(1)
 	}
+}
+
+// --- sweep-trajectory mode ---
+
+// sweepBench is one benchmark's figure in a trajectory entry: the min ns/op
+// across the run's -count repetitions plus the run's own min-to-max spread,
+// recorded so later comparisons know how noisy the number was.
+type sweepBench struct {
+	MinNs    float64 `json:"min_ns_op"`
+	NoisePct float64 `json:"noise_pct"`
+}
+
+// sweepEntry is one point on the trajectory — typically one perf-relevant PR.
+type sweepEntry struct {
+	Date       string                `json:"date"`
+	Note       string                `json:"note,omitempty"`
+	Benchmarks map[string]sweepBench `json:"benchmarks"`
+}
+
+type sweepHistory struct {
+	Entries []sweepEntry `json:"entries"`
+}
+
+// sweepMode compares a fresh bench run against the newest history entry and
+// either gates on it (check) or appends the run as the next entry. A
+// regression fails only when it exceeds the threshold AND the larger of the
+// two runs' own noise spreads — same significance rule as the obs gate, since
+// trajectory entries may come from differently-loaded machines.
+func sweepMode(benchPath, historyPath, note string, threshold float64, check bool) {
+	samples, err := nsPerOp(benchPath)
+	fail(err)
+	if len(samples) == 0 {
+		fail(fmt.Errorf("no benchmarks in %s", benchPath))
+	}
+	entry := sweepEntry{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Note:       note,
+		Benchmarks: make(map[string]sweepBench, len(samples)),
+	}
+	for name, s := range samples {
+		lo, hi := minMax(s)
+		entry.Benchmarks[name] = sweepBench{MinNs: lo, NoisePct: (hi - lo) / lo * 100}
+	}
+
+	var hist sweepHistory
+	if buf, err := os.ReadFile(historyPath); err == nil {
+		fail(json.Unmarshal(buf, &hist))
+	} else if !os.IsNotExist(err) {
+		fail(err)
+	}
+
+	pass := true
+	if len(hist.Entries) > 0 {
+		prev := hist.Entries[len(hist.Entries)-1]
+		names := make([]string, 0, len(prev.Benchmarks))
+		for name := range prev.Benchmarks {
+			if _, ok := entry.Benchmarks[name]; ok {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		if len(names) == 0 {
+			fail(fmt.Errorf("no benchmarks shared with the previous %s entry", historyPath))
+		}
+		for _, name := range names {
+			p, c := prev.Benchmarks[name], entry.Benchmarks[name]
+			delta := (c.MinNs - p.MinNs) / p.MinNs * 100
+			noise := p.NoisePct
+			if c.NoisePct > noise {
+				noise = c.NoisePct
+			}
+			ok := delta <= threshold || delta <= noise
+			status := "ok"
+			if !ok {
+				pass = false
+				status = "REGRESSED"
+			}
+			fmt.Printf("%-60s %12.0f -> %12.0f ns/op  %+6.2f%% (noise %.2f%%)  %s\n",
+				name, p.MinNs, c.MinNs, delta, noise, status)
+		}
+	} else {
+		fmt.Printf("%s: no history yet; recording baseline entry\n", historyPath)
+	}
+	if !pass {
+		fmt.Fprintf(os.Stderr, "benchgate: sweep regression over %.1f%% threshold vs %s\n", threshold, historyPath)
+		os.Exit(1)
+	}
+	if check {
+		return
+	}
+	hist.Entries = append(hist.Entries, entry)
+	buf, err := json.MarshalIndent(hist, "", "  ")
+	fail(err)
+	fail(os.WriteFile(historyPath, append(buf, '\n'), 0o644))
+	fmt.Printf("%s: appended entry %d (%s)\n", historyPath, len(hist.Entries), entry.Date)
 }

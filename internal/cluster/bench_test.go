@@ -3,21 +3,83 @@ package cluster
 import (
 	"fmt"
 	"testing"
+
+	"github.com/incprof/incprof/internal/xmath"
 )
 
-// The parallel-path benchmarks run the k-means sweep and silhouette scoring
-// on a synthetic 500-interval x 200-function matrix (a long production run's
-// scale, ~8x the paper's) at several worker-pool bounds. Compare
-// BenchmarkSweep/parallelism=1 against parallelism=8 for the speedup; the
+// The sweep benchmarks run the k-means sweep and silhouette scoring on
+// synthetic 500-interval x 200-function matrices (a long production run's
+// scale, ~8x the paper's) at several worker-pool bounds.
+//
+// BenchmarkSweep uses the phase-structured sparse fixture below — the shape
+// real interval profiles have, and the one the sparse/pruned hot path is
+// built for. BenchmarkSweepDense keeps the old uniform-random fully-dense
+// matrix as the tracked worst case: it has no cluster structure for the
+// triangle-inequality bounds to exploit and no zeros for the sparse kernels
+// to skip, so it bounds the regression risk of the exact-pruning machinery.
+// Compare parallelism=1 against parallelism=8 for the pool speedup; the
 // determinism tests in cluster_test.go prove the outputs are identical.
 
+// phaseMatrix models a profiled run with ground-truth phase structure: the
+// run cycles through `phases` segments; each phase activates its own small
+// set of functions (plus a handful of always-on ones), everything else stays
+// zero. Roughly activePerPhase/d of each row is non-zero, matching the
+// sparsity of real interval-by-function feature matrices.
+func phaseMatrix(n, d, phases, activePerPhase int, seed uint64) [][]float64 {
+	rng := xmath.NewRNG(seed)
+	alwaysOn := 5
+	means := make([][]float64, phases)
+	for p := range means {
+		m := make([]float64, d)
+		for j := 0; j < alwaysOn; j++ {
+			m[j] = 0.5 + rng.Float64()
+		}
+		for j := 0; j < activePerPhase; j++ {
+			m[alwaysOn+(p*activePerPhase+j)%(d-alwaysOn)] = rng.Float64() * 2
+		}
+		means[p] = m
+	}
+	pts := make([][]float64, n)
+	segment := n / (2 * phases) // each phase recurs twice, like real runs
+	for i := range pts {
+		p := (i / segment) % phases
+		row := make([]float64, d)
+		for j, m := range means[p] {
+			if m == 0 {
+				continue
+			}
+			v := m * (0.9 + 0.2*rng.Float64())
+			row[j] = v
+		}
+		pts[i] = row
+	}
+	return pts
+}
+
 func benchSweepMatrix() [][]float64 {
+	return phaseMatrix(500, 200, 6, 25, 1)
+}
+
+func benchSweepDenseMatrix() [][]float64 {
 	return randomMatrix(500, 200, 1)
 }
 
 func BenchmarkSweep(b *testing.B) {
 	pts := benchSweepMatrix()
 	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallelism=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Sweep(pts, 8, Options{Seed: 1, Parallelism: p}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSweepDense(b *testing.B) {
+	pts := benchSweepDenseMatrix()
+	for _, p := range []int{1, 8} {
 		b.Run(fmt.Sprintf("parallelism=%d", p), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := Sweep(pts, 8, Options{Seed: 1, Parallelism: p}); err != nil {
@@ -40,5 +102,20 @@ func BenchmarkSilhouetteP(b *testing.B) {
 				_ = SilhouetteP(pts, res.Assign, res.K, p)
 			}
 		})
+	}
+}
+
+// BenchmarkSelectSilhouetteP measures the whole silhouette model selection
+// over a sweep — the path that used to recompute the O(n²) pairwise matrix
+// once per k and now shares it across all of them.
+func BenchmarkSelectSilhouetteP(b *testing.B) {
+	pts := benchSweepMatrix()
+	results, err := Sweep(pts, 8, Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SelectSilhouetteP(pts, results, 1)
 	}
 }

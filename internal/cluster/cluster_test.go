@@ -517,7 +517,7 @@ func TestSilhouetteParallelismInvariant(t *testing.T) {
 func TestLloydReseatsEmptyClusterAgainstNormalizedCentroids(t *testing.T) {
 	pts := [][]float64{{0}, {1}, {10}}
 	centroids := [][]float64{{100}, {0.5}}
-	res := lloyd(pts, centroids, 1)
+	res := lloyd(newPointSet(pts), centroids, 1)
 	if res.Centroids[0][0] != 10 {
 		t.Fatalf("empty cluster reseated on %v, want the true farthest point {10}", res.Centroids[0])
 	}
@@ -527,7 +527,7 @@ func TestLloydReseatsEmptyClusterAgainstNormalizedCentroids(t *testing.T) {
 func TestLloydReseatsMultipleEmptyClustersDistinctly(t *testing.T) {
 	pts := [][]float64{{0}, {1}, {10}}
 	centroids := [][]float64{{100}, {200}, {0.5}}
-	res := lloyd(pts, centroids, 1)
+	res := lloyd(newPointSet(pts), centroids, 1)
 	if res.Centroids[0][0] == res.Centroids[1][0] {
 		t.Fatalf("two empty clusters reseated on the same point: %v", res.Centroids)
 	}

@@ -3,11 +3,20 @@
 // for k = 1..8, the Elbow method for selecting k, the Silhouette method the
 // paper also experimented with, and DBSCAN as the density-based baseline the
 // paper evaluated and rejected (§V-A).
+//
+// The k-means hot path is exact-optimized (DESIGN.md §10): feature rows are
+// mostly zeros, so seeding and centroid updates run on the sparse non-zero
+// structure with xmath's bit-identical sparse kernels, and Lloyd assignment
+// keeps Hamerly triangle-inequality bounds that skip provably-unchanged
+// points. None of it changes a single output bit relative to the naive
+// full-scan path — the determinism goldens and the exactness property tests
+// in prune_test.go enforce that.
 package cluster
 
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"github.com/incprof/incprof/internal/obs"
@@ -61,21 +70,78 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// KMeans clusters points into k groups. Points must be non-empty and share
-// one dimensionality; k must satisfy 1 <= k <= len(points).
-func KMeans(points [][]float64, k int, opts Options) (*Result, error) {
+// pointSet bundles the dense point rows with their cached non-zero column
+// indices. The sparse structure is derived once per public entry (KMeans,
+// WarmStart, or a whole Sweep) and shared read-only by every restart and k.
+//
+// Both representations compute identical bits (xmath sparse.go), so the
+// kernels are chosen purely on cost: when more than half the cells are
+// non-zero the branchy sparse merge loses to the dense loop, and the set
+// reports itself dense. The choice depends only on the data, never on
+// scheduling, so it cannot perturb determinism.
+type pointSet struct {
+	rows   [][]float64
+	nz     [][]int32
+	sparse bool // non-zero cells <= half of all cells
+}
+
+func newPointSet(rows [][]float64) *pointSet {
+	ps := &pointSet{rows: rows, nz: make([][]int32, len(rows))}
+	var flat []int32 // one backing array for all rows' index lists
+	offs := make([]int, len(rows)+1)
+	for i, r := range rows {
+		offs[i] = len(flat)
+		flat = xmath.NonZeroIndices(r, flat)
+	}
+	offs[len(rows)] = len(flat)
+	cells := 0
+	for i := range rows {
+		ps.nz[i] = flat[offs[i]:offs[i+1]:offs[i+1]]
+		cells += len(rows[i])
+	}
+	ps.sparse = 2*len(flat) <= cells
+	return ps
+}
+
+// sq is the point-to-point squared distance on the cheaper representation.
+func (ps *pointSet) sq(i, j int) float64 {
+	if ps.sparse {
+		return xmath.SquaredEuclideanSparse(ps.rows[i], ps.nz[i], ps.rows[j], ps.nz[j])
+	}
+	return xmath.SquaredEuclidean(ps.rows[i], ps.rows[j])
+}
+
+// validatePoints checks the non-empty, single-dimensionality contract once.
+// The public KMeans entry keeps this per-call check; Sweep hoists it to the
+// sweep boundary so the per-k and per-restart fan-out does not re-derive it.
+func validatePoints(points [][]float64) error {
 	if len(points) == 0 {
-		return nil, fmt.Errorf("cluster: no points")
+		return fmt.Errorf("cluster: no points")
 	}
 	dim := len(points[0])
 	for i, p := range points {
 		if len(p) != dim {
-			return nil, fmt.Errorf("cluster: point %d has dimension %d, want %d", i, len(p), dim)
+			return fmt.Errorf("cluster: point %d has dimension %d, want %d", i, len(p), dim)
 		}
+	}
+	return nil
+}
+
+// KMeans clusters points into k groups. Points must be non-empty and share
+// one dimensionality; k must satisfy 1 <= k <= len(points).
+func KMeans(points [][]float64, k int, opts Options) (*Result, error) {
+	if err := validatePoints(points); err != nil {
+		return nil, err
 	}
 	if k < 1 || k > len(points) {
 		return nil, fmt.Errorf("cluster: k=%d out of range [1, %d]", k, len(points))
 	}
+	return kmeansValidated(newPointSet(points), k, opts), nil
+}
+
+// kmeansValidated is KMeans after validation: the restart fan-out over an
+// already-checked, already-sparsified point set.
+func kmeansValidated(ps *pointSet, k int, opts Options) *Result {
 	opts = opts.withDefaults()
 	// Derive one seed per restart from the master stream up front, so each
 	// restart owns an independent RNG and the fan-out below is free to run
@@ -87,7 +153,7 @@ func KMeans(points [][]float64, k int, opts Options) (*Result, error) {
 	}
 	results := make([]*Result, opts.Restarts)
 	par.For(opts.Restarts, opts.Parallelism, func(r int) {
-		results[r] = kmeansOnce(points, k, opts.MaxIterations, xmath.NewRNG(seeds[r]))
+		results[r] = kmeansOnce(ps, k, opts.MaxIterations, xmath.NewRNG(seeds[r]))
 	})
 	// Reduce in restart order; strict < makes the lowest-index restart win
 	// ties, matching what a serial loop over the same seeds would keep.
@@ -97,49 +163,166 @@ func KMeans(points [][]float64, k int, opts Options) (*Result, error) {
 			best = res
 		}
 	}
-	return best, nil
+	return best
 }
 
-func kmeansOnce(points [][]float64, k, maxIter int, rng *xmath.RNG) *Result {
-	centroids := seedPlusPlus(points, k, rng)
-	return lloyd(points, centroids, maxIter)
+func kmeansOnce(ps *pointSet, k, maxIter int, rng *xmath.RNG) *Result {
+	sc := scratchPool.Get().(*lloydScratch)
+	defer scratchPool.Put(sc)
+	centroids := seedPlusPlus(ps, k, rng, sc)
+	return lloydScratched(ps, centroids, maxIter, sc)
+}
+
+// lloydScratch pools the per-run transient state — Hamerly bounds, previous
+// centroids, drifts, and the seeding distance cache — so a sweep's
+// restarts × k fan-out does not churn the allocator. Every field is fully
+// overwritten before it is read, so reuse cannot leak state between runs (the
+// parallelism-invariance goldens would catch it if it did).
+type lloydScratch struct {
+	u, l  []float64 // Hamerly upper/lower bounds per point
+	drift []float64 // per-centroid movement this iteration
+	half  []float64 // half the distance to each centroid's nearest peer
+	dist  []float64 // k-means++ running min-distance cache
+	prev  []float64 // previous centroids, k×dim flat
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(lloydScratch) }}
+
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
 // lloyd iterates assignment and centroid updates to convergence from the
 // given initial centroids (which it owns and mutates).
-func lloyd(points [][]float64, centroids [][]float64, maxIter int) *Result {
+func lloyd(ps *pointSet, centroids [][]float64, maxIter int) *Result {
+	sc := scratchPool.Get().(*lloydScratch)
+	defer scratchPool.Put(sc)
+	return lloydScratched(ps, centroids, maxIter, sc)
+}
+
+// pruneEps returns the safety margin the Hamerly comparisons keep between a
+// bound and the threshold it is tested against. scale is the largest
+// distance-domain magnitude the run has touched; any floating-point error the
+// bound maintenance can accumulate is a handful of ulps of that scale
+// (~1e-13·scale over 100 iterations), so a 1e-9·scale margin dominates it.
+// Pruning therefore only ever skips a centroid whose distance exceeds the
+// current assignment's by more than the margin — a decision the naive strict-<
+// scan would make identically — and every closer call falls through to the
+// exact full scan. That is the invariant that keeps the pruned path
+// bit-identical to the naive one.
+func pruneEps(scale float64) float64 { return 1e-9 * scale }
+
+func lloydScratched(ps *pointSet, centroids [][]float64, maxIter int, sc *lloydScratch) *Result {
+	points := ps.rows
+	n := len(points)
 	dim := len(points[0])
 	k := len(centroids)
-	assign := make([]int, len(points))
-	for i := range assign {
-		assign[i] = -1
-	}
+	assign := make([]int, n)
 	sizes := make([]int, k)
-	iter := 0
-	for ; iter < maxIter; iter++ {
+	sc.u = grow(sc.u, n)
+	sc.l = grow(sc.l, n)
+	sc.drift = grow(sc.drift, k)
+	sc.half = grow(sc.half, k)
+	sc.prev = grow(sc.prev, k*dim)
+	u, l := sc.u, sc.l
+
+	// scale tracks the largest sqrt-domain magnitude seen (distances and
+	// drifts); pruneEps derives the bit-exactness safety margin from it.
+	var scale float64
+	initialized := false
+
+	// assignPass reassigns every point. The first pass scans fully and
+	// initializes the bounds; later passes skip points whose bounds prove
+	// the assignment cannot change, tighten the upper bound for the rest,
+	// and only fall back to the exact full scan when both tests fail.
+	assignPass := func() bool {
 		changed := false
+		if !initialized {
+			initialized = true
+			for i, p := range points {
+				best, bd, sd := assignFull(p, centroids)
+				assign[i] = best
+				u[i] = math.Sqrt(bd)
+				l[i] = math.Sqrt(sd)
+				if !math.IsInf(l[i], 1) && l[i] > scale {
+					scale = l[i]
+				} else if u[i] > scale {
+					scale = u[i]
+				}
+			}
+			return true
+		}
+		halfDistances(centroids, sc.half)
+		eps := pruneEps(scale)
 		for i, p := range points {
-			c := nearest(centroids, p)
-			if c != assign[i] {
-				assign[i] = c
+			m := sc.half[assign[i]]
+			if l[i] > m {
+				m = l[i]
+			}
+			if u[i]+eps < m {
+				continue
+			}
+			// Tighten the upper bound to the exact current distance — but
+			// abandon even that once its partial sum proves the tightened
+			// bound cannot prune either (dsq >= m² ⇒ du >= m up to an ulp,
+			// far inside the eps margin). Abandoning just falls through to
+			// the exact full scan, so it cannot change any output.
+			dsq, full := xmath.SquaredEuclideanBounded(p, centroids[assign[i]], m*m)
+			if full {
+				du := math.Sqrt(dsq)
+				u[i] = du
+				if du+eps < m {
+					continue
+				}
+			}
+			best, bd, sd := assignFull(p, centroids)
+			u[i] = math.Sqrt(bd)
+			l[i] = math.Sqrt(sd)
+			if best != assign[i] {
+				assign[i] = best
 				changed = true
 			}
 		}
+		return changed
+	}
+
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		changed := assignPass()
 		if !changed && iter > 0 {
 			break
 		}
-		// Recompute centroids.
+		// Recompute centroids, remembering the previous positions: the
+		// Hamerly bounds need each centroid's drift, and a cluster that
+		// empties with no reseatable point falls back to its previous
+		// mean.
 		for c := range centroids {
+			copy(sc.prev[c*dim:(c+1)*dim], centroids[c])
 			for d := 0; d < dim; d++ {
 				centroids[c][d] = 0
 			}
 			sizes[c] = 0
 		}
-		for i, p := range points {
-			c := assign[i]
-			sizes[c]++
-			for d, v := range p {
-				centroids[c][d] += v
+		if ps.sparse {
+			for i := range points {
+				c := assign[i]
+				sizes[c]++
+				row := points[i]
+				cent := centroids[c]
+				for _, d := range ps.nz[i] {
+					cent[d] += row[d]
+				}
+			}
+		} else {
+			for i, p := range points {
+				c := assign[i]
+				sizes[c]++
+				for d, v := range p {
+					centroids[c][d] += v
+				}
 			}
 		}
 		// Normalize every non-empty centroid first: the reseat below
@@ -174,6 +357,13 @@ func lloyd(points [][]float64, centroids [][]float64, maxIter int) *Result {
 				}
 			}
 			if far < 0 {
+				// Every point is already claimed (possible when the
+				// centroid count exceeds the point count, e.g. a warm
+				// start from a richer model). Restore the previous
+				// mean instead of leaving the centroid zeroed at the
+				// origin, where it would silently attract near-zero
+				// points on the next iteration.
+				copy(centroids[c], sc.prev[c*dim:(c+1)*dim])
 				continue
 			}
 			copy(centroids[c], points[far])
@@ -182,38 +372,116 @@ func lloyd(points [][]float64, centroids [][]float64, maxIter int) *Result {
 			}
 			taken[far] = true
 		}
+		// Drift-adjust the bounds: each point's upper bound loosens by its
+		// own centroid's movement, the lower bound by the largest movement
+		// of any OTHER centroid (the two-max refinement).
+		var max1, max2 float64
+		arg1 := -1
+		for c := range centroids {
+			d := xmath.Euclidean(sc.prev[c*dim:(c+1)*dim], centroids[c])
+			sc.drift[c] = d
+			if d > scale {
+				scale = d
+			}
+			if d > max1 {
+				max1, max2, arg1 = d, max1, c
+			} else if d > max2 {
+				max2 = d
+			}
+		}
+		for i := range points {
+			u[i] += sc.drift[assign[i]]
+			if assign[i] == arg1 {
+				l[i] -= max2
+			} else {
+				l[i] -= max1
+			}
+		}
 	}
-	// Final assignment pass and WCSS.
+	// Final assignment pass and WCSS. The pass runs under the same bounds
+	// (still valid: they were drift-adjusted after the last centroid
+	// update), so converged points cost one exact distance each instead of
+	// a k-way scan.
+	assignPass()
 	var wcss float64
 	for c := range sizes {
 		sizes[c] = 0
 	}
 	for i, p := range points {
-		c := nearest(centroids, p)
-		assign[i] = c
+		c := assign[i]
 		sizes[c]++
 		wcss += xmath.SquaredEuclidean(p, centroids[c])
 	}
 	return &Result{K: k, Assign: assign, Centroids: centroids, WCSS: wcss, Iterations: iter, Sizes: sizes}
 }
 
-// seedPlusPlus picks k initial centroids with k-means++ weighting.
-func seedPlusPlus(points [][]float64, k int, rng *xmath.RNG) [][]float64 {
-	centroids := make([][]float64, 0, k)
-	first := append([]float64(nil), points[rng.Intn(len(points))]...)
-	centroids = append(centroids, first)
-	dist := make([]float64, len(points))
-	for len(centroids) < k {
-		var total float64
-		for i, p := range points {
-			d := xmath.SquaredEuclidean(p, centroids[0])
-			for _, c := range centroids[1:] {
-				if dd := xmath.SquaredEuclidean(p, c); dd < d {
-					d = dd
-				}
+// assignFull scans every centroid exactly as the naive path does — ascending
+// index, strict < — returning the winner plus the exact smallest and
+// second-smallest squared distances. Centroids are abandoned mid-scan once
+// their partial sum reaches the current second-best (see
+// xmath.SquaredEuclideanBounded): an abandoned centroid is proven to beat
+// neither bound, so the winner and both bounds are exact.
+func assignFull(p []float64, centroids [][]float64) (best int, bestD, secondD float64) {
+	best, bestD, secondD = 0, math.Inf(1), math.Inf(1)
+	for c, cent := range centroids {
+		d, full := xmath.SquaredEuclideanBounded(p, cent, secondD)
+		if !full {
+			continue
+		}
+		if d < bestD {
+			best, bestD, secondD = c, d, bestD
+		} else if d < secondD {
+			secondD = d
+		}
+	}
+	return best, bestD, secondD
+}
+
+// halfDistances fills half[c] with 0.5 × the distance from centroid c to its
+// nearest other centroid — the Hamerly center-separation bound. A point
+// within half[c] of centroid c cannot be closer to any other centroid.
+func halfDistances(centroids [][]float64, half []float64) {
+	for c := range centroids {
+		half[c] = math.Inf(1)
+	}
+	for c := range centroids {
+		for o := c + 1; o < len(centroids); o++ {
+			d := xmath.Euclidean(centroids[c], centroids[o])
+			if d < 2*half[c] {
+				half[c] = d / 2
 			}
-			dist[i] = d
-			total += d
+			if d < 2*half[o] {
+				half[o] = d / 2
+			}
+		}
+	}
+}
+
+// seedPlusPlus picks k initial centroids with k-means++ weighting. Every
+// centroid it returns is a copy of some point, so the min-distance weights
+// are point-to-point distances and run on the sparse kernel; the running
+// minimum is folded incrementally (only the newest centroid is measured per
+// round), which is bit-identical to the naive full re-scan because min over
+// the same computed values is order-insensitive with first-index ties.
+func seedPlusPlus(ps *pointSet, k int, rng *xmath.RNG, sc *lloydScratch) [][]float64 {
+	points := ps.rows
+	centroids := make([][]float64, 0, k)
+	src := make([]int, 0, k) // which point each centroid copies
+	first := rng.Intn(len(points))
+	centroids = append(centroids, append([]float64(nil), points[first]...))
+	src = append(src, first)
+	sc.dist = grow(sc.dist, len(points))
+	dist := sc.dist
+	for len(centroids) < k {
+		newest := len(centroids) - 1
+		s := src[newest]
+		var total float64
+		for i := range points {
+			d := ps.sq(i, s)
+			if newest == 0 || d < dist[i] {
+				dist[i] = d
+			}
+			total += dist[i]
 		}
 		var idx int
 		if total == 0 {
@@ -232,10 +500,14 @@ func seedPlusPlus(points [][]float64, k int, rng *xmath.RNG) [][]float64 {
 			}
 		}
 		centroids = append(centroids, append([]float64(nil), points[idx]...))
+		src = append(src, idx)
 	}
 	return centroids
 }
 
+// nearest is the naive assignment: scan every centroid with a strict <. It
+// remains the reference the pruned path is proven against (prune_test.go) and
+// the small-k entry for one-off lookups.
 func nearest(centroids [][]float64, p []float64) int {
 	best, bestD := 0, math.Inf(1)
 	for c, cent := range centroids {
@@ -300,18 +572,13 @@ func CloneCentroids(centroids [][]float64) [][]float64 {
 // in which case they are zero-padded. Only MaxIterations is honored from
 // opts; there is no restart loop (a warm start IS the restart).
 func WarmStart(points [][]float64, centroids [][]float64, opts Options) (*Result, error) {
-	if len(points) == 0 {
-		return nil, fmt.Errorf("cluster: no points")
+	if err := validatePoints(points); err != nil {
+		return nil, err
 	}
 	if len(centroids) == 0 {
 		return nil, fmt.Errorf("cluster: no warm-start centroids")
 	}
 	dim := len(points[0])
-	for i, p := range points {
-		if len(p) != dim {
-			return nil, fmt.Errorf("cluster: point %d has dimension %d, want %d", i, len(p), dim)
-		}
-	}
 	opts = opts.withDefaults()
 	seed := make([][]float64, len(centroids))
 	for i, c := range centroids {
@@ -322,7 +589,7 @@ func WarmStart(points [][]float64, centroids [][]float64, opts Options) (*Result
 		copy(v, c)
 		seed[i] = v
 	}
-	return lloyd(points, seed, opts.MaxIterations), nil
+	return lloyd(newPointSet(points), seed, opts.MaxIterations), nil
 }
 
 // Sweep runs KMeans for every k in [1, kmax] (clamped to the number of
@@ -333,13 +600,20 @@ func WarmStart(points [][]float64, centroids [][]float64, opts Options) (*Result
 // (restarts within each k fan out on the same budget); because every k owns
 // a seed-derived RNG and writes only its own slot, the output is identical
 // to the serial sweep for any Parallelism value.
+//
+// Validation and sparsification happen once here, at the sweep boundary —
+// not once per k times once per restart.
 func Sweep(points [][]float64, kmax int, opts Options) ([]*Result, error) {
 	if kmax < 1 {
 		return nil, fmt.Errorf("cluster: kmax=%d", kmax)
 	}
+	if err := validatePoints(points); err != nil {
+		return nil, err
+	}
 	if kmax > len(points) {
 		kmax = len(points)
 	}
+	ps := newPointSet(points)
 	sweep := obs.Under(opts.Span, "cluster.sweep", 0)
 	sweep.SetInt("kmax", int64(kmax)).SetInt("points", int64(len(points)))
 	defer sweep.End()
@@ -356,11 +630,7 @@ func Sweep(points [][]float64, kmax int, opts Options) ([]*Result, error) {
 		if hist != nil {
 			start = time.Now()
 		}
-		res, err := KMeans(points, k, o)
-		if err != nil {
-			sp.End()
-			return err
-		}
+		res := kmeansValidated(ps, k, o)
 		if hist != nil {
 			hist.Observe(time.Since(start))
 		}

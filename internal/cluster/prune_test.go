@@ -1,0 +1,289 @@
+// prune_test.go proves the exact-pruned hot path (sparse kernels, Hamerly
+// bounds, bounded partial distances, pooled scratch) is bit-identical to the
+// naive full-scan algorithm. naiveKMeans below is a from-scratch reference —
+// dense kernels only, no bounds, no early exit, no pooling — kept deliberately
+// dumb; the property tests demand that KMeans/Sweep agree with it on every
+// output field, bit for bit, across sparse and dense fixtures and worker-pool
+// bounds. Run under -race these tests also exercise the scratch pool across
+// concurrent restarts.
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/incprof/incprof/internal/par"
+	"github.com/incprof/incprof/internal/xmath"
+)
+
+// naiveSeedPlusPlus is k-means++ seeding with the min-distance weights
+// recomputed from scratch every round on the dense kernel. It must consume
+// the RNG exactly as seedPlusPlus does: one Intn for the first centroid, then
+// one Float64 (or Intn when all weights are zero) per remaining centroid.
+func naiveSeedPlusPlus(points [][]float64, k int, rng *xmath.RNG) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := rng.Intn(len(points))
+	centroids = append(centroids, append([]float64(nil), points[first]...))
+	for len(centroids) < k {
+		dist := make([]float64, len(points))
+		var total float64
+		for i, p := range points {
+			min := xmath.SquaredEuclidean(p, centroids[0])
+			for _, c := range centroids[1:] {
+				if d := xmath.SquaredEuclidean(p, c); d < min {
+					min = d
+				}
+			}
+			dist[i] = min
+			total += min
+		}
+		var idx int
+		if total == 0 {
+			idx = rng.Intn(len(points))
+		} else {
+			target := rng.Float64() * total
+			var acc float64
+			idx = len(points) - 1
+			for i, d := range dist {
+				acc += d
+				if acc >= target {
+					idx = i
+					break
+				}
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[idx]...))
+	}
+	return centroids
+}
+
+// naiveLloyd is Lloyd iteration with a full k-way dense scan for every point
+// on every pass — the reference the pruned assignment must reproduce exactly,
+// including iteration counts and tie handling (nearest's strict <).
+func naiveLloyd(points [][]float64, centroids [][]float64, maxIter int) *Result {
+	n, dim, k := len(points), len(points[0]), len(centroids)
+	assign := make([]int, n)
+	sizes := make([]int, k)
+	prev := make([][]float64, k)
+	for c := range prev {
+		prev[c] = make([]float64, dim)
+	}
+	assignAll := func() bool {
+		changed := false
+		for i, p := range points {
+			if best := nearest(centroids, p); best != assign[i] {
+				assign[i] = best
+				changed = true
+			}
+		}
+		return changed
+	}
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		changed := assignAll()
+		if !changed && iter > 0 {
+			break
+		}
+		for c := range centroids {
+			copy(prev[c], centroids[c])
+			for d := range centroids[c] {
+				centroids[c][d] = 0
+			}
+			sizes[c] = 0
+		}
+		for i, p := range points {
+			c := assign[i]
+			sizes[c]++
+			for d, v := range p {
+				centroids[c][d] += v
+			}
+		}
+		for c := range centroids {
+			if sizes[c] == 0 {
+				continue
+			}
+			inv := 1 / float64(sizes[c])
+			for d := range centroids[c] {
+				centroids[c][d] *= inv
+			}
+		}
+		var taken map[int]bool
+		for c := range centroids {
+			if sizes[c] != 0 {
+				continue
+			}
+			far, dist := -1, -1.0
+			for i, p := range points {
+				if taken[i] {
+					continue
+				}
+				d := xmath.SquaredEuclidean(p, centroids[assign[i]])
+				if d > dist {
+					far, dist = i, d
+				}
+			}
+			if far < 0 {
+				copy(centroids[c], prev[c])
+				continue
+			}
+			copy(centroids[c], points[far])
+			if taken == nil {
+				taken = make(map[int]bool)
+			}
+			taken[far] = true
+		}
+	}
+	assignAll()
+	var wcss float64
+	for c := range sizes {
+		sizes[c] = 0
+	}
+	for i, p := range points {
+		c := assign[i]
+		sizes[c]++
+		wcss += xmath.SquaredEuclidean(p, centroids[c])
+	}
+	return &Result{K: k, Assign: assign, Centroids: centroids, WCSS: wcss, Iterations: iter, Sizes: sizes}
+}
+
+// naiveKMeans replicates kmeansValidated's restart fan-out (same seed
+// derivation, same strict-< reduction) over the naive seeding and Lloyd.
+func naiveKMeans(points [][]float64, k int, opts Options) *Result {
+	opts = opts.withDefaults()
+	seedRNG := xmath.NewRNG(opts.Seed)
+	seeds := make([]uint64, opts.Restarts)
+	for r := range seeds {
+		seeds[r] = seedRNG.Uint64()
+	}
+	results := make([]*Result, opts.Restarts)
+	par.For(opts.Restarts, opts.Parallelism, func(r int) {
+		rng := xmath.NewRNG(seeds[r])
+		results[r] = naiveLloyd(points, naiveSeedPlusPlus(points, k, rng), opts.MaxIterations)
+	})
+	best := results[0]
+	for _, res := range results[1:] {
+		if res.WCSS < best.WCSS {
+			best = res
+		}
+	}
+	return best
+}
+
+// pruneFixtures is the shared fixture matrix: phase-structured sparse (the
+// real workload shape, where pruning and sparse kernels actually fire), dense
+// uniform (no structure — the bounds' worst case), tight blobs (bounds prune
+// almost everything), and a tiny high-k case (empty clusters, reseating).
+func pruneFixtures() map[string][][]float64 {
+	blobPts, _ := blobs([][]float64{{0, 0, 0}, {8, 0, 4}, {0, 9, 1}}, 25, 0.4, 5)
+	return map[string][][]float64{
+		"sparse-phased": phaseMatrix(120, 60, 4, 9, 7),
+		"dense-uniform": randomMatrix(80, 24, 3),
+		"blobs":         blobPts,
+		"tiny":          randomMatrix(9, 4, 11),
+	}
+}
+
+func TestPrunedKMeansMatchesNaiveBitForBit(t *testing.T) {
+	for name, pts := range pruneFixtures() {
+		for _, k := range []int{1, 2, 4, 8} {
+			if k > len(pts) {
+				continue
+			}
+			for _, parallelism := range []int{1, 8} {
+				opts := Options{Seed: 42, Parallelism: parallelism}
+				want := naiveKMeans(pts, k, opts)
+				got, err := KMeans(pts, k, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResult(t, fmt.Sprintf("%s k=%d p=%d", name, k, parallelism), want, got)
+			}
+		}
+	}
+}
+
+func TestPrunedSweepMatchesNaiveBitForBit(t *testing.T) {
+	for name, pts := range pruneFixtures() {
+		for _, parallelism := range []int{1, 8} {
+			results, err := Sweep(pts, 8, Options{Seed: 1, Parallelism: parallelism})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range results {
+				k := i + 1
+				opts := Options{Seed: 1 + uint64(k)*0x9e3779b97f4a7c15, Parallelism: parallelism}
+				sameResult(t, fmt.Sprintf("%s sweep k=%d p=%d", name, k, parallelism),
+					naiveKMeans(pts, k, opts), r)
+			}
+		}
+	}
+}
+
+// TestWarmStartLloydMatchesNaive covers the non-seeded entry: Lloyd from
+// externally supplied centroids, where the pruned path starts from arbitrary
+// (non-point) positions.
+func TestWarmStartLloydMatchesNaive(t *testing.T) {
+	for name, pts := range pruneFixtures() {
+		dim := len(pts[0])
+		rng := xmath.NewRNG(99)
+		seed := make([][]float64, 3)
+		for i := range seed {
+			seed[i] = make([]float64, dim)
+			for d := range seed[i] {
+				seed[i][d] = rng.Float64() * 3
+			}
+		}
+		got, err := WarmStart(pts, seed, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveLloyd(pts, CloneCentroids(seed), 100)
+		sameResult(t, name+" warm", want, got)
+	}
+}
+
+// TestWarmStartEmptyClusterKeepsPreviousMean is the regression test for the
+// unreachable-point reseat: when every point has already been claimed by
+// another empty cluster (possible only when centroids outnumber points, i.e.
+// a warm start from a richer model), the leftover empty centroid must be
+// restored to its previous mean — not left zeroed at the origin, where it
+// would silently attract near-zero points on the next refresh.
+func TestWarmStartEmptyClusterKeepsPreviousMean(t *testing.T) {
+	points := [][]float64{{1, 0}, {2, 0}}
+	seed := [][]float64{{1, 0}, {2, 0}, {5, 5}, {6, 6}, {7, 7}}
+	res, err := WarmStart(points, seed, Options{MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Points 0 and 1 sit exactly on centroids 0 and 1; centroids 2..4 empty.
+	// Two of the empties reseat onto the two points; the third has nobody
+	// left and must keep its warm-start position.
+	restored := 0
+	for c := 2; c < 5; c++ {
+		if res.Centroids[c][0] == 0 && res.Centroids[c][1] == 0 {
+			t.Fatalf("empty cluster %d left at origin: centroids=%v", c, res.Centroids)
+		}
+		if res.Centroids[c][0] == seed[c][0] && res.Centroids[c][1] == seed[c][1] {
+			restored++
+		}
+	}
+	if restored != 1 {
+		t.Fatalf("want exactly 1 empty centroid restored to its previous mean, got %d (centroids=%v)", restored, res.Centroids)
+	}
+}
+
+// TestSweepValidatesOnce: validation is hoisted to the sweep boundary — a
+// ragged matrix must fail the whole sweep up front with the same error the
+// public KMeans entry reports.
+func TestSweepValidatesRaggedInput(t *testing.T) {
+	ragged := [][]float64{{1, 2}, {3}}
+	if _, err := Sweep(ragged, 4, Options{Seed: 1}); err == nil {
+		t.Fatal("Sweep accepted ragged input")
+	}
+	if _, err := KMeans(ragged, 1, Options{Seed: 1}); err == nil {
+		t.Fatal("KMeans accepted ragged input")
+	}
+	if _, err := WarmStart(ragged, [][]float64{{0, 0}}, Options{}); err == nil {
+		t.Fatal("WarmStart accepted ragged input")
+	}
+}

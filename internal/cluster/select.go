@@ -126,18 +126,41 @@ func SilhouetteP(points [][]float64, assign []int, k, parallelism int) float64 {
 	if k <= 1 || len(points) < 2 {
 		return 0
 	}
+	return silhouetteFromMatrix(pairwiseDistances(points, parallelism), points, assign, k, parallelism)
+}
+
+// pairwiseDistances computes the full n×n Euclidean distance matrix,
+// row-major. Row i fills j > i and mirrors into column i of the later rows; a
+// later row j only ever writes cells j*n+l with l > j, so the mirrored writes
+// never overlap. Distances run on the sparse kernel over each row's non-zero
+// indices — bit-identical to the dense kernel (see xmath sparse.go), just
+// skipping the zero-zero dimensions that dominate interval feature matrices.
+func pairwiseDistances(points [][]float64, parallelism int) []float64 {
 	n := len(points)
-	// Pairwise distances, row-major. Row i fills j > i and mirrors into
-	// column i of the later rows; a later row j only ever writes cells
-	// j*n+l with l > j, so the mirrored writes never overlap.
+	ps := newPointSet(points)
 	dm := make([]float64, n*n)
 	par.For(n, parallelism, func(i int) {
 		for j := i + 1; j < n; j++ {
-			d := xmath.Euclidean(points[i], points[j])
+			var d float64
+			if ps.sparse {
+				d = xmath.EuclideanSparse(points[i], ps.nz[i], points[j], ps.nz[j])
+			} else {
+				d = xmath.Euclidean(points[i], points[j])
+			}
 			dm[i*n+j] = d
 			dm[j*n+i] = d
 		}
 	})
+	return dm
+}
+
+// silhouetteFromMatrix scores one clustering over a precomputed pairwise
+// distance matrix. Splitting this from SilhouetteP lets a sweep-wide caller
+// (SelectSilhouetteP) pay the O(n²·dim) matrix once and score every k against
+// it; the per-point contributions depend only on dm and assign, so the score
+// is bit-identical to a standalone SilhouetteP call.
+func silhouetteFromMatrix(dm []float64, points [][]float64, assign []int, k, parallelism int) float64 {
+	n := len(points)
 	contrib := make([]float64, n)
 	par.For(n, parallelism, func(i int) {
 		sums := make([]float64, k)
@@ -190,17 +213,27 @@ func SelectSilhouette(points [][]float64, results []*Result) *Result {
 
 // SelectSilhouetteP is SelectSilhouette with an explicit worker-pool bound
 // for the per-k silhouette scoring (0 means GOMAXPROCS).
+//
+// The O(n²) pairwise-distance matrix is computed once and shared by every k
+// in the sweep — it depends only on the points, not the clustering — instead
+// of being rebuilt from scratch per k. Scores are bit-identical to per-k
+// SilhouetteP calls.
 func SelectSilhouetteP(points [][]float64, results []*Result, parallelism int) *Result {
 	if len(results) == 0 {
 		return nil
 	}
 	best := results[0]
 	bestScore := 0.0
+	var dm []float64 // built lazily: a kmax=1 sweep never needs it
 	for _, r := range results {
-		if r.K < 2 {
+		if r.K < 2 || len(points) < 2 {
 			continue
 		}
-		if s := SilhouetteP(points, r.Assign, r.K, parallelism); s > bestScore {
+		obs.C("cluster.silhouette").Inc()
+		if dm == nil {
+			dm = pairwiseDistances(points, parallelism)
+		}
+		if s := silhouetteFromMatrix(dm, points, r.Assign, r.K, parallelism); s > bestScore {
 			best, bestScore = r, s
 		}
 	}

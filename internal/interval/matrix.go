@@ -154,12 +154,23 @@ func (b *MatrixBuilder) Matrix() Matrix {
 // Row materializes the i-th row alone in the current canonical space — the
 // cheap path for a live stage that only needs the newest interval's vector.
 func (b *MatrixBuilder) Row(i int) []float64 {
+	return b.RowInto(i, nil)
+}
+
+// RowInto is Row writing into buf (grown as needed) — the pooled variant for
+// per-interval live paths, which call it once per arriving interval and must
+// not churn the allocator. Steady state (feature space no longer growing) is
+// zero allocations; the returned slice aliases buf's storage when it fits.
+func (b *MatrixBuilder) RowInto(i int, buf []float64) []float64 {
 	names := b.names()
 	n := len(names)
 	if b.opts.Kind == SelfPlusCalls {
 		n *= 2
 	}
-	row := make([]float64, n)
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	row := buf[:n]
 	for j, fn := range names {
 		row[j] = b.rows[i][fn]
 	}
@@ -169,4 +180,39 @@ func (b *MatrixBuilder) Row(i int) []float64 {
 		}
 	}
 	return row
+}
+
+// SparseRow returns the i-th row's non-zero cells as parallel (sorted column
+// index, value) slices in the current canonical space — the builder's native
+// sparse representation exposed without densifying. idx and vals are reused
+// when their capacity allows. Scattering the result into a zero vector of
+// Dims' length reproduces Row(i) exactly.
+func (b *MatrixBuilder) SparseRow(i int, idx []int32, vals []float64) ([]int32, []float64) {
+	names := b.names()
+	idx, vals = idx[:0], vals[:0]
+	for j, fn := range names {
+		if v, ok := b.rows[i][fn]; ok && v != 0 {
+			idx = append(idx, int32(j))
+			vals = append(vals, v)
+		}
+	}
+	if b.opts.Kind == SelfPlusCalls {
+		off := len(names)
+		for j, fn := range names {
+			if n := b.callRows[i][fn]; n != 0 {
+				idx = append(idx, int32(off+j))
+				vals = append(vals, float64(n))
+			}
+		}
+	}
+	return idx, vals
+}
+
+// Dims returns the number of columns a materialized row currently has
+// (NumFuncs, doubled under SelfPlusCalls).
+func (b *MatrixBuilder) Dims() int {
+	if b.opts.Kind == SelfPlusCalls {
+		return 2 * len(b.seen)
+	}
+	return len(b.seen)
 }

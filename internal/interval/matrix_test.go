@@ -138,3 +138,65 @@ func TestBuilderMatrixSnapshotImmutableUnderGrowth(t *testing.T) {
 		t.Fatal("mid-run Matrix snapshot mutated by later growth")
 	}
 }
+
+// RowInto must equal Row for every row and feature kind, reuse the caller's
+// buffer once it is large enough, and keep working across mid-stream feature
+// growth (where the required width changes between calls).
+func TestBuilderRowIntoMatchesRow(t *testing.T) {
+	profiles := growthProfiles(12)
+	for _, kind := range []FeatureKind{SampledSelf, ExactSelf, SelfPlusCalls} {
+		b := NewMatrixBuilder(FeatureOptions{Kind: kind, Exclude: exclude})
+		var buf []float64
+		for i := range profiles {
+			b.Add(&profiles[i])
+			for j := 0; j <= i; j++ {
+				buf = b.RowInto(j, buf)
+				want := b.Row(j)
+				if !reflect.DeepEqual(buf, want) {
+					t.Fatalf("kind=%d RowInto(%d) = %v, want %v", kind, j, buf, want)
+				}
+				if len(want) != b.Dims() {
+					t.Fatalf("kind=%d Dims() = %d, row width %d", kind, b.Dims(), len(want))
+				}
+			}
+		}
+		// Steady state: the feature space has stopped growing, so RowInto
+		// into the warmed buffer must not allocate.
+		if n := testing.AllocsPerRun(100, func() {
+			buf = b.RowInto(3, buf)
+		}); n != 0 {
+			t.Fatalf("kind=%d steady-state RowInto allocates %.1f per call, want 0", kind, n)
+		}
+	}
+}
+
+// SparseRow scattered into a zero vector must reproduce Row exactly, and the
+// index list must be sorted — the contract the clustering sparse kernels
+// assume.
+func TestBuilderSparseRowScattersToRow(t *testing.T) {
+	profiles := growthProfiles(12)
+	for _, kind := range []FeatureKind{SampledSelf, ExactSelf, SelfPlusCalls} {
+		b := NewMatrixBuilder(FeatureOptions{Kind: kind, Exclude: exclude})
+		var idx []int32
+		var vals []float64
+		for i := range profiles {
+			b.Add(&profiles[i])
+			for j := 0; j <= i; j++ {
+				idx, vals = b.SparseRow(j, idx, vals)
+				dense := make([]float64, b.Dims())
+				for m, c := range idx {
+					if m > 0 && idx[m-1] >= c {
+						t.Fatalf("kind=%d SparseRow(%d) indices not sorted: %v", kind, j, idx)
+					}
+					if vals[m] == 0 {
+						t.Fatalf("kind=%d SparseRow(%d) stored an explicit zero", kind, j)
+					}
+					dense[c] = vals[m]
+				}
+				if want := b.Row(j); !reflect.DeepEqual(dense, want) {
+					t.Fatalf("kind=%d SparseRow(%d) scatter = %v, want %v", kind, j, dense, want)
+				}
+			}
+		}
+	}
+}

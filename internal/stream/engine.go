@@ -91,6 +91,8 @@ type Engine struct {
 	mb       *miniBatch
 	sites    *siteCache
 
+	rowBuf []float64 // reused per-interval row scratch for mb.update
+
 	snaps        int
 	sinceRefresh int
 	refreshes    int
@@ -150,7 +152,10 @@ func (e *Engine) consume(p interval.Profile) error {
 		}
 	}
 	if e.mb != nil {
-		e.mb.update(e.builder.Row(len(e.profiles) - 1))
+		// RowInto reuses rowBuf: once the feature space stops growing, the
+		// per-interval live path stops allocating (asserted in alloc_test.go).
+		e.rowBuf = e.builder.RowInto(len(e.profiles)-1, e.rowBuf)
+		e.mb.update(e.rowBuf)
 	}
 	if e.opts.RefreshEvery > 0 {
 		e.sinceRefresh++

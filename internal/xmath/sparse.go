@@ -1,0 +1,106 @@
+// sparse.go holds the sparse-vector distance kernels the clustering hot path
+// runs on. Interval-by-function feature matrices are mostly zeros (a function
+// is active in a few phases, silent elsewhere), so distances between rows can
+// skip the dimensions where both operands are zero.
+//
+// Bit-identity contract: every kernel here returns the EXACT float64 the
+// corresponding dense kernel returns, not an approximation. Two facts make
+// that possible:
+//
+//   - A skipped term is exactly zero: when a[i] and b[i] are both zero the
+//     dense loop adds (0-0)² = +0, and fl(s + 0) == s for every partial sum s
+//     the loop can produce (s is never -0, because squared terms are
+//     non-negative and the accumulator starts at +0).
+//   - The surviving terms are accumulated in ascending index order — the same
+//     order the dense loop uses — so rounding is identical step for step.
+//
+// This is why the clustering code can run sparse end-to-end while its
+// determinism goldens (serial/parallel, batch/live) stay byte-identical.
+package xmath
+
+import "math"
+
+// NonZeroIndices appends the indices of v's non-zero entries to buf (in
+// ascending order) and returns it. Pass a reused buffer to avoid allocation;
+// pass nil to let it allocate.
+func NonZeroIndices(v []float64, buf []int32) []int32 {
+	for i, x := range v {
+		if x != 0 {
+			buf = append(buf, int32(i))
+		}
+	}
+	return buf
+}
+
+// SquaredEuclideanSparse returns SquaredEuclidean(a, b) touching only the
+// dimensions listed in ai and bi — the sorted non-zero index sets of a and b
+// (see NonZeroIndices). The result is bit-identical to the dense kernel.
+func SquaredEuclideanSparse(a []float64, ai []int32, b []float64, bi []int32) float64 {
+	var s float64
+	i, j := 0, 0
+	for i < len(ai) && j < len(bi) {
+		switch {
+		case ai[i] == bi[j]:
+			d := a[ai[i]] - b[bi[j]]
+			s += d * d
+			i++
+			j++
+		case ai[i] < bi[j]:
+			d := a[ai[i]]
+			s += d * d
+			i++
+		default:
+			d := b[bi[j]]
+			s += d * d
+			j++
+		}
+	}
+	for ; i < len(ai); i++ {
+		d := a[ai[i]]
+		s += d * d
+	}
+	for ; j < len(bi); j++ {
+		d := b[bi[j]]
+		s += d * d
+	}
+	return s
+}
+
+// EuclideanSparse is the L2 form of SquaredEuclideanSparse, bit-identical to
+// Euclidean on the dense vectors.
+func EuclideanSparse(a []float64, ai []int32, b []float64, bi []int32) float64 {
+	return math.Sqrt(SquaredEuclideanSparse(a, ai, b, bi))
+}
+
+// SquaredEuclideanBounded accumulates SquaredEuclidean(a, b) but abandons the
+// scan once the partial sum reaches limit, returning (partial, false). A
+// complete scan returns (exact distance, true).
+//
+// Abandoning is exact, not heuristic: squared terms are non-negative, and
+// adding a non-negative float to a partial sum can never decrease it (the
+// nearest float to s+t with t >= 0 is >= s), so partial >= limit proves the
+// full distance is >= limit. Callers comparing distances against a current
+// best with a strict < therefore make exactly the decisions the full
+// computation would. The limit check runs once per 8-dimension block to keep
+// the inner loop tight; any checkpoint spacing preserves exactness.
+func SquaredEuclideanBounded(a, b []float64, limit float64) (float64, bool) {
+	if len(a) != len(b) {
+		panic("xmath: dimension mismatch")
+	}
+	var s float64
+	i := 0
+	for ; i+8 <= len(a); i += 8 {
+		for j := i; j < i+8; j++ {
+			d := a[j] - b[j]
+			s += d * d
+		}
+		if s >= limit {
+			return s, false
+		}
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s, true
+}

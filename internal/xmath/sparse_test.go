@@ -1,0 +1,97 @@
+package xmath
+
+import (
+	"math"
+	"testing"
+)
+
+// sparseVec builds a vector with the given density, mixing positive, negative
+// and exactly-zero entries, plus its non-zero index list.
+func sparseVec(rng *RNG, n int, density float64) ([]float64, []int32) {
+	v := make([]float64, n)
+	for i := range v {
+		if rng.Float64() < density {
+			v[i] = rng.NormFloat64() * 10
+		}
+	}
+	return v, NonZeroIndices(v, nil)
+}
+
+func TestSquaredEuclideanSparseBitIdentical(t *testing.T) {
+	rng := NewRNG(1)
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(64)
+		a, ai := sparseVec(rng, n, 0.3)
+		b, bi := sparseVec(rng, n, 0.3)
+		want := SquaredEuclidean(a, b)
+		got := SquaredEuclideanSparse(a, ai, b, bi)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("trial %d: sparse %v (%b) != dense %v (%b)", trial, got, got, want, want)
+		}
+		if ew, eg := Euclidean(a, b), EuclideanSparse(a, ai, b, bi); math.Float64bits(eg) != math.Float64bits(ew) {
+			t.Fatalf("trial %d: EuclideanSparse %v != Euclidean %v", trial, eg, ew)
+		}
+	}
+}
+
+func TestSquaredEuclideanSparseEdgeCases(t *testing.T) {
+	// All-zero vs all-zero, all-zero vs dense, disjoint supports.
+	zero := make([]float64, 8)
+	dense := []float64{1, -2, 3, -4, 5, -6, 7, -8}
+	di := NonZeroIndices(dense, nil)
+	if got := SquaredEuclideanSparse(zero, nil, zero, nil); got != 0 {
+		t.Fatalf("zero/zero = %v", got)
+	}
+	want := SquaredEuclidean(zero, dense)
+	if got := SquaredEuclideanSparse(zero, nil, dense, di); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("zero/dense = %v, want %v", got, want)
+	}
+	a := []float64{1, 0, 2, 0}
+	b := []float64{0, 3, 0, 4}
+	want = SquaredEuclidean(a, b)
+	got := SquaredEuclideanSparse(a, NonZeroIndices(a, nil), b, NonZeroIndices(b, nil))
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("disjoint = %v, want %v", got, want)
+	}
+}
+
+// TestSquaredEuclideanBoundedExact pins the early-exit contract: a completed
+// scan returns the exact dense distance; an abandoned scan returns a partial
+// sum that is >= limit AND <= the true distance (monotone non-negative
+// accumulation), proving the true distance also exceeds the limit.
+func TestSquaredEuclideanBoundedExact(t *testing.T) {
+	rng := NewRNG(2)
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(40)
+		a, _ := sparseVec(rng, n, 0.6)
+		b, _ := sparseVec(rng, n, 0.6)
+		exact := SquaredEuclidean(a, b)
+		for _, limit := range []float64{0, exact / 2, exact, exact * 2, math.Inf(1)} {
+			got, full := SquaredEuclideanBounded(a, b, limit)
+			if full {
+				if math.Float64bits(got) != math.Float64bits(exact) {
+					t.Fatalf("trial %d: full scan %v != exact %v", trial, got, exact)
+				}
+				continue
+			}
+			if got < limit {
+				t.Fatalf("trial %d: abandoned with partial %v < limit %v", trial, got, limit)
+			}
+			if got > exact {
+				t.Fatalf("trial %d: partial %v exceeds exact %v", trial, got, exact)
+			}
+		}
+	}
+}
+
+func TestNonZeroIndicesReusesBuffer(t *testing.T) {
+	buf := make([]int32, 0, 16)
+	v := []float64{0, 1, 0, -2, 0}
+	got := NonZeroIndices(v, buf)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("indices = %v", got)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("buffer not reused")
+	}
+}
