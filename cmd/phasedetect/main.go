@@ -21,9 +21,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/incprof/incprof/internal/callgraph"
+	"github.com/incprof/incprof/internal/checkpoint"
 	"github.com/incprof/incprof/internal/cluster"
 	"github.com/incprof/incprof/internal/fastphase"
 	"github.com/incprof/incprof/internal/gmon"
@@ -59,6 +62,14 @@ func main() {
 	followPoll := flag.Duration("follow-poll", 200*time.Millisecond, "directory poll interval in -follow mode")
 	followIdle := flag.Duration("follow-idle", 2*time.Second, "end -follow mode after this long without a new dump")
 	refreshEvery := flag.Int("refresh", 10, "full model refresh cadence (intervals) in -follow mode")
+	reorder := flag.Int("reorder", 0, "bounded reorder window for out-of-order dumps in -follow mode; 0 requires in-order arrival")
+	ckptDir := flag.String("checkpoint-dir", "", "durable state directory for -follow: every accepted dump is write-ahead logged and the engine state snapshots every -checkpoint-every dumps, so a killed run resumes with -resume")
+	ckptEvery := flag.Int("checkpoint-every", 25, "snapshot cadence in accepted dumps for -checkpoint-dir")
+	ckptNoSync := flag.Bool("checkpoint-nosync", false, "disable fsync in the checkpoint layer (tests and benchmarks only; crash safety requires sync)")
+	resume := flag.Bool("resume", false, "resume from existing state in -checkpoint-dir (refused without this flag, to catch accidental directory reuse)")
+	maxPending := flag.Int("max-pending", 0, "bound the queue between the tailer and the engine; 0 feeds the engine directly with no queue")
+	shedFlag := flag.String("shed", "block", "full-queue policy with -max-pending: block (backpressure) or drop-oldest (shed dumps become repaired gaps; requires -salvage)")
+	stall := flag.Duration("stall", 0, "watchdog: halt the live pipeline instead of hanging when one engine step exceeds this; 0 disables")
 	obsFlags := obsflag.Register()
 	flag.Parse()
 
@@ -68,6 +79,34 @@ func main() {
 	}
 	if *follow && (*text || *gmonout) {
 		fail(fmt.Errorf("-follow tails binary gmon.out.N dumps only (no -text / -gmonout)"))
+	}
+	if !*follow {
+		for name, set := range map[string]bool{
+			"-checkpoint-dir": *ckptDir != "",
+			"-resume":         *resume,
+			"-max-pending":    *maxPending > 0,
+			"-stall":          *stall > 0,
+			"-reorder":        *reorder > 0,
+		} {
+			if set {
+				fail(fmt.Errorf("%s only applies with -follow", name))
+			}
+		}
+	}
+	var shed stream.ShedPolicy
+	switch *shedFlag {
+	case "block":
+		shed = stream.ShedBlock
+	case "drop-oldest":
+		shed = stream.ShedDropOldest
+		if !*salvage {
+			fail(fmt.Errorf("-shed drop-oldest requires -salvage: a shed dump surfaces as a gap only the robust differencer can repair"))
+		}
+	default:
+		fail(fmt.Errorf("unknown shed policy %q (have block, drop-oldest)", *shedFlag))
+	}
+	if *resume && *ckptDir == "" {
+		fail(fmt.Errorf("-resume requires -checkpoint-dir"))
 	}
 	obsRun, err := obsFlags.Setup(*seed)
 	fail(err)
@@ -117,16 +156,32 @@ func main() {
 	)
 	if *follow {
 		det, profiles, lastSnap = followDir(*dir, opts, policy, followConfig{
-			poll:    *followPoll,
-			idle:    *followIdle,
-			refresh: *refreshEvery,
-			salvage: *salvage,
-			span:    root,
+			poll:       *followPoll,
+			idle:       *followIdle,
+			refresh:    *refreshEvery,
+			reorder:    *reorder,
+			salvage:    *salvage,
+			ckptDir:    *ckptDir,
+			ckptEvery:  *ckptEvery,
+			ckptNoSync: *ckptNoSync,
+			resume:     *resume,
+			maxPending: *maxPending,
+			shed:       shed,
+			stall:      *stall,
+			seed:       *seed,
+			selection:  *selection,
+			algorithm:  *algorithm,
+			span:       root,
 		})
 	} else {
 		det, profiles, lastSnap = batchDir(*dir, opts, policy, *text, *gmonout, *salvage, *parallel, root)
 	}
 
+	if *promote && lastSnap == nil {
+		// A resumed follow that saw no new dumps has no snapshot in hand.
+		fmt.Println("call-graph promotion skipped: no snapshot ingested this run")
+		*promote = false
+	}
 	if *promote {
 		g := callgraph.FromSnapshot(lastSnap)
 		n := callgraph.PromoteDetection(det, g, callgraph.PromoteOptions{Exclude: mpi.IsMPIFunc})
@@ -279,24 +334,45 @@ func batchDir(dir string, opts phase.Options, policy interval.GapPolicy, text, g
 }
 
 type followConfig struct {
-	poll    time.Duration
-	idle    time.Duration
-	refresh int
-	salvage bool
-	span    *obs.Span
+	poll       time.Duration
+	idle       time.Duration
+	refresh    int
+	reorder    int
+	salvage    bool
+	ckptDir    string
+	ckptEvery  int
+	ckptNoSync bool
+	resume     bool
+	maxPending int
+	shed       stream.ShedPolicy
+	stall      time.Duration
+	seed       uint64
+	selection  string
+	algorithm  string
+	span       *obs.Span
 }
 
 // followDir tails the dump directory through the streaming engine. Live
 // progress prints with a "live:" prefix; everything else matches the batch
-// path's output for the same final directory contents.
+// path's output for the same final directory contents. With a checkpoint
+// directory the engine runs behind the durability layer — WAL per dump,
+// periodic snapshots, resumable after a kill — and with -max-pending or
+// -stall a bounded admission queue sits between the tailer and the engine.
 func followDir(dir string, opts phase.Options, policy interval.GapPolicy, cfg followConfig) (*phase.Detection, []interval.Profile, *gmon.Snapshot) {
-	eng := stream.New(stream.Options{
+	// Engine callbacks print live lines; the replaying flag mutes them while
+	// recovery re-feeds WAL'd dumps the previous process already reported.
+	replaying := false
+	engOpts := stream.Options{
 		Robust:       cfg.salvage,
 		Gap:          policy,
+		Reorder:      cfg.reorder,
 		Phase:        opts,
 		RefreshEvery: cfg.refresh,
 		Span:         cfg.span,
 		OnLabel: func(ev online.Event) {
+			if replaying {
+				return
+			}
 			mark := ""
 			if ev.NewPhase {
 				mark = " (new phase)"
@@ -309,7 +385,7 @@ func followDir(dir string, opts phase.Options, policy interval.GapPolicy, cfg fo
 			fmt.Printf("live: interval %d -> phase %d%s\n", ev.Interval, ev.Phase, mark)
 		},
 		OnRefresh: func(r stream.Refresh) {
-			if r.Final {
+			if replaying || r.Final {
 				return
 			}
 			warm := ""
@@ -320,22 +396,138 @@ func followDir(dir string, opts phase.Options, policy interval.GapPolicy, cfg fo
 				r.Index, r.K, r.Intervals, r.SitesReused, r.SitesRecomputed, warm)
 		},
 		OnGap: func(g interval.Gap) {
+			if replaying {
+				return
+			}
 			fmt.Printf("live: gap %s seq %d..%d (%d missing)\n", g.Kind, g.FromSeq, g.ToSeq, g.Missing)
 		},
-	})
-	res, err := incprof.TailDir(dir, eng, incprof.TailOptions{
+	}
+
+	// The sink stack, innermost out: engine, optional checkpoint runner,
+	// optional admission queue.
+	var (
+		eng    *stream.Engine
+		runner *checkpoint.Runner
+		inner  stream.Sink[*gmon.Snapshot] // runner when durable, engine otherwise
+	)
+	if cfg.ckptDir != "" {
+		if !cfg.resume {
+			if entries, err := os.ReadDir(cfg.ckptDir); err == nil && len(entries) > 0 {
+				fail(fmt.Errorf("%s already holds checkpoint state; pass -resume to continue that run or clear the directory", cfg.ckptDir))
+			}
+		}
+		mgr, err := checkpoint.Open(cfg.ckptDir, checkpoint.ManagerOptions{NoSync: cfg.ckptNoSync})
+		fail(err)
+		replaying = true
+		var rec *checkpoint.Recovery
+		runner, rec, err = checkpoint.Start(mgr, checkpoint.RunnerOptions{
+			Config: ckptConfig(opts, policy, cfg),
+			Engine: engOpts,
+			Every:  cfg.ckptEvery,
+		})
+		fail(err)
+		replaying = false
+		for _, skip := range rec.Skipped {
+			fmt.Printf("live: resume: skipped invalid snapshot: %s\n", skip)
+		}
+		if rec.TornWAL {
+			fmt.Println("live: resume: WAL tail was torn; truncated to the last valid record")
+		}
+		if cfg.resume {
+			from := 0
+			if rec.Snapshot != nil {
+				from = rec.Snapshot.Accepted
+			}
+			fmt.Printf("live: resume: snapshot at %d accepted dumps, %d WAL records replayed\n", from, runner.Replayed())
+		}
+		eng = runner.Engine()
+		inner = runner
+	} else {
+		eng = stream.New(engOpts)
+		inner = eng
+	}
+
+	var adm *stream.Admission
+	var head incprof.Sink = inner
+	if cfg.maxPending > 0 || cfg.stall > 0 {
+		adm = stream.NewAdmission(inner, stream.AdmissionOptions{
+			MaxPending: cfg.maxPending,
+			Policy:     cfg.shed,
+			Stall:      cfg.stall,
+			OnShed: func(s *gmon.Snapshot) {
+				if runner != nil {
+					if err := runner.RecordShed(s); err != nil {
+						fmt.Fprintln(os.Stderr, "phasedetect: recording shed dump:", err)
+					}
+				}
+				fmt.Printf("live: shed seq %d (queue full)\n", s.Seq)
+			},
+		})
+		head = adm
+	}
+
+	// SIGTERM/SIGINT end the tail gracefully: stop ingesting, snapshot the
+	// engine state, flush the report. A second signal kills as usual.
+	stop := make(chan struct{})
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		signal.Stop(sigCh)
+		close(stop)
+	}()
+
+	topts := incprof.TailOptions{
 		Poll:    cfg.poll,
 		Idle:    cfg.idle,
 		Salvage: cfg.salvage,
+		Stop:    stop,
 		OnSkip: func(sk incprof.SkippedFile) {
 			fmt.Printf("salvage: skipped %s (seq %d): %v\n", sk.Name, sk.Seq, sk.Err)
 		},
-	})
+	}
+	if runner != nil {
+		topts.Seen = runner.Seen
+	}
+	res, err := incprof.TailDir(dir, head, topts)
+	if err == stream.ErrStalled || (adm != nil && adm.Halted()) {
+		if runner != nil {
+			fmt.Fprintf(os.Stderr, "phasedetect: %v; durable state in %s is current through the WAL, resume with -resume\n", stream.ErrStalled, cfg.ckptDir)
+		} else {
+			fmt.Fprintln(os.Stderr, "phasedetect:", stream.ErrStalled)
+		}
+		os.Exit(1)
+	}
 	fail(err)
-	if res.Emitted == 0 {
+	if res.Stopped {
+		fmt.Println("live: stop signal received; finishing with what has been accepted")
+		if runner != nil {
+			runner.SetSaveOnFlush(true)
+		}
+	}
+	if res.Emitted == 0 && (runner == nil || runner.Accepted() == 0) {
 		fail(fmt.Errorf("no snapshots found in %s", dir))
 	}
-	r, err := eng.Finish()
+	if adm != nil {
+		if err := adm.Flush(); err == stream.ErrStalled {
+			fmt.Fprintln(os.Stderr, "phasedetect:", err)
+			os.Exit(1)
+		} else {
+			fail(err)
+		}
+		if n := adm.Shed(); n > 0 {
+			fmt.Printf("live: %d dumps shed under overload (%s policy)\n", n, cfg.shed)
+		}
+	}
+	var r *stream.Result
+	if runner != nil {
+		if res.Stopped {
+			fmt.Printf("live: state saved to %s; resume with -resume\n", cfg.ckptDir)
+		}
+		r, err = runner.Finish()
+	} else {
+		r, err = eng.Finish()
+	}
 	fail(err)
 	if cfg.salvage {
 		repaired := 0
@@ -347,6 +539,25 @@ func followDir(dir string, opts phase.Options, policy interval.GapPolicy, cfg fo
 		reportGaps(r.Gaps, repaired, policy)
 	}
 	return r.Detection, r.Profiles, res.Last
+}
+
+// ckptConfig fingerprints the analysis options for the checkpoint layer: a
+// resume under any differing value would produce a report matching neither
+// the old run nor a fresh one, so Recover refuses it.
+func ckptConfig(opts phase.Options, policy interval.GapPolicy, cfg followConfig) checkpoint.Config {
+	return checkpoint.Config{
+		Seed:              cfg.seed,
+		KMax:              opts.KMax,
+		CoverageThreshold: opts.CoverageThreshold,
+		Selection:         cfg.selection,
+		Algorithm:         cfg.algorithm,
+		FeatureKind:       opts.Features.Kind.String(),
+		ExcludeMPI:        opts.Features.Exclude != nil,
+		Robust:            cfg.salvage,
+		GapPolicy:         policy.String(),
+		Reorder:           cfg.reorder,
+		RefreshEvery:      cfg.refresh,
+	}
 }
 
 // reportGaps prints the salvage-mode gap summary, shared verbatim by the

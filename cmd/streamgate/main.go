@@ -13,9 +13,17 @@
 // stream is. The samples are written to a JSON report (BENCH_stream.json in
 // CI) so a failure is diagnosable from the artifact alone.
 //
+// With -overload the gate covers the admission stage instead: a producer
+// much faster than a deliberately slow consumer feeds a bounded queue under
+// the drop-oldest shed policy. The assertions become the overload-control
+// contract — the queue never exceeds its bound (heap stays flat no matter
+// how fast the producer runs), load actually sheds, and every produced
+// snapshot is accounted for as either admitted or shed.
+//
 // Usage:
 //
 //	streamgate -n 20000 -funcs 200 -out BENCH_stream.json
+//	streamgate -overload -n 20000 -max-pending 64 -out BENCH_overload.json
 package main
 
 import (
@@ -51,6 +59,10 @@ type gateReport struct {
 	Funcs          int      `json:"funcs"`
 	Robust         bool     `json:"robust"`
 	Reorder        int      `json:"reorder"`
+	Overload       bool     `json:"overload,omitempty"`
+	MaxPending     int      `json:"max_pending,omitempty"`
+	Admitted       int      `json:"admitted,omitempty"`
+	Shed           int      `json:"shed,omitempty"`
 	BaselineBytes  uint64   `json:"baseline_bytes"`
 	FinalBytes     uint64   `json:"final_bytes"`
 	GrowthBytes    int64    `json:"growth_bytes"`
@@ -59,6 +71,20 @@ type gateReport struct {
 	Pass           bool     `json:"pass"`
 }
 
+// slowSink throttles the consumer side so the producer outruns it and the
+// admission queue actually overloads.
+type slowSink struct {
+	down  stream.Sink[*gmon.Snapshot]
+	delay time.Duration
+}
+
+func (s slowSink) Emit(x *gmon.Snapshot) error {
+	time.Sleep(s.delay)
+	return s.down.Emit(x)
+}
+
+func (s slowSink) Flush() error { return s.down.Flush() }
+
 func main() {
 	n := flag.Int("n", 20000, "stream length in snapshots")
 	funcs := flag.Int("funcs", 200, "functions per snapshot")
@@ -66,11 +92,34 @@ func main() {
 	robust := flag.Bool("robust", true, "use the robust differencing kernel")
 	reorder := flag.Int("reorder", 0, "reorder window size")
 	threshold := flag.Int64("threshold", 2<<20, "max allowed heap growth past warmup, bytes")
+	overload := flag.Bool("overload", false, "gate the admission stage: fast producer, bounded queue, slow consumer, drop-oldest shedding")
+	maxPending := flag.Int("max-pending", 64, "admission queue bound in -overload mode")
+	consumerDelay := flag.Duration("consumer-delay", 200*time.Microsecond, "per-snapshot consumer delay in -overload mode")
 	out := flag.String("out", "BENCH_stream.json", "JSON report path; - for stdout")
 	flag.Parse()
 
-	d := stream.NewDifferencer(stream.DifferencerOptions{Robust: *robust, Reorder: *reorder})
-	head := stream.Pipe[*gmon.Snapshot, interval.Profile](d, stream.Discard[interval.Profile]{})
+	if *overload {
+		// Shed dumps surface as gaps only the robust kernel absorbs.
+		*robust = true
+	}
+	dopts := stream.DifferencerOptions{Robust: *robust, Reorder: *reorder}
+	if *overload {
+		// The scale policy emits exactly one profile per observed dump —
+		// gap spans collapse into the dump that ends them — so the profile
+		// count below equals the admitted count no matter how wide the
+		// shed spans happen to be on this machine.
+		dopts.Policy = interval.GapScale
+	}
+	d := stream.NewDifferencer(dopts)
+	var head stream.Sink[*gmon.Snapshot] = stream.Pipe[*gmon.Snapshot, interval.Profile](d, stream.Discard[interval.Profile]{})
+	var adm *stream.Admission
+	if *overload {
+		adm = stream.NewAdmission(slowSink{down: head, delay: *consumerDelay}, stream.AdmissionOptions{
+			MaxPending: *maxPending,
+			Policy:     stream.ShedDropOldest,
+		})
+		head = adm
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	names := make([]string, *funcs)
@@ -83,7 +132,11 @@ func main() {
 
 	warmup := *n / 4
 	decile := (*n - warmup) / 10
-	rep := gateReport{Snapshots: *n, Funcs: *funcs, Robust: *robust, Reorder: *reorder, ThresholdBytes: *threshold}
+	rep := gateReport{Snapshots: *n, Funcs: *funcs, Robust: *robust, Reorder: *reorder,
+		Overload: *overload, ThresholdBytes: *threshold}
+	if *overload {
+		rep.MaxPending = *maxPending
+	}
 	for i := 0; i < *n; i++ {
 		s := &gmon.Snapshot{
 			Seq:          i,
@@ -112,10 +165,26 @@ func main() {
 		}
 	}
 	fail(head.Flush())
-	// The first dump differences against program start, so a clean stream
-	// of n snapshots yields exactly n profiles.
-	if got := d.Profiles(); got != *n {
-		fail(fmt.Errorf("differenced %d profiles from %d snapshots", got, *n))
+	if *overload {
+		rep.Admitted = adm.Admitted()
+		rep.Shed = adm.Shed()
+		// Conservation: every produced snapshot was either handed to the
+		// consumer or deliberately shed — never silently lost.
+		if rep.Admitted+rep.Shed != *n {
+			fail(fmt.Errorf("admitted %d + shed %d != produced %d", rep.Admitted, rep.Shed, *n))
+		}
+		if rep.Shed == 0 {
+			fail(fmt.Errorf("overload never shed: consumer not slow enough to exercise the bound"))
+		}
+		if got := d.Profiles(); got != rep.Admitted {
+			fail(fmt.Errorf("differenced %d profiles from %d admitted snapshots", got, rep.Admitted))
+		}
+	} else {
+		// The first dump differences against program start, so a clean stream
+		// of n snapshots yields exactly n profiles.
+		if got := d.Profiles(); got != *n {
+			fail(fmt.Errorf("differenced %d profiles from %d snapshots", got, *n))
+		}
 	}
 
 	rep.FinalBytes = liveHeap()
@@ -132,8 +201,12 @@ func main() {
 	}
 	fail(err)
 
-	fmt.Printf("streamgate: %d snapshots x %d funcs: heap %d -> %d bytes (growth %+d, threshold %d)\n",
-		rep.Snapshots, rep.Funcs, rep.BaselineBytes, rep.FinalBytes, rep.GrowthBytes, rep.ThresholdBytes)
+	mode := ""
+	if *overload {
+		mode = fmt.Sprintf(" [overload: %d admitted, %d shed, bound %d]", rep.Admitted, rep.Shed, rep.MaxPending)
+	}
+	fmt.Printf("streamgate: %d snapshots x %d funcs: heap %d -> %d bytes (growth %+d, threshold %d)%s\n",
+		rep.Snapshots, rep.Funcs, rep.BaselineBytes, rep.FinalBytes, rep.GrowthBytes, rep.ThresholdBytes, mode)
 	if !rep.Pass {
 		fmt.Fprintln(os.Stderr, "streamgate: steady-state heap grows with stream length")
 		os.Exit(1)

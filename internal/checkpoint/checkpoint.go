@@ -1,0 +1,201 @@
+// Package checkpoint is the durability layer under the streaming engine: it
+// persists the engine's full incremental state (stream.EngineState) as
+// atomic, checksummed snapshot files plus a write-ahead log of the accepted
+// dumps since the last snapshot, and recovers the newest consistent state
+// after a crash. The recovery contract is exact: kill the process between
+// any two accepted dumps, restore from disk, replay the WAL, resume the
+// stream — the terminal report is byte-identical to the uninterrupted run.
+//
+// A state directory holds generations of
+//
+//	ckpt-<accepted>.snap — engine state after <accepted> accepted dumps
+//	wal-<accepted>.log   — dumps accepted after that snapshot
+//
+// Snapshots are written to a temp file, fsynced, and renamed into place, so
+// a crash mid-write leaves the previous generation intact; each file carries
+// a magic, a format version, and a CRC-32C over the payload, so a torn or
+// corrupted snapshot is detected and recovery falls back to the previous
+// generation (whose WAL still holds everything since). WAL records are
+// individually checksummed and the tail is truncated at the first invalid
+// record, so a crash mid-append loses at most the record being written —
+// which the engine had not processed durably anyway.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/incprof/incprof/internal/stream"
+)
+
+const (
+	// snapMagic opens every snapshot file.
+	snapMagic = "INCPCKPT"
+	// snapVersion is the snapshot format version this package writes.
+	snapVersion = 1
+)
+
+// castagnoli is the CRC-32C table shared by snapshots and WAL records.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Config fingerprints the analysis a state directory belongs to. Recover
+// refuses to load a snapshot whose stored config differs from the expected
+// one: resuming under different analysis options would silently produce a
+// report that matches neither run.
+type Config struct {
+	Seed              uint64
+	KMax              int
+	CoverageThreshold float64
+	Selection         string
+	Algorithm         string
+	FeatureKind       string
+	ExcludeMPI        bool
+	Robust            bool
+	GapPolicy         string
+	Reorder           int
+	RefreshEvery      int
+}
+
+// Meta summarizes a snapshot for operators (fsck) without decoding the full
+// engine state.
+type Meta struct {
+	// Intervals is the number of profiles the engine held.
+	Intervals int
+	// Dims is the feature-space dimensionality at snapshot time.
+	Dims int
+	// K is the last refresh's selected phase count, 0 before the first.
+	K int
+	// Gaps and LateDrops count repairs and window drops so far.
+	Gaps      int
+	LateDrops int
+}
+
+// Snapshot is one persisted engine state.
+type Snapshot struct {
+	// Config fingerprints the analysis; Recover verifies it.
+	Config Config
+	// Accepted is the number of dumps accepted when the snapshot was
+	// taken; it names the snapshot's generation and its WAL.
+	Accepted int
+	// LastSeq is the highest dump Seq accepted so far, -1 if none.
+	LastSeq int
+	// SeenSeqs lists every dump Seq the pipeline has disposed of —
+	// accepted into the engine or deliberately shed — sorted ascending.
+	// A resuming tailer skips these files.
+	SeenSeqs []int
+	// Meta is the operator summary.
+	Meta Meta
+	// Engine is the full engine state.
+	Engine *stream.EngineState
+}
+
+// snapPath names a snapshot file for a generation.
+func snapPath(dir string, accepted int) string {
+	return filepath.Join(dir, fmt.Sprintf("ckpt-%016d.snap", accepted))
+}
+
+// walPath names the WAL for a generation.
+func walPath(dir string, accepted int) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016d.log", accepted))
+}
+
+// writeSnapshot writes snap atomically to path: temp file in the same
+// directory, payload + header + checksum, fsync, rename, fsync directory.
+func writeSnapshot(path string, snap *Snapshot) (int64, error) {
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: encoding snapshot: %w", err)
+	}
+	var hdr bytes.Buffer
+	hdr.WriteString(snapMagic)
+	var b [8]byte
+	binary.LittleEndian.PutUint32(b[:4], snapVersion)
+	hdr.Write(b[:4])
+	binary.LittleEndian.PutUint64(b[:], uint64(len(payload)))
+	hdr.Write(b[:])
+	binary.LittleEndian.PutUint32(b[:4], crc32.Checksum(payload, castagnoli))
+	hdr.Write(b[:4])
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*.tmp")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(hdr.Bytes()); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, err
+	}
+	syncDir(dir)
+	return int64(len(hdr.Bytes()) + len(payload)), nil
+}
+
+// readSnapshot loads and validates one snapshot file.
+func readSnapshot(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	hdr := make([]byte, len(snapMagic)+4+8+4)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: short header: %w", filepath.Base(path), err)
+	}
+	if string(hdr[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("checkpoint: %s: bad magic", filepath.Base(path))
+	}
+	off := len(snapMagic)
+	version := binary.LittleEndian.Uint32(hdr[off : off+4])
+	if version != snapVersion {
+		return nil, fmt.Errorf("checkpoint: %s: unsupported version %d (want %d)", filepath.Base(path), version, snapVersion)
+	}
+	off += 4
+	plen := binary.LittleEndian.Uint64(hdr[off : off+8])
+	off += 8
+	want := binary.LittleEndian.Uint32(hdr[off : off+4])
+	const maxSnapshot = 1 << 32
+	if plen > maxSnapshot {
+		return nil, fmt.Errorf("checkpoint: %s: implausible payload length %d", filepath.Base(path), plen)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(f, payload); err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: torn payload: %w", filepath.Base(path), err)
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, fmt.Errorf("checkpoint: %s: checksum mismatch (%08x != %08x)", filepath.Base(path), got, want)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: decoding payload: %w", filepath.Base(path), err)
+	}
+	return &snap, nil
+}
+
+// syncDir fsyncs a directory so a rename is durable; errors are ignored —
+// on filesystems without directory sync the rename is still atomic.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -1,0 +1,244 @@
+// manager.go owns a state directory: which snapshot generation is current,
+// which WAL is open for append, how recovery picks the newest consistent
+// state, and when old generations are garbage-collected.
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"time"
+
+	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/obs"
+)
+
+// keepGenerations is how many snapshot generations survive GC. Two: the
+// newest, plus its predecessor so a snapshot that turns out corrupt on the
+// next recovery still has a fallback whose WAL covers the distance.
+const keepGenerations = 2
+
+// ManagerOptions configures Open.
+type ManagerOptions struct {
+	// NoSync disables per-record WAL fsync and snapshot fsync — for tests
+	// and benchmarks only; crash safety requires sync.
+	NoSync bool
+}
+
+// Manager owns one state directory. It is not safe for concurrent use,
+// matching the single-threaded live path that drives it.
+type Manager struct {
+	dir  string
+	sync bool
+	gen  int // generation (accepted count) of the current snapshot/WAL
+	wal  *WAL
+}
+
+// Open creates (if needed) and opens a state directory. The manager starts
+// on generation 0 with no snapshot; Recover moves it to the newest durable
+// state.
+func Open(dir string, opts ManagerOptions) (*Manager, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Manager{dir: dir, sync: !opts.NoSync}, nil
+}
+
+// Recovery is the result of Recover: the newest valid snapshot (nil when
+// the engine must start fresh) and the WAL records accepted after it, in
+// order.
+type Recovery struct {
+	// Snapshot is the restored state, nil for a fresh start.
+	Snapshot *Snapshot
+	// Records replay the accepted/shed dumps since the snapshot.
+	Records []WALRecord
+	// TornWAL reports that the WAL tail was torn or corrupt and has been
+	// truncated to its last valid record.
+	TornWAL bool
+	// Skipped lists snapshot files that failed validation, newest first,
+	// with the reason — recovery fell back past them.
+	Skipped []string
+}
+
+// Recover loads the newest valid snapshot whose config matches expect (nil
+// skips the check), replays the WAL chain from that generation forward,
+// truncates any torn tail, and leaves the manager appending to the last WAL
+// in the chain. It must be called before the first Append on a dirty
+// directory; on an empty directory it yields a fresh start whose WAL is
+// wal-0.
+//
+// The chain matters when falling back: if the newest snapshot is corrupt,
+// the previous generation's snapshot restores older state, but the dumps
+// accepted after the newer (corrupt) snapshot live in the newer WAL — both
+// WALs replay, in generation order. A torn WAL ends the chain: the records
+// it lost have no durable copy, but their Seqs are therefore absent from
+// the seen set, so a resuming tailer re-ingests them from the dump
+// directory itself — nothing diverges, the dumps just travel through the
+// pipeline again. WALs past a tear (only possible under external
+// corruption, never a pure crash) are removed along with invalid snapshot
+// files, so the directory recovery leaves behind is self-consistent.
+func (m *Manager) Recover(expect *Config) (*Recovery, error) {
+	if m.wal != nil {
+		return nil, fmt.Errorf("checkpoint: Recover after Append")
+	}
+	gens, err := listGenerations(m.dir)
+	if err != nil {
+		return nil, err
+	}
+	rec := &Recovery{}
+	m.gen = 0
+	for i := len(gens) - 1; i >= 0; i-- {
+		snap, err := readSnapshot(snapPath(m.dir, gens[i]))
+		if err != nil {
+			rec.Skipped = append(rec.Skipped, err.Error())
+			obs.C("ckpt.recover.skipped").Inc()
+			os.Remove(snapPath(m.dir, gens[i]))
+			continue
+		}
+		if expect != nil && !reflect.DeepEqual(snap.Config, *expect) {
+			return nil, fmt.Errorf("checkpoint: %s was written under different analysis options; refusing to resume (stored %+v, expected %+v)",
+				snapPath(m.dir, gens[i]), snap.Config, *expect)
+		}
+		rec.Snapshot = snap
+		m.gen = snap.Accepted
+		break
+	}
+	// Replay every WAL from the chosen generation forward, in order.
+	var chain []int
+	for _, g := range listWALs(m.dir) {
+		if g >= m.gen {
+			chain = append(chain, g)
+		}
+	}
+	if len(chain) == 0 {
+		chain = []int{m.gen}
+	}
+	validLen := int64(0)
+	for i, g := range chain {
+		records, vlen, torn, err := replayWAL(walPath(m.dir, g))
+		if err != nil {
+			return nil, err
+		}
+		rec.Records = append(rec.Records, records...)
+		m.gen, validLen = g, vlen
+		if torn {
+			rec.TornWAL = true
+			obs.C("ckpt.wal.torn").Inc()
+			// The chain ends here; anything newer assumed dumps this WAL
+			// lost, so it cannot be replayed on top.
+			for _, later := range chain[i+1:] {
+				os.Remove(walPath(m.dir, later))
+			}
+			break
+		}
+	}
+	m.wal, err = openWAL(walPath(m.dir, m.gen), validLen, m.sync)
+	if err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// ensureWAL opens the current generation's WAL for a manager that skipped
+// Recover (fresh directory).
+func (m *Manager) ensureWAL() error {
+	if m.wal != nil {
+		return nil
+	}
+	_, validLen, _, err := replayWAL(walPath(m.dir, m.gen))
+	if err != nil {
+		return err
+	}
+	m.wal, err = openWAL(walPath(m.dir, m.gen), validLen, m.sync)
+	return err
+}
+
+// Append logs one accepted dump. Call it before handing the dump to the
+// engine — write-ahead, so a crash between the two replays the dump.
+func (m *Manager) Append(s *gmon.Snapshot) error {
+	if err := m.ensureWAL(); err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := m.wal.AppendSnapshot(s); err != nil {
+		return err
+	}
+	obs.C("ckpt.wal.records").Inc()
+	obs.H("ckpt.wal.fsync.latency").Observe(time.Since(start))
+	return nil
+}
+
+// AppendShed logs one deliberately-shed dump Seq.
+func (m *Manager) AppendShed(seq int) error {
+	if err := m.ensureWAL(); err != nil {
+		return err
+	}
+	if err := m.wal.AppendShed(seq); err != nil {
+		return err
+	}
+	obs.C("ckpt.wal.shed").Inc()
+	return nil
+}
+
+// Save atomically writes snap as the new current generation, rotates the
+// WAL to the new generation, and garbage-collects old generations.
+func (m *Manager) Save(snap *Snapshot) error {
+	start := time.Now()
+	n, err := writeSnapshot(snapPath(m.dir, snap.Accepted), snap)
+	if err != nil {
+		return err
+	}
+	if m.wal != nil {
+		if err := m.wal.Close(); err != nil {
+			return err
+		}
+		m.wal = nil
+	}
+	m.gen = snap.Accepted
+	wal, err := openWAL(walPath(m.dir, m.gen), 0, m.sync)
+	if err != nil {
+		return err
+	}
+	m.wal = wal
+	obs.C("ckpt.saves").Inc()
+	obs.C("ckpt.save.bytes").Add(n)
+	obs.H("ckpt.save.latency").Observe(time.Since(start))
+	return m.gc()
+}
+
+// gc removes generations older than the keepGenerations newest. WALs at or
+// above the cutoff survive even without a matching snapshot file — they are
+// links in the replay chain a fallback recovery needs.
+func (m *Manager) gc() error {
+	gens, err := listGenerations(m.dir)
+	if err != nil {
+		return err
+	}
+	if len(gens) <= keepGenerations {
+		return nil
+	}
+	cutoff := gens[len(gens)-keepGenerations]
+	for _, g := range gens[:len(gens)-keepGenerations] {
+		os.Remove(snapPath(m.dir, g))
+		obs.C("ckpt.gc.removed").Inc()
+	}
+	for _, g := range listWALs(m.dir) {
+		if g < cutoff {
+			os.Remove(walPath(m.dir, g))
+		}
+	}
+	return nil
+}
+
+// Close closes the open WAL.
+func (m *Manager) Close() error {
+	if m.wal == nil {
+		return nil
+	}
+	err := m.wal.Close()
+	m.wal = nil
+	return err
+}
+
+// Dir returns the state directory path.
+func (m *Manager) Dir() string { return m.dir }

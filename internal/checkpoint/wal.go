@@ -1,0 +1,187 @@
+// wal.go is the write-ahead log between snapshots: every dump the live
+// pipeline accepts is appended (in gmon binary encoding) before the engine
+// processes it, and every dump the admission queue deliberately sheds leaves
+// a marker, so the accepted stream — and the seen-seq set a resuming tailer
+// needs — can be replayed exactly. Records are individually framed and
+// checksummed; replay stops at the first invalid record and reports the
+// offset of the last valid one, which Open then truncates to, so a torn
+// tail (crash mid-append) costs at most the record being written.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/incprof/incprof/internal/gmon"
+)
+
+// WAL record kinds.
+const (
+	// recSnapshot frames one accepted dump (gmon binary encoding).
+	recSnapshot byte = 'S'
+	// recShed frames one deliberately-shed dump Seq (8 bytes LE).
+	recShed byte = 'G'
+)
+
+// walHeaderLen is kind + payload length + payload CRC.
+const walHeaderLen = 1 + 4 + 4
+
+// WALRecord is one replayed record: exactly one of Snap or Shed is set.
+type WALRecord struct {
+	// Snap is an accepted dump, nil for a shed marker.
+	Snap *gmon.Snapshot
+	// Shed is the shed dump's Seq; valid when Snap is nil.
+	Shed int
+}
+
+// WAL is an append-only log open for writing. It is not safe for concurrent
+// use, matching the single-producer live path that feeds it.
+type WAL struct {
+	f    *os.File
+	sync bool
+	buf  bytes.Buffer
+}
+
+// openWAL opens (creating or appending to) the WAL at path, truncated to
+// validLen when the existing tail is torn. sync selects per-record fsync.
+func openWAL(path string, validLen int64, sync bool) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &WAL{f: f, sync: sync}, nil
+}
+
+// append frames and writes one record.
+func (w *WAL) append(kind byte, payload []byte) error {
+	var hdr [walHeaderLen]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[5:9], crc32.Checksum(payload, castagnoli))
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return err
+	}
+	if w.sync {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+// AppendSnapshot logs one accepted dump ahead of the engine processing it.
+func (w *WAL) AppendSnapshot(s *gmon.Snapshot) error {
+	w.buf.Reset()
+	if err := s.Encode(&w.buf); err != nil {
+		return fmt.Errorf("checkpoint: encoding WAL dump: %w", err)
+	}
+	return w.append(recSnapshot, w.buf.Bytes())
+}
+
+// AppendShed logs one deliberately-shed dump Seq.
+func (w *WAL) AppendShed(seq int) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(int64(seq)))
+	return w.append(recShed, b[:])
+}
+
+// Close syncs and closes the log.
+func (w *WAL) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// replayWAL reads every valid record from path. It returns the records, the
+// byte offset of the end of the last valid record (the length Open should
+// truncate to before appending), and whether the tail was torn or corrupt.
+// A missing file is an empty, untorn log.
+func replayWAL(path string) (recs []WALRecord, validLen int64, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, 0, false, nil
+	}
+	if err != nil {
+		return nil, 0, false, err
+	}
+	off := int64(0)
+	for int64(len(data))-off >= walHeaderLen {
+		kind := data[off]
+		plen := int64(binary.LittleEndian.Uint32(data[off+1 : off+5]))
+		want := binary.LittleEndian.Uint32(data[off+5 : off+9])
+		if kind != recSnapshot && kind != recShed {
+			return recs, off, true, nil
+		}
+		if off+walHeaderLen+plen > int64(len(data)) {
+			return recs, off, true, nil // torn mid-payload
+		}
+		payload := data[off+walHeaderLen : off+walHeaderLen+plen]
+		if crc32.Checksum(payload, castagnoli) != want {
+			return recs, off, true, nil
+		}
+		switch kind {
+		case recSnapshot:
+			s, derr := gmon.Decode(bytes.NewReader(payload))
+			if derr != nil {
+				// The frame checksum passed but the payload does not
+				// decode: treat as corruption, stop here.
+				return recs, off, true, nil
+			}
+			recs = append(recs, WALRecord{Snap: s})
+		case recShed:
+			if plen != 8 {
+				return recs, off, true, nil
+			}
+			recs = append(recs, WALRecord{Snap: nil, Shed: int(int64(binary.LittleEndian.Uint64(payload)))})
+		}
+		off += walHeaderLen + plen
+	}
+	return recs, off, off != int64(len(data)), nil
+}
+
+// walInfoPath is replayWAL plus the file's raw size, for fsck.
+func walSize(path string) int64 {
+	if info, err := os.Stat(path); err == nil {
+		return info.Size()
+	}
+	return 0
+}
+
+// listGenerations returns the snapshot generations present in dir, sorted
+// ascending by accepted count.
+func listGenerations(dir string) ([]int, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "ckpt-*.snap"))
+	if err != nil {
+		return nil, err
+	}
+	var gens []int
+	for _, m := range matches {
+		var n int
+		if _, err := fmt.Sscanf(filepath.Base(m), "ckpt-%d.snap", &n); err == nil {
+			gens = append(gens, n)
+		}
+	}
+	sort.Ints(gens)
+	return gens, nil
+}

@@ -59,6 +59,12 @@ func (k Kind) String() string {
 		return "sample-stall"
 	case KindGarbage:
 		return "garbage"
+	case KindCrash:
+		return "crash"
+	case KindTornSnapshot:
+		return "torn-snapshot"
+	case KindWALCorrupt:
+		return "wal-corrupt"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -30,6 +30,15 @@ type TailOptions struct {
 	Salvage bool
 	// OnSkip, if set, is called for each dump skipped in salvage mode.
 	OnSkip func(SkippedFile)
+	// Seen, if set, marks dumps the pipeline has already disposed of — a
+	// resumed run's accepted and shed Seqs. The tail treats them as done
+	// and never re-emits them.
+	Seen func(seq int) bool
+	// Stop, if set, ends the tail early when it becomes readable or
+	// closed: TailDir returns what it has emitted so far with no error
+	// and no terminal salvage sweep, because the run is not over — the
+	// remaining dumps belong to a later resume.
+	Stop <-chan struct{}
 }
 
 // TailResult summarizes a finished tail.
@@ -40,6 +49,9 @@ type TailResult struct {
 	Skipped []SkippedFile
 	// Last is the final snapshot emitted, nil if none.
 	Last *gmon.Snapshot
+	// Stopped reports the tail ended because opts.Stop fired, not because
+	// the stream went idle.
+	Stopped bool
 }
 
 // dumpFile is one gmon.out.N directory entry.
@@ -99,8 +111,23 @@ func TailDir(dir string, sink Sink, opts TailOptions) (TailResult, error) {
 		obs.C("incprof.tail.emitted").Inc()
 		return nil
 	}
+	stopped := func() bool {
+		if opts.Stop == nil {
+			return false
+		}
+		select {
+		case <-opts.Stop:
+			res.Stopped = true
+			return true
+		default:
+			return false
+		}
+	}
 	idle := time.Duration(0)
 	for {
+		if stopped() {
+			return res, nil
+		}
 		files, err := listDumps(dir)
 		if err != nil {
 			return res, err
@@ -109,6 +136,13 @@ func TailDir(dir string, sink Sink, opts TailOptions) (TailResult, error) {
 		for _, f := range files {
 			if done[f.seq] {
 				continue
+			}
+			if opts.Seen != nil && opts.Seen(f.seq) {
+				done[f.seq] = true
+				continue
+			}
+			if stopped() {
+				return res, nil
 			}
 			s, err := decodeDump(filepath.Join(dir, f.name))
 			if err != nil {
@@ -129,7 +163,16 @@ func TailDir(dir string, sink Sink, opts TailOptions) (TailResult, error) {
 				break
 			}
 		}
-		time.Sleep(opts.Poll)
+		if opts.Stop != nil {
+			select {
+			case <-opts.Stop:
+				res.Stopped = true
+				return res, nil
+			case <-time.After(opts.Poll):
+			}
+		} else {
+			time.Sleep(opts.Poll)
+		}
 	}
 	// The run is over; whatever still fails to decode is corrupt, not
 	// mid-write. Sweep the remainder in order, skipping or failing.
@@ -138,7 +181,7 @@ func TailDir(dir string, sink Sink, opts TailOptions) (TailResult, error) {
 		return res, err
 	}
 	for _, f := range files {
-		if done[f.seq] {
+		if done[f.seq] || (opts.Seen != nil && opts.Seen(f.seq)) {
 			continue
 		}
 		s, err := decodeDump(filepath.Join(dir, f.name))

@@ -505,6 +505,55 @@ func (r *RobustStream) Push(s *gmon.Snapshot) ([]Profile, []Gap) {
 // Profiles returns the number of profiles emitted so far.
 func (r *RobustStream) Profiles() int { return r.nProfiles }
 
+// RobustStreamState is the full serializable state of a RobustStream: a
+// stream restored from it continues exactly where the exported one stopped —
+// same repairs, same indices, same rebased timestamps — which is what the
+// streaming engine's checkpoint/restore path relies on.
+type RobustStreamState struct {
+	Policy    GapPolicy
+	Prev      *gmon.Snapshot
+	PrevAdj   time.Duration
+	TSOffset  time.Duration
+	Started   bool
+	Pushed    int
+	NProfiles int
+}
+
+// State exports the stream's state. The previous snapshot is deep-copied so
+// the state stays valid however the live stream moves on.
+func (r *RobustStream) State() RobustStreamState {
+	st := RobustStreamState{
+		Policy:    r.policy,
+		PrevAdj:   r.prevAdj,
+		TSOffset:  r.tsOffset,
+		Started:   r.started,
+		Pushed:    r.pushed,
+		NProfiles: r.nProfiles,
+	}
+	if r.prev != nil {
+		st.Prev = r.prev.Clone()
+	}
+	return st
+}
+
+// RestoreRobustStream rebuilds a stream from an exported state. Pushing the
+// same suffix of snapshots into the restored stream yields byte-identical
+// profiles and gaps to the original stream continuing uninterrupted.
+func RestoreRobustStream(st RobustStreamState) *RobustStream {
+	r := &RobustStream{
+		policy:    st.Policy,
+		prevAdj:   st.PrevAdj,
+		tsOffset:  st.TSOffset,
+		started:   st.Started,
+		pushed:    st.Pushed,
+		nProfiles: st.NProfiles,
+	}
+	if st.Prev != nil {
+		r.prev = st.Prev.Clone()
+	}
+	return r
+}
+
 // Started reports whether any snapshot has been kept yet.
 func (r *RobustStream) Started() bool { return r.started }
 

@@ -299,6 +299,55 @@ func (t *Tracker) Reseed(names []string, centroids [][]float64, sizes []int) {
 	obs.C("online.reseeds").Inc()
 }
 
+// TrackerState is the full serializable state of a Tracker: the feature
+// space (dimension names in index order), the phase model, and the label
+// history. A tracker restored from it labels the rest of the stream exactly
+// as the exported one would have — the checkpoint/restore contract of the
+// streaming engine.
+type TrackerState struct {
+	// DimNames lists function names in dimension-index order; it rebuilds
+	// the dims map.
+	DimNames    []string
+	Centroids   [][]float64
+	Sizes       []int
+	Assignments []int
+	// LastPhase is the previous interval's phase ID, -1 when none (or just
+	// after a reseed).
+	LastPhase int
+}
+
+// State exports the tracker's state. All slices are deep-copied.
+func (t *Tracker) State() *TrackerState {
+	st := &TrackerState{
+		DimNames:    append([]string(nil), t.dimNames...),
+		Centroids:   make([][]float64, len(t.centroids)),
+		Sizes:       append([]int(nil), t.sizes...),
+		Assignments: append([]int(nil), t.assignments...),
+		LastPhase:   t.lastPhase,
+	}
+	for i, c := range t.centroids {
+		st.Centroids[i] = append([]float64(nil), c...)
+	}
+	return st
+}
+
+// Restore replaces the tracker's state with an exported one (options are the
+// tracker's own, set at New). All slices are deep-copied in.
+func (t *Tracker) Restore(st *TrackerState) {
+	t.dims = make(map[string]int, len(st.DimNames))
+	t.dimNames = append([]string(nil), st.DimNames...)
+	for i, fn := range st.DimNames {
+		t.dims[fn] = i
+	}
+	t.centroids = make([][]float64, len(st.Centroids))
+	for i, c := range st.Centroids {
+		t.centroids[i] = append([]float64(nil), c...)
+	}
+	t.sizes = append([]int(nil), st.Sizes...)
+	t.assignments = append([]int(nil), st.Assignments...)
+	t.lastPhase = st.LastPhase
+}
+
 // Phases returns the number of phases founded so far.
 func (t *Tracker) Phases() int { return len(t.centroids) }
 

@@ -55,12 +55,19 @@ type Differencer struct {
 	// Reorder window, a min-heap by Seq.
 	window snapHeap
 	depth  *obs.Gauge
+
+	// released is the highest Seq already handed to the kernel, -1 before
+	// the first. A snapshot arriving below it is beyond the bounded
+	// window's reach: robust mode will discard it as a GapLate; lateDrops
+	// counts those discards so they are never silent.
+	released  int
+	lateDrops int
 }
 
 // NewDifferencer returns a differencer stage; bind its downstream profile
 // sink with Start before the first Emit.
 func NewDifferencer(opts DifferencerOptions) *Differencer {
-	d := &Differencer{opts: opts}
+	d := &Differencer{opts: opts, released: -1}
 	if opts.Reorder > 0 {
 		d.depth = obs.G("stream.differencer.reorder.depth")
 	}
@@ -96,9 +103,20 @@ func (d *Differencer) Emit(s *gmon.Snapshot) error {
 
 // ingest feeds one snapshot to the differencing kernel.
 func (d *Differencer) ingest(s *gmon.Snapshot) error {
+	if s != nil && s.Seq > d.released {
+		d.released = s.Seq
+	}
 	if d.rs != nil {
 		profiles, gaps := d.rs.Push(s)
 		for _, g := range gaps {
+			if g.Kind == interval.GapLate {
+				// The dump is discarded: it arrived after the bounded
+				// window (or the unbuffered stream) had already released
+				// past its Seq. Count it so the loss is visible in the
+				// ops surface, not just buried in the gap list.
+				d.lateDrops++
+				obs.C("stream.differencer.late_dropped").Inc()
+			}
 			d.gaps = append(d.gaps, g)
 			if obs.Enabled() {
 				obs.C("interval.gaps." + g.Kind.String()).Inc()
@@ -120,6 +138,15 @@ func (d *Differencer) ingest(s *gmon.Snapshot) error {
 	}
 	if s == nil {
 		return fmt.Errorf("stream: nil snapshot")
+	}
+	if d.prev != nil && s.Seq < d.prev.Seq {
+		// Strict mode cannot absorb a dump the bounded reorder window
+		// released past; fail with the real cause rather than the
+		// timestamp-regression error StrictPair would report.
+		d.lateDrops++
+		obs.C("stream.differencer.late_dropped").Inc()
+		return fmt.Errorf("stream: snapshot seq %d arrived after the reorder window (size %d) released seq %d; widen -reorder or run robust",
+			s.Seq, d.opts.Reorder, d.prev.Seq)
 	}
 	p, err := interval.StrictPair(d.prev, s)
 	if err != nil {
@@ -160,6 +187,12 @@ func (d *Differencer) Profiles() int {
 // Gaps returns every gap repaired so far, in stream order — the robust
 // batch path's Result.Gaps, grown incrementally. Nil in strict mode.
 func (d *Differencer) Gaps() []interval.Gap { return d.gaps }
+
+// LateDrops counts dumps discarded because they arrived with a Seq the
+// stream had already released past — the bounded reorder window's loss
+// surface. Robust mode records each as a GapLate gap too; strict mode fails
+// on the first.
+func (d *Differencer) LateDrops() int { return d.lateDrops }
 
 // snapHeap orders buffered snapshots by Seq ascending; ties keep arrival
 // order stable by comparing insertion stamps.

@@ -338,6 +338,9 @@ func (e *Engine) Profiles() []interval.Profile { return e.profiles }
 // Gaps returns the stream discontinuities repaired so far.
 func (e *Engine) Gaps() []interval.Gap { return e.diff.Gaps() }
 
+// Dims returns the feature-space dimensionality accumulated so far.
+func (e *Engine) Dims() int { return e.builder.Dims() }
+
 // Result is the engine's terminal output, mirroring the batch analysis.
 type Result struct {
 	// Detection is the final detection, byte-identical to the batch
@@ -349,6 +352,10 @@ type Result struct {
 	Gaps []interval.Gap
 	// Refreshes counts detection passes, including the final one.
 	Refreshes int
+	// LateDrops counts dumps discarded at the bounded reorder window —
+	// arrivals whose Seq the stream had already released past. Each is
+	// also a GapLate entry in Gaps (robust mode).
+	LateDrops int
 }
 
 // Finish flushes the engine and returns its terminal result.
@@ -361,5 +368,10 @@ func (e *Engine) Finish() (*Result, error) {
 		Profiles:  e.profiles,
 		Gaps:      e.diff.Gaps(),
 		Refreshes: e.refreshes,
+		LateDrops: e.diff.LateDrops(),
 	}, nil
 }
+
+// LateDrops returns the count of dumps discarded at the bounded reorder
+// window so far (see Differencer.LateDrops).
+func (e *Engine) LateDrops() int { return e.diff.LateDrops() }
