@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/incprof/incprof/internal/checkpoint"
@@ -27,32 +28,40 @@ func main() {
 	dir := flag.String("dir", "", "checkpoint directory to inspect")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
 	flag.Parse()
-	if *dir == "" {
-		fmt.Fprintln(os.Stderr, "ckpt: -dir is required")
-		os.Exit(2)
-	}
-	rep, err := checkpoint.Fsck(*dir)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ckpt:", err)
-		os.Exit(2)
-	}
-	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
-			fmt.Fprintln(os.Stderr, "ckpt:", err)
-			os.Exit(2)
-		}
-	} else {
-		render(rep)
-	}
-	if !rep.Healthy {
-		os.Exit(1)
-	}
+	os.Exit(run(*dir, *asJSON, os.Stdout, os.Stderr))
 }
 
-func render(rep *checkpoint.FsckReport) {
-	fmt.Printf("checkpoint directory %s\n", rep.Dir)
+// run is the whole command, parameterized for tests: it returns the exit
+// code instead of calling os.Exit.
+func run(dir string, asJSON bool, stdout, stderr io.Writer) int {
+	if dir == "" {
+		fmt.Fprintln(stderr, "ckpt: -dir is required")
+		return 2
+	}
+	rep, err := checkpoint.Fsck(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "ckpt:", err)
+		return 2
+	}
+	if asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, "ckpt:", err)
+			return 2
+		}
+	} else if err := render(stdout, rep); err != nil {
+		fmt.Fprintln(stderr, "ckpt:", err)
+		return 2
+	}
+	if !rep.Healthy {
+		return 1
+	}
+	return 0
+}
+
+func render(w io.Writer, rep *checkpoint.FsckReport) error {
+	fmt.Fprintf(w, "checkpoint directory %s\n", rep.Dir)
 	st := report.NewTable("Snapshots", "File", "Status", "Accepted", "Last Seq", "Intervals", "Dims", "K", "Gaps", "Bytes")
 	for _, s := range rep.Snaps {
 		status := "ok"
@@ -67,44 +76,43 @@ func render(rep *checkpoint.FsckReport) {
 	if len(rep.Snaps) == 0 {
 		st.AddRow("(none)", "", "", "", "", "", "", "", "")
 	}
-	if err := st.Render(os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "ckpt:", err)
-		os.Exit(2)
+	if err := st.Render(w); err != nil {
+		return err
 	}
 
-	fmt.Println()
+	fmt.Fprintln(w)
 	wt := report.NewTable("WALs", "File", "Records", "Shed", "Seq Range", "Tail", "Bytes")
-	for _, w := range rep.WALs {
+	for _, wal := range rep.WALs {
 		tail := "ok"
-		if w.Torn {
-			tail = fmt.Sprintf("TORN at byte %d of %d", w.ValidBytes, w.Bytes)
+		if wal.Torn {
+			tail = fmt.Sprintf("TORN at byte %d of %d", wal.ValidBytes, wal.Bytes)
 		}
-		if w.Err != "" {
-			tail = "ERROR: " + w.Err
+		if wal.Err != "" {
+			tail = "ERROR: " + wal.Err
 		}
 		rng := "-"
-		if w.FirstSeq >= 0 {
-			rng = fmt.Sprintf("%d..%d", w.FirstSeq, w.LastSeq)
+		if wal.FirstSeq >= 0 {
+			rng = fmt.Sprintf("%d..%d", wal.FirstSeq, wal.LastSeq)
 		}
-		wt.AddRow(w.File, fmt.Sprint(w.Records), fmt.Sprint(w.Shed), rng, tail, fmt.Sprint(w.Bytes))
+		wt.AddRow(wal.File, fmt.Sprint(wal.Records), fmt.Sprint(wal.Shed), rng, tail, fmt.Sprint(wal.Bytes))
 	}
 	if len(rep.WALs) == 0 {
 		wt.AddRow("(none)", "", "", "", "", "")
 	}
-	if err := wt.Render(os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "ckpt:", err)
-		os.Exit(2)
+	if err := wt.Render(w); err != nil {
+		return err
 	}
 
-	fmt.Println()
+	fmt.Fprintln(w)
 	if rep.RecoverGeneration < 0 {
-		fmt.Printf("recovery: fresh start, %d WAL records to replay\n", rep.RecoverRecords)
+		fmt.Fprintf(w, "recovery: fresh start, %d WAL records to replay\n", rep.RecoverRecords)
 	} else {
-		fmt.Printf("recovery: resume from generation %d, %d WAL records to replay\n", rep.RecoverGeneration, rep.RecoverRecords)
+		fmt.Fprintf(w, "recovery: resume from generation %d, %d WAL records to replay\n", rep.RecoverGeneration, rep.RecoverRecords)
 	}
 	if rep.Healthy {
-		fmt.Println("status: healthy")
+		fmt.Fprintln(w, "status: healthy")
 	} else {
-		fmt.Println("status: DEGRADED (recovery will fall back or truncate)")
+		fmt.Fprintln(w, "status: DEGRADED (recovery will fall back or truncate)")
 	}
+	return nil
 }

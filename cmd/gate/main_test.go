@@ -1,0 +1,184 @@
+// Integration tests for the gate CLI itself, against a tiny synthetic
+// registry: task ordering, failure propagation, the regression exit code,
+// and BENCH.json round-tripping byte-identically through append→parse→append.
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/incprof/incprof/internal/gate"
+	"github.com/incprof/incprof/internal/gate/trajectory"
+)
+
+// twoTasks builds a registry where "measure" (dep of "check") records one
+// gated metric with the given value, and both append their names to ran.
+func twoTasks(t *testing.T, value float64, ran *[]string) *gate.Registry {
+	t.Helper()
+	r := gate.NewRegistry()
+	r.MustRegister(gate.Task{
+		Name: "measure", Desc: "record a synthetic figure",
+		Run: func(c *gate.Context) error {
+			*ran = append(*ran, "measure")
+			c.Record("synth/figure", trajectory.Metric{Value: value, Unit: "ns/op", NoisePct: 1})
+			return nil
+		},
+	})
+	r.MustRegister(gate.Task{
+		Name: "check", Desc: "depends on measure", Deps: []string{"measure"},
+		Run: func(c *gate.Context) error {
+			*ran = append(*ran, "check")
+			return nil
+		},
+	})
+	return r
+}
+
+func gateRun(t *testing.T, reg *gate.Registry, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, reg, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunOrderAppendAndRegressionExit(t *testing.T) {
+	history := filepath.Join(t.TempDir(), "BENCH.json")
+
+	// First run: no history, so the run is the baseline; -append records it.
+	var ran []string
+	code, out, errOut := gateRun(t, twoTasks(t, 100, &ran),
+		"-history", history, "-append", "-note", "baseline", "-date", "2026-08-01", "run", "check")
+	if code != 0 {
+		t.Fatalf("baseline run exited %d\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if got := strings.Join(ran, ","); got != "measure,check" {
+		t.Fatalf("task order = %s, want measure,check (dependency first)", got)
+	}
+	if !strings.Contains(out, "no history yet") {
+		t.Errorf("baseline run did not announce itself: %s", out)
+	}
+
+	// Second run, 1% slower: inside the 5%% threshold, appends entry 2.
+	ran = nil
+	code, out, errOut = gateRun(t, twoTasks(t, 101, &ran),
+		"-history", history, "-append", "-date", "2026-08-02", "run", "check")
+	if code != 0 {
+		t.Fatalf("within-threshold run exited %d\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+
+	// Round-trip: the file must parse and re-encode byte-identically, and
+	// hold exactly the two appended entries.
+	raw, err := os.ReadFile(history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj, err := trajectory.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj.Entries) != 2 || traj.Entries[0].Note != "baseline" || traj.Entries[1].Date != "2026-08-02" {
+		t.Fatalf("history = %+v", traj.Entries)
+	}
+	enc, err := traj.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, enc) {
+		t.Fatalf("append -> parse -> encode is not byte-identical:\n%s\nvs\n%s", raw, enc)
+	}
+
+	// Third run regresses 50%: must exit non-zero and NOT append.
+	ran = nil
+	code, out, errOut = gateRun(t, twoTasks(t, 151.5, &ran),
+		"-history", history, "-append", "-date", "2026-08-03", "run", "check")
+	if code != 1 {
+		t.Fatalf("regressed run exited %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if !strings.Contains(errOut, "regression") {
+		t.Errorf("stderr does not name the regression: %s", errOut)
+	}
+	if !strings.Contains(out, "REGRESSED") {
+		t.Errorf("stdout does not mark the regressed metric: %s", out)
+	}
+	after, err := trajectory.Load(history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Entries) != 2 {
+		t.Fatalf("regressed run appended anyway: %d entries", len(after.Entries))
+	}
+}
+
+func TestFailurePropagationSkipsDependents(t *testing.T) {
+	var ran []string
+	r := gate.NewRegistry()
+	r.MustRegister(gate.Task{Name: "broken", Desc: "always fails", Run: func(*gate.Context) error {
+		ran = append(ran, "broken")
+		return errors.New("synthetic failure")
+	}})
+	r.MustRegister(gate.Task{Name: "downstream", Desc: "never runs", Deps: []string{"broken"},
+		Run: func(*gate.Context) error {
+			ran = append(ran, "downstream")
+			return nil
+		}})
+	history := filepath.Join(t.TempDir(), "BENCH.json")
+	code, out, errOut := gateRun(t, r, "-history", history, "run", "downstream")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if got := strings.Join(ran, ","); got != "broken" {
+		t.Fatalf("ran = %s, want broken only", got)
+	}
+	if !strings.Contains(out, "skip") || !strings.Contains(out, "downstream") {
+		t.Errorf("skip not reported: %s", out)
+	}
+	if _, err := os.Stat(history); !os.IsNotExist(err) {
+		t.Error("failed run wrote a history file")
+	}
+}
+
+func TestUsageAndUnknownTasks(t *testing.T) {
+	var ran []string
+	reg := twoTasks(t, 1, &ran)
+	if code, _, _ := gateRun(t, reg); code != 2 {
+		t.Error("no command did not exit 2")
+	}
+	if code, _, _ := gateRun(t, reg, "run"); code != 2 {
+		t.Error("run with no tasks did not exit 2")
+	}
+	if code, _, errOut := gateRun(t, reg, "run", "nosuchtask"); code != 2 || !strings.Contains(errOut, "unknown task") {
+		t.Errorf("unknown task: code %d, stderr %s", code, errOut)
+	}
+	code, out, _ := gateRun(t, reg, "list")
+	if code != 0 || !strings.Contains(out, "measure") || !strings.Contains(out, "deps: measure") {
+		t.Errorf("list: code %d, out %s", code, out)
+	}
+}
+
+func TestReportRendersTrajectory(t *testing.T) {
+	history := filepath.Join(t.TempDir(), "BENCH.json")
+	traj := &trajectory.Trajectory{Version: trajectory.Version}
+	traj.Append(trajectory.Entry{Date: "2026-08-01", Note: "before", Metrics: map[string]trajectory.Metric{
+		"sweep/BenchmarkSweep": {Value: 119172834, Unit: "ns/op", NoisePct: 14.8},
+	}})
+	traj.Append(trajectory.Entry{Date: "2026-08-08", Note: "after", Metrics: map[string]trajectory.Metric{
+		"sweep/BenchmarkSweep": {Value: 28533404, Unit: "ns/op", NoisePct: 4.5},
+	}})
+	if err := traj.Save(history); err != nil {
+		t.Fatal(err)
+	}
+	var ran []string
+	code, out, errOut := gateRun(t, twoTasks(t, 1, &ran), "-history", history, "report")
+	if code != 0 {
+		t.Fatalf("report exited %d: %s", code, errOut)
+	}
+	for _, want := range []string{"#1  2026-08-01  before", "#2  2026-08-08  after", "sweep/BenchmarkSweep", "119.17ms", "28.53ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -161,6 +161,9 @@ func resumeAndFinish(t *testing.T, dir string, robust bool, opts stream.Options,
 // demand byte identity with the uninterrupted run. every=5 places crash
 // points before, on, and after each snapshot boundary.
 func TestKillAnywhereBitIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill-at-every-point sweep; run in the gate job")
+	}
 	snaps := collect(t, "graph500")
 	opts := engOpts(false, 0)
 	want := golden(t, snaps, opts)
@@ -179,6 +182,9 @@ func TestKillAnywhereBitIdentity(t *testing.T) {
 // clustering parallelism 1 and 8 — the recovered state must be invariant
 // under the worker-pool size like every other entry point.
 func TestRecoveryBitIdentityAcrossAppsAndParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full per-app recovery matrix; run in the gate job")
+	}
 	const every = 5
 	for _, name := range apps.Names() {
 		name := name
@@ -246,6 +252,9 @@ func faultyDirSnaps(seed int64, n int) []*gmon.Snapshot {
 // absorption, and the recovered state all line up with the uninterrupted
 // run for every crash point.
 func TestRecoveryOnFaultyStreams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed fault recovery matrix; run in the gate job")
+	}
 	const every = 6
 	for seed := int64(1); seed <= 3; seed++ {
 		snaps := faultyDirSnaps(seed, 40)

@@ -1,0 +1,241 @@
+// Package gate is the repository's unified verification harness: a registry
+// of named tasks with dependencies, a runner with TTY-aware progress, and a
+// shared context tasks use to shell out and to record metrics into the
+// committed BENCH.json trajectory (see the trajectory subpackage).
+//
+// Every check that used to be a bespoke binary or a hand-rolled CI step —
+// determinism diffs, the A12 fault ablation, obs overhead, stream heap,
+// overload shedding, sweep benchmarks, SIGKILL/resume equivalence — is a
+// registered task here (see the tasks subpackage), composable from the
+// command line as `gate run determinism,sweep,...`.
+package gate
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"github.com/incprof/incprof/internal/gate/trajectory"
+)
+
+// Task is one registered verification step. Tasks are identified by name,
+// run in dependency order, and report failure through their Run error; a
+// failed task skips every task depending on it but not its siblings, so one
+// harness run surfaces every independent failure at once.
+type Task struct {
+	// Name is the task's identity: short, lowercase, stable — it is the
+	// command-line handle and the progress label.
+	Name string
+	// Desc is the one-line human description shown by `gate list`.
+	Desc string
+	// Deps names tasks that must succeed before this one runs.
+	Deps []string
+	// Run does the work. It may shell out through the Context, record
+	// trajectory metrics, and write progress to ctx.Out.
+	Run func(ctx *Context) error
+}
+
+// Registry holds the task set in registration order.
+type Registry struct {
+	order []string
+	tasks map[string]Task
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{tasks: make(map[string]Task)}
+}
+
+// Register adds a task. Empty names, duplicate names, and nil Run funcs are
+// errors — the registry is assembled at init time and must be coherent.
+func (r *Registry) Register(t Task) error {
+	if t.Name == "" {
+		return fmt.Errorf("gate: task with empty name")
+	}
+	if t.Run == nil {
+		return fmt.Errorf("gate: task %q has no Run", t.Name)
+	}
+	if _, dup := r.tasks[t.Name]; dup {
+		return fmt.Errorf("gate: task %q registered twice", t.Name)
+	}
+	r.tasks[t.Name] = t
+	r.order = append(r.order, t.Name)
+	return nil
+}
+
+// MustRegister is Register for init-time assembly.
+func (r *Registry) MustRegister(t Task) {
+	if err := r.Register(t); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the named task.
+func (r *Registry) Get(name string) (Task, bool) {
+	t, ok := r.tasks[name]
+	return t, ok
+}
+
+// Names lists every registered task in registration order.
+func (r *Registry) Names() []string {
+	return append([]string(nil), r.order...)
+}
+
+// Resolve expands the requested names into a full execution order:
+// dependencies first, each task exactly once, requested order preserved
+// where dependencies allow. Unknown names and dependency cycles are errors.
+func (r *Registry) Resolve(names []string) ([]Task, error) {
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int)
+	var order []Task
+	var visit func(name string, path []string) error
+	visit = func(name string, path []string) error {
+		switch state[name] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("gate: dependency cycle: %s", strings.Join(append(path, name), " -> "))
+		}
+		t, ok := r.tasks[name]
+		if !ok {
+			return fmt.Errorf("gate: unknown task %q (have: %s)", name, strings.Join(r.order, ", "))
+		}
+		state[name] = visiting
+		for _, dep := range t.Deps {
+			if err := visit(dep, append(path, name)); err != nil {
+				return err
+			}
+		}
+		state[name] = done
+		order = append(order, t)
+		return nil
+	}
+	for _, name := range names {
+		if err := visit(name, nil); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// Context is what a running task sees: where the repository and a scratch
+// directory are, where its log output goes, and the shared metric store that
+// becomes the next trajectory entry. One Context is shared across a run; the
+// runner swaps Out per task.
+type Context struct {
+	// Repo is the repository root — the working directory for every
+	// command a task runs.
+	Repo string
+	// Tmp is a scratch directory private to this harness run, removed
+	// afterwards.
+	Tmp string
+	// Out receives the task's log: command lines, subprocess output,
+	// progress notes. The runner buffers it per task and replays it only
+	// on failure (or live under -v).
+	Out io.Writer
+	// ThresholdPct is the regression threshold tasks with internal perf
+	// contracts (obs overhead) should honor alongside the trajectory gate.
+	ThresholdPct float64
+
+	mu      sync.Mutex
+	metrics map[string]trajectory.Metric
+}
+
+// NewContext returns a context rooted at repo with scratch space in tmp.
+func NewContext(repo, tmp string, thresholdPct float64) *Context {
+	return &Context{
+		Repo:         repo,
+		Tmp:          tmp,
+		Out:          io.Discard,
+		ThresholdPct: thresholdPct,
+		metrics:      make(map[string]trajectory.Metric),
+	}
+}
+
+// Record stores a metric under its namespaced name ("sweep/BenchmarkSweep").
+// Later records win, so a re-run task overwrites its own figures.
+func (c *Context) Record(name string, m trajectory.Metric) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.metrics[name] = m
+}
+
+// Metrics snapshots everything recorded so far.
+func (c *Context) Metrics() map[string]trajectory.Metric {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]trajectory.Metric, len(c.metrics))
+	for k, v := range c.metrics {
+		out[k] = v
+	}
+	return out
+}
+
+// Logf writes a line to the task log.
+func (c *Context) Logf(format string, args ...any) {
+	fmt.Fprintf(c.Out, format+"\n", args...)
+}
+
+// Command builds an *exec.Cmd rooted at the repository with output wired to
+// the task log.
+func (c *Context) Command(name string, args ...string) *exec.Cmd {
+	cmd := exec.Command(name, args...)
+	cmd.Dir = c.Repo
+	cmd.Stdout = c.Out
+	cmd.Stderr = c.Out
+	return cmd
+}
+
+// Exec runs a command, logging its invocation first.
+func (c *Context) Exec(name string, args ...string) error {
+	c.Logf("$ %s %s", name, strings.Join(args, " "))
+	if err := c.Command(name, args...).Run(); err != nil {
+		return fmt.Errorf("%s %s: %w", name, strings.Join(args, " "), err)
+	}
+	return nil
+}
+
+// ExecOutput runs a command and returns its stdout; stderr goes to the task
+// log.
+func (c *Context) ExecOutput(name string, args ...string) ([]byte, error) {
+	c.Logf("$ %s %s", name, strings.Join(args, " "))
+	cmd := exec.Command(name, args...)
+	cmd.Dir = c.Repo
+	cmd.Stderr = c.Out
+	out, err := cmd.Output()
+	if err != nil {
+		return out, fmt.Errorf("%s %s: %w", name, strings.Join(args, " "), err)
+	}
+	return out, nil
+}
+
+// Go runs the go tool.
+func (c *Context) Go(args ...string) error {
+	return c.Exec("go", args...)
+}
+
+// FindRepoRoot walks up from dir looking for go.mod.
+func FindRepoRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("gate: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

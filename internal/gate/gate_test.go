@@ -1,0 +1,152 @@
+package gate
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/incprof/incprof/internal/gate/trajectory"
+)
+
+func reg(t *testing.T, tasks ...Task) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	for _, task := range tasks {
+		if err := r.Register(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func noop(*Context) error { return nil }
+
+func TestRegistryRejectsBadTasks(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(Task{Name: "", Run: noop}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := r.Register(Task{Name: "x"}); err == nil {
+		t.Error("nil Run accepted")
+	}
+	if err := r.Register(Task{Name: "x", Run: noop}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(Task{Name: "x", Run: noop}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestResolveOrdersDependenciesFirst(t *testing.T) {
+	r := reg(t,
+		Task{Name: "c", Deps: []string{"b"}, Run: noop},
+		Task{Name: "b", Deps: []string{"a"}, Run: noop},
+		Task{Name: "a", Run: noop},
+	)
+	order, err := r.Resolve([]string{"c", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, task := range order {
+		names = append(names, task.Name)
+	}
+	if got := strings.Join(names, ","); got != "a,b,c" {
+		t.Fatalf("order = %s, want a,b,c", got)
+	}
+}
+
+func TestResolveUnknownAndCycles(t *testing.T) {
+	r := reg(t,
+		Task{Name: "a", Deps: []string{"b"}, Run: noop},
+		Task{Name: "b", Deps: []string{"a"}, Run: noop},
+	)
+	if _, err := r.Resolve([]string{"nope"}); err == nil {
+		t.Error("unknown task resolved")
+	}
+	if _, err := r.Resolve([]string{"a"}); err == nil {
+		t.Error("cycle resolved")
+	}
+}
+
+func TestRunnerSkipsDependentsButRunsSiblings(t *testing.T) {
+	var ran []string
+	mark := func(name string) func(*Context) error {
+		return func(*Context) error { ran = append(ran, name); return nil }
+	}
+	boom := errors.New("boom")
+	r := reg(t,
+		Task{Name: "a", Run: func(*Context) error { ran = append(ran, "a"); return boom }},
+		Task{Name: "b", Deps: []string{"a"}, Run: mark("b")},
+		Task{Name: "c", Deps: []string{"b"}, Run: mark("c")},
+		Task{Name: "d", Run: mark("d")},
+	)
+	var out bytes.Buffer
+	runner := &Runner{Registry: r, Out: &out}
+	results, err := runner.Run(NewContext(t.TempDir(), t.TempDir(), 5), []string{"c", "d"})
+	if err == nil {
+		t.Fatal("runner reported success despite a failed task")
+	}
+	if got := strings.Join(ran, ","); got != "a,d" {
+		t.Fatalf("ran = %s, want a,d (b and c skipped, d still runs)", got)
+	}
+	byName := map[string]Result{}
+	for _, res := range results {
+		byName[res.Name] = res
+	}
+	if !errors.Is(byName["a"].Err, boom) {
+		t.Errorf("a.Err = %v, want boom", byName["a"].Err)
+	}
+	if !byName["b"].Skipped || byName["b"].SkippedFor != "a" {
+		t.Errorf("b = %+v, want skipped for a", byName["b"])
+	}
+	if !byName["c"].Skipped || byName["c"].SkippedFor != "b" {
+		t.Errorf("c = %+v, want skipped for b", byName["c"])
+	}
+	if byName["d"].Err != nil || byName["d"].Skipped {
+		t.Errorf("d = %+v, want clean run", byName["d"])
+	}
+}
+
+func TestRunnerBuffersOutputAndReplaysOnFailure(t *testing.T) {
+	r := reg(t,
+		Task{Name: "quiet", Run: func(c *Context) error { c.Logf("quiet detail"); return nil }},
+		Task{Name: "loud", Run: func(c *Context) error { c.Logf("loud detail"); return errors.New("bad") }},
+	)
+	var out bytes.Buffer
+	runner := &Runner{Registry: r, Out: &out}
+	if _, err := runner.Run(NewContext(t.TempDir(), t.TempDir(), 5), []string{"quiet", "loud"}); err == nil {
+		t.Fatal("want failure")
+	}
+	if strings.Contains(out.String(), "quiet detail") {
+		t.Error("passing task's log was replayed")
+	}
+	if !strings.Contains(out.String(), "loud detail") {
+		t.Error("failing task's log was not replayed")
+	}
+}
+
+func TestContextRecordsMetrics(t *testing.T) {
+	c := NewContext(t.TempDir(), t.TempDir(), 5)
+	c.Record("x/a", trajectory.Metric{Value: 1, Unit: "ms"})
+	c.Record("x/a", trajectory.Metric{Value: 2, Unit: "ms"})
+	c.Record("x/b", trajectory.Metric{Value: 3, Unit: "count"})
+	m := c.Metrics()
+	if len(m) != 2 || m["x/a"].Value != 2 || m["x/b"].Value != 3 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestFindRepoRoot(t *testing.T) {
+	root, err := FindRepoRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(root, "repo") {
+		t.Logf("root = %s", root) // informational; layout-dependent
+	}
+	if _, err := FindRepoRoot(t.TempDir()); err == nil {
+		t.Error("found a repo root above an isolated temp dir")
+	}
+}

@@ -1,0 +1,145 @@
+// runner.go drives resolved tasks in order with TTY-aware progress: on a
+// terminal each task gets a live status line rewritten in place with a
+// colored verdict and elapsed time; on a pipe (CI logs) the same information
+// is plain start/finish lines. Task output is buffered and replayed only on
+// failure, so a green run is quiet and a red one is diagnosable from the log
+// alone — the aexvir/harness shape, without the dependencies.
+package gate
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+)
+
+// Result is one task's outcome in a harness run.
+type Result struct {
+	Name    string
+	Err     error
+	Skipped bool
+	// SkippedFor names the failed dependency when Skipped.
+	SkippedFor string
+	Elapsed    time.Duration
+}
+
+// Runner executes tasks from a registry with progress reporting.
+type Runner struct {
+	Registry *Registry
+	// Out receives progress lines (and failed tasks' buffered logs).
+	Out io.Writer
+	// Verbose streams task output live instead of buffering it.
+	Verbose bool
+	// Color forces ANSI colors on or off; NewRunner sets it from whether
+	// Out is a terminal.
+	Color bool
+}
+
+// NewRunner builds a runner writing progress to out, with colors when out is
+// a terminal.
+func NewRunner(reg *Registry, out io.Writer, verbose bool) *Runner {
+	return &Runner{Registry: reg, Out: out, Verbose: verbose, Color: isTerminal(out)}
+}
+
+func isTerminal(w io.Writer) bool {
+	f, ok := w.(*os.File)
+	if !ok {
+		return false
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	return st.Mode()&os.ModeCharDevice != 0
+}
+
+func (r *Runner) paint(code, s string) string {
+	if !r.Color {
+		return s
+	}
+	return "\x1b[" + code + "m" + s + "\x1b[0m"
+}
+
+// Run resolves names and executes the resulting order. A task whose
+// dependency failed (or was itself skipped) is skipped, but unrelated tasks
+// still run, so one invocation reports every independent failure. The
+// returned error is non-nil if anything failed.
+func (r *Runner) Run(ctx *Context, names []string) ([]Result, error) {
+	order, err := r.Registry.Resolve(names)
+	if err != nil {
+		return nil, err
+	}
+	bad := make(map[string]bool) // failed or skipped
+	results := make([]Result, 0, len(order))
+	failed := 0
+	for _, t := range order {
+		res := Result{Name: t.Name}
+		for _, dep := range t.Deps {
+			if bad[dep] {
+				res.Skipped, res.SkippedFor = true, dep
+				break
+			}
+		}
+		if res.Skipped {
+			bad[t.Name] = true
+			fmt.Fprintf(r.Out, "%s %s (dependency %s failed)\n", r.paint("33", "- skip"), t.Name, res.SkippedFor)
+			results = append(results, res)
+			continue
+		}
+
+		var buf bytes.Buffer
+		if r.Verbose {
+			fmt.Fprintf(r.Out, "%s %s — %s\n", r.paint("2", ">>"), t.Name, t.Desc)
+			ctx.Out = io.MultiWriter(r.Out, &buf)
+		} else {
+			if r.Color {
+				// Live line, rewritten in place by the verdict.
+				fmt.Fprintf(r.Out, "%s %s — %s", r.paint("2", ".."), t.Name, t.Desc)
+			}
+			ctx.Out = &buf
+		}
+
+		start := time.Now()
+		res.Err = t.Run(ctx)
+		res.Elapsed = time.Since(start)
+		ctx.Out = io.Discard
+		if r.Color && !r.Verbose {
+			fmt.Fprint(r.Out, "\r\x1b[K")
+		}
+		if res.Err != nil {
+			bad[t.Name] = true
+			failed++
+			fmt.Fprintf(r.Out, "%s %s (%s): %v\n", r.paint("31", "x FAIL"), t.Name, round(res.Elapsed), res.Err)
+			if !r.Verbose && buf.Len() > 0 {
+				fmt.Fprintf(r.Out, "%s\n", indent(buf.String()))
+			}
+		} else {
+			fmt.Fprintf(r.Out, "%s %s (%s)\n", r.paint("32", "+ ok  "), t.Name, round(res.Elapsed))
+		}
+		results = append(results, res)
+	}
+	if failed > 0 {
+		return results, fmt.Errorf("gate: %d of %d tasks failed", failed, len(order))
+	}
+	return results, nil
+}
+
+func round(d time.Duration) time.Duration {
+	switch {
+	case d > time.Second:
+		return d.Round(100 * time.Millisecond)
+	case d > time.Millisecond:
+		return d.Round(100 * time.Microsecond)
+	}
+	return d
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = "    | " + l
+	}
+	return strings.Join(lines, "\n")
+}

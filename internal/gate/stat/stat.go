@@ -1,0 +1,123 @@
+// Package stat holds the noise-aware benchmark statistics shared by every
+// perf gate in the verification harness. The model is the classic
+// min-of-rounds trick: a benchmark's figure is the MINIMUM of its repeated
+// measurements — the run least disturbed by the machine — so a genuine
+// slowdown shows up while scheduler jitter does not. A regression only fails
+// a gate when it is also SIGNIFICANT: larger than the measurements' own
+// min-to-max spread, so a tight threshold can be enforced on quiet runners
+// without flaking on loaded ones (where the spread itself exceeds the
+// threshold, no sub-spread delta is distinguishable from noise).
+//
+// This logic used to live inline in cmd/benchgate; it is extracted here so
+// the obs-overhead gate, the sweep trajectory gate, and the BENCH.json
+// regression check all apply exactly the same rules.
+package stat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Figure is one benchmark's summarized measurement: the minimum across its
+// rounds plus the rounds' own min-to-max spread, recorded so later
+// comparisons know how noisy the number was.
+type Figure struct {
+	// Min is the minimum measurement across all rounds.
+	Min float64
+	// NoisePct is the min-to-max spread as a percentage of Min: 0 for a
+	// single round or zero variance.
+	NoisePct float64
+	// Rounds is how many measurements went into the figure.
+	Rounds int
+}
+
+// Summarize reduces repeated measurements to a Figure. Every sample must be
+// finite and positive — benchmark figures are durations or sizes, and a
+// non-positive minimum would make the spread and any later delta undefined.
+func Summarize(samples []float64) (Figure, error) {
+	if len(samples) == 0 {
+		return Figure{}, fmt.Errorf("stat: no samples")
+	}
+	lo, hi := samples[0], samples[0]
+	for _, s := range samples {
+		if math.IsNaN(s) || math.IsInf(s, 0) || s <= 0 {
+			return Figure{}, fmt.Errorf("stat: sample %v is not a positive finite number", s)
+		}
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	return Figure{Min: lo, NoisePct: (hi - lo) / lo * 100, Rounds: len(samples)}, nil
+}
+
+// Verdict is the outcome of gating a current figure against a previous one.
+type Verdict struct {
+	// DeltaPct is the relative change, (cur-prev)/prev, in percent;
+	// positive means the current figure is worse (larger).
+	DeltaPct float64
+	// NoisePct is the guard actually applied: the larger of the two
+	// figures' own spreads, since the entries being compared may come from
+	// differently-loaded machines.
+	NoisePct float64
+	// Significant reports that the delta exceeds the noise guard — it is
+	// distinguishable from machine jitter regardless of its sign.
+	Significant bool
+	// Pass is false only for a regression that is both over the threshold
+	// and significant. A delta exactly at the threshold passes.
+	Pass bool
+}
+
+// Gate compares a current figure against a previous one under a regression
+// threshold (in percent). The comparison fails only when the current minimum
+// is worse by MORE than the threshold AND more than the noise guard — the
+// larger of the two runs' spreads.
+func Gate(prev, cur Figure, thresholdPct float64) (Verdict, error) {
+	if prev.Min <= 0 || math.IsNaN(prev.Min) || math.IsInf(prev.Min, 0) {
+		return Verdict{}, fmt.Errorf("stat: previous figure %v is not gateable", prev.Min)
+	}
+	if math.IsNaN(cur.Min) || math.IsInf(cur.Min, 0) {
+		return Verdict{}, fmt.Errorf("stat: current figure %v is not gateable", cur.Min)
+	}
+	v := Verdict{DeltaPct: (cur.Min - prev.Min) / prev.Min * 100, NoisePct: prev.NoisePct}
+	if cur.NoisePct > v.NoisePct {
+		v.NoisePct = cur.NoisePct
+	}
+	v.Significant = math.Abs(v.DeltaPct) > v.NoisePct
+	v.Pass = v.DeltaPct <= thresholdPct || v.DeltaPct <= v.NoisePct
+	return v, nil
+}
+
+// ParseBench reads `go test -bench` output and returns every ns/op sample
+// seen for each benchmark name. The -cpu/GOMAXPROCS suffix is kept: it is
+// part of the benchmark's identity. Multiple appended runs of the same
+// benchmark accumulate, which is how interleaved rounds are collected.
+func ParseBench(r io.Reader) (map[string][]float64, error) {
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		for i := 2; i < len(fields); i++ {
+			if fields[i] != "ns/op" {
+				continue
+			}
+			ns, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("stat: bad ns/op in %q: %v", sc.Text(), err)
+			}
+			out[fields[0]] = append(out[fields[0]], ns)
+			break
+		}
+	}
+	return out, sc.Err()
+}

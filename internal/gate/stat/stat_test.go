@@ -1,0 +1,173 @@
+package stat
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	cases := []struct {
+		name     string
+		samples  []float64
+		wantMin  float64
+		wantNoise float64
+		wantErr  bool
+	}{
+		{name: "typical rounds", samples: []float64{120, 100, 110}, wantMin: 100, wantNoise: 20},
+		{name: "single round has zero noise", samples: []float64{42}, wantMin: 42, wantNoise: 0},
+		{name: "zero variance has zero noise", samples: []float64{55, 55, 55}, wantMin: 55, wantNoise: 0},
+		{name: "empty", samples: nil, wantErr: true},
+		{name: "zero sample", samples: []float64{100, 0}, wantErr: true},
+		{name: "negative sample", samples: []float64{100, -1}, wantErr: true},
+		{name: "NaN sample", samples: []float64{100, math.NaN()}, wantErr: true},
+		{name: "Inf sample", samples: []float64{100, math.Inf(1)}, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fig, err := Summarize(tc.samples)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("Summarize(%v) = %+v, want error", tc.samples, fig)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Summarize(%v): %v", tc.samples, err)
+			}
+			if fig.Min != tc.wantMin {
+				t.Errorf("Min = %v, want %v", fig.Min, tc.wantMin)
+			}
+			if math.Abs(fig.NoisePct-tc.wantNoise) > 1e-9 {
+				t.Errorf("NoisePct = %v, want %v", fig.NoisePct, tc.wantNoise)
+			}
+			if fig.Rounds != len(tc.samples) {
+				t.Errorf("Rounds = %d, want %d", fig.Rounds, len(tc.samples))
+			}
+		})
+	}
+}
+
+func TestGate(t *testing.T) {
+	cases := []struct {
+		name      string
+		prev, cur Figure
+		threshold float64
+		wantPass  bool
+		wantSig   bool
+		wantDelta float64
+	}{
+		{
+			// The contract boundary: a regression EXACTLY at the threshold
+			// passes; only "more than" fails.
+			name: "regression exactly at threshold passes",
+			prev: Figure{Min: 100}, cur: Figure{Min: 102},
+			threshold: 2, wantPass: true, wantSig: true, wantDelta: 2,
+		},
+		{
+			name: "regression just past threshold with zero variance fails",
+			prev: Figure{Min: 100}, cur: Figure{Min: 102.5},
+			threshold: 2, wantPass: false, wantSig: true, wantDelta: 2.5,
+		},
+		{
+			// The noise guard: a delta inside the baseline's own spread is
+			// indistinguishable from machine jitter, whatever the threshold.
+			name: "regression under baseline noise passes",
+			prev: Figure{Min: 100, NoisePct: 10}, cur: Figure{Min: 108},
+			threshold: 2, wantPass: true, wantSig: false, wantDelta: 8,
+		},
+		{
+			// The guard is the LARGER of the two spreads — entries can come
+			// from differently-loaded machines.
+			name: "regression under current-run noise passes",
+			prev: Figure{Min: 100}, cur: Figure{Min: 108, NoisePct: 12},
+			threshold: 2, wantPass: true, wantSig: false, wantDelta: 8,
+		},
+		{
+			name: "significant regression past both fails",
+			prev: Figure{Min: 100, NoisePct: 3}, cur: Figure{Min: 110, NoisePct: 4},
+			threshold: 2, wantPass: false, wantSig: true, wantDelta: 10,
+		},
+		{
+			name: "improvement always passes",
+			prev: Figure{Min: 100}, cur: Figure{Min: 50},
+			threshold: 2, wantPass: true, wantSig: true, wantDelta: -50,
+		},
+		{
+			// Zero variance on both sides: any over-threshold regression is
+			// significant by definition.
+			name: "zero variance single rounds gate tightly",
+			prev: Figure{Min: 100, NoisePct: 0}, cur: Figure{Min: 103, NoisePct: 0},
+			threshold: 2, wantPass: false, wantSig: true, wantDelta: 3,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v, err := Gate(tc.prev, tc.cur, tc.threshold)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Pass != tc.wantPass {
+				t.Errorf("Pass = %v, want %v (verdict %+v)", v.Pass, tc.wantPass, v)
+			}
+			if v.Significant != tc.wantSig {
+				t.Errorf("Significant = %v, want %v (verdict %+v)", v.Significant, tc.wantSig, v)
+			}
+			if math.Abs(v.DeltaPct-tc.wantDelta) > 1e-9 {
+				t.Errorf("DeltaPct = %v, want %v", v.DeltaPct, tc.wantDelta)
+			}
+		})
+	}
+}
+
+func TestGateRejectsUngateableFigures(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		prev, cur Figure
+	}{
+		{"zero previous", Figure{Min: 0}, Figure{Min: 10}},
+		{"negative previous", Figure{Min: -1}, Figure{Min: 10}},
+		{"NaN previous", Figure{Min: math.NaN()}, Figure{Min: 10}},
+		{"NaN current", Figure{Min: 10}, Figure{Min: math.NaN()}},
+		{"Inf current", Figure{Min: 10}, Figure{Min: math.Inf(1)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Gate(tc.prev, tc.cur, 2); err == nil {
+				t.Fatalf("Gate(%+v, %+v) succeeded, want error", tc.prev, tc.cur)
+			}
+		})
+	}
+}
+
+func TestParseBench(t *testing.T) {
+	const out = `goos: linux
+goarch: amd64
+pkg: github.com/incprof/incprof/internal/cluster
+BenchmarkSweep/parallelism=1-8         	       2	 28533404 ns/op	 1094 B/op	      12 allocs/op
+BenchmarkSweep/parallelism=1-8         	       2	 29100000 ns/op
+BenchmarkSweep/parallelism=8-8         	       2	 28846494 ns/op
+not a benchmark line
+BenchmarkNoUnit-8	100
+PASS
+`
+	got, err := ParseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	p1 := got["BenchmarkSweep/parallelism=1-8"]
+	if len(p1) != 2 || p1[0] != 28533404 || p1[1] != 29100000 {
+		t.Errorf("parallelism=1 samples = %v", p1)
+	}
+	if n := len(got["BenchmarkSweep/parallelism=8-8"]); n != 1 {
+		t.Errorf("parallelism=8 samples = %d, want 1", n)
+	}
+}
+
+func TestParseBenchRejectsBadNumbers(t *testing.T) {
+	if _, err := ParseBench(strings.NewReader("BenchmarkX-8 2 notanumber ns/op\n")); err == nil {
+		t.Fatal("bad ns/op parsed without error")
+	}
+}

@@ -1,0 +1,225 @@
+// determinism.go holds the byte-identity gates: every one runs the real
+// binaries the way an operator would and diffs complete outputs, because the
+// repository's determinism contract is end-to-end ("the report is identical"),
+// not per-function.
+package tasks
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/incprof/incprof/internal/checkpoint"
+	"github.com/incprof/incprof/internal/gate"
+)
+
+// runDeterminism reproduces the CI observability-determinism gate: for a
+// fixed seed, the exported trace tree, metrics snapshot, and the Table 1
+// output they describe must be byte-identical at any -parallel.
+func runDeterminism(c *gate.Context) error {
+	start := time.Now()
+	defer recordWall(c, "determinism", start)
+	bin, err := buildTool(c, "evaluate")
+	if err != nil {
+		return err
+	}
+	type run struct{ trace, metrics, table []byte }
+	do := func(parallel int) (run, error) {
+		tr := filepath.Join(c.Tmp, fmt.Sprintf("trace_p%d.txt", parallel))
+		me := filepath.Join(c.Tmp, fmt.Sprintf("metrics_p%d.json", parallel))
+		table, err := capture(c, bin, "-table", "1", "-scale", "0.2", "-seed", "1",
+			"-parallel", strconv.Itoa(parallel), "-trace", tr, "-metrics", me)
+		if err != nil {
+			return run{}, err
+		}
+		trb, err := os.ReadFile(tr)
+		if err != nil {
+			return run{}, err
+		}
+		meb, err := os.ReadFile(me)
+		if err != nil {
+			return run{}, err
+		}
+		return run{trace: trb, metrics: meb, table: table}, nil
+	}
+	r1, err := do(1)
+	if err != nil {
+		return err
+	}
+	r8, err := do(8)
+	if err != nil {
+		return err
+	}
+	if err := mustIdentical("trace export (parallel 1 vs 8)", r1.trace, r8.trace); err != nil {
+		return err
+	}
+	if err := mustIdentical("metrics snapshot (parallel 1 vs 8)", r1.metrics, r8.metrics); err != nil {
+		return err
+	}
+	return mustIdentical("table 1 output (parallel 1 vs 8)", r1.table, r8.table)
+}
+
+// runA12 reproduces the CI fault-ablation determinism gate: the A12 table
+// (ARI degradation vs drop rate) must be byte-identical at any parallelism
+// for a fixed seed.
+func runA12(c *gate.Context) error {
+	start := time.Now()
+	defer recordWall(c, "a12", start)
+	bin, err := buildTool(c, "evaluate")
+	if err != nil {
+		return err
+	}
+	p1, err := capture(c, bin, "-ablation", "faults", "-scale", "0.2", "-seed", "1", "-parallel", "1")
+	if err != nil {
+		return err
+	}
+	p8, err := capture(c, bin, "-ablation", "faults", "-scale", "0.2", "-seed", "1", "-parallel", "8")
+	if err != nil {
+		return err
+	}
+	return mustIdentical("A12 ablation (parallel 1 vs 8)", p1, p8)
+}
+
+// genDumps runs cmd/incprof to produce a real dump directory for the live
+// gates and returns the rank0 dir.
+func genDumps(c *gate.Context, name string) (string, error) {
+	out := filepath.Join(c.Tmp, name)
+	if err := c.Go("run", "./cmd/incprof", "-app", "graph500", "-scale", "0.2", "-out", out); err != nil {
+		return "", err
+	}
+	return filepath.Join(out, "rank0"), nil
+}
+
+// runFollow reproduces the CI follow-mode equivalence gate: phasedetect
+// -follow tailing a finished dump directory must print the exact batch
+// report once the live: lines are stripped, with and without -salvage.
+func runFollow(c *gate.Context) error {
+	start := time.Now()
+	defer recordWall(c, "follow", start)
+	bin, err := buildTool(c, "phasedetect")
+	if err != nil {
+		return err
+	}
+	src, err := genDumps(c, "followdir")
+	if err != nil {
+		return err
+	}
+	for _, salvage := range []bool{false, true} {
+		args := []string{"-dir", src}
+		label := "follow report"
+		if salvage {
+			args = append(args, "-salvage")
+			label = "follow report (-salvage)"
+		}
+		batch, err := capture(c, bin, args...)
+		if err != nil {
+			return err
+		}
+		follow, err := capture(c, bin, append(args, "-follow", "-follow-poll", "20ms", "-follow-idle", "200ms")...)
+		if err != nil {
+			return err
+		}
+		if err := mustIdentical(label, batch, stripLive(follow)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runRecover reproduces the CI recovery-equivalence gate on the real binary:
+// SIGKILL a durable -follow run mid-stream while dumps are still arriving,
+// resume it against the same state directory, and the resumed report must be
+// byte-identical to an uninterrupted batch run. checkpoint.Fsck then audits
+// the surviving state directory and must call it healthy.
+func runRecover(c *gate.Context) error {
+	start := time.Now()
+	defer recordWall(c, "recover", start)
+	bin, err := buildTool(c, "phasedetect")
+	if err != nil {
+		return err
+	}
+	src, err := genDumps(c, "ckptsrc")
+	if err != nil {
+		return err
+	}
+	golden, err := capture(c, bin, "-dir", src)
+	if err != nil {
+		return err
+	}
+
+	dumps, err := filepath.Glob(filepath.Join(src, "gmon.out.*"))
+	if err != nil || len(dumps) == 0 {
+		return fmt.Errorf("no dumps under %s: %v", src, err)
+	}
+	// Feed in Seq order: gmon.out.N sorts numerically, not lexically.
+	sort.Slice(dumps, func(i, j int) bool {
+		ni, _ := strconv.Atoi(strings.TrimPrefix(filepath.Base(dumps[i]), "gmon.out."))
+		nj, _ := strconv.Atoi(strings.TrimPrefix(filepath.Base(dumps[j]), "gmon.out."))
+		return ni < nj
+	})
+	feed := filepath.Join(c.Tmp, "ckfeed")
+	if err := os.MkdirAll(feed, 0o755); err != nil {
+		return err
+	}
+	state := filepath.Join(c.Tmp, "ckstate")
+
+	// Feeder: dumps arrive while the first life runs and keep arriving
+	// after it is killed, exactly like a live collector.
+	fed := make(chan error, 1)
+	go func() {
+		for _, d := range dumps {
+			data, err := os.ReadFile(d)
+			if err == nil {
+				err = os.WriteFile(filepath.Join(feed, filepath.Base(d)), data, 0o644)
+			}
+			if err != nil {
+				fed <- err
+				return
+			}
+			time.Sleep(30 * time.Millisecond)
+		}
+		fed <- nil
+	}()
+
+	first := c.Command(bin, "-dir", feed, "-follow", "-follow-poll", "10ms", "-follow-idle", "10s",
+		"-checkpoint-dir", state, "-checkpoint-every", "5", "-checkpoint-nosync")
+	first.Stdout, first.Stderr = io.Discard, io.Discard
+	c.Logf("$ %s ... (first life, killed mid-stream)", bin)
+	if err := first.Start(); err != nil {
+		return err
+	}
+	time.Sleep(700 * time.Millisecond)
+	if err := first.Process.Kill(); err != nil {
+		return fmt.Errorf("SIGKILL first life: %w", err)
+	}
+	_ = first.Wait() // killed: error expected
+	if err := <-fed; err != nil {
+		return fmt.Errorf("feeder: %w", err)
+	}
+
+	resumed, err := capture(c, bin, "-dir", feed, "-follow", "-follow-poll", "10ms", "-follow-idle", "300ms",
+		"-checkpoint-dir", state, "-checkpoint-every", "5", "-checkpoint-nosync", "-resume")
+	if err != nil {
+		return err
+	}
+	if err := mustIdentical("resumed report vs batch golden", golden, stripLive(resumed)); err != nil {
+		return err
+	}
+
+	rep, err := checkpoint.Fsck(state)
+	if err != nil {
+		return fmt.Errorf("fsck %s: %w", state, err)
+	}
+	if !rep.Healthy {
+		return fmt.Errorf("state dir %s unhealthy after graceful resume (recover gen %d, %d WAL records)",
+			state, rep.RecoverGeneration, rep.RecoverRecords)
+	}
+	c.Logf("fsck: healthy, recovery would resume from generation %d replaying %d records",
+		rep.RecoverGeneration, rep.RecoverRecords)
+	return nil
+}

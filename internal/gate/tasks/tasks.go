@@ -1,0 +1,171 @@
+// Package tasks registers every verification gate the repository has into a
+// gate.Registry: build hygiene, the full race-enabled test suite, the
+// determinism diffs (obs export and A12 fault ablation), follow-mode and
+// SIGKILL/resume equivalence on the real binary, the absorbed streamgate
+// memory and overload gates, and the absorbed benchgate sweep and
+// obs-overhead perf gates. cmd/gate is a thin CLI over this registry; the CI
+// workflow runs the whole set as `gate ci`.
+package tasks
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/incprof/incprof/internal/gate"
+	"github.com/incprof/incprof/internal/gate/trajectory"
+)
+
+// CISet is the task list `gate ci` runs — every gate the CI workflow used to
+// hand-roll, in dependency-safe order.
+func CISet() []string {
+	return []string{
+		"build", "test",
+		"determinism", "a12", "follow", "recover",
+		"overload", "streamheap",
+		"sweep", "obs",
+	}
+}
+
+// Registry assembles the full task set.
+func Registry() *gate.Registry {
+	r := gate.NewRegistry()
+	r.MustRegister(gate.Task{
+		Name: "build",
+		Desc: "go vet + build, default and obs_off tags",
+		Run:  runBuild,
+	})
+	r.MustRegister(gate.Task{
+		Name: "test",
+		Desc: "full race-enabled test suite (goldens, faults, equivalence)",
+		Deps: []string{"build"},
+		Run:  runTest,
+	})
+	r.MustRegister(gate.Task{
+		Name: "determinism",
+		Desc: "obs trace/metrics/table byte-identical at -parallel 1 vs 8",
+		Deps: []string{"build"},
+		Run:  runDeterminism,
+	})
+	r.MustRegister(gate.Task{
+		Name: "a12",
+		Desc: "A12 fault ablation byte-identical at -parallel 1 vs 8",
+		Deps: []string{"build"},
+		Run:  runA12,
+	})
+	r.MustRegister(gate.Task{
+		Name: "follow",
+		Desc: "phasedetect -follow report byte-identical to batch",
+		Deps: []string{"build"},
+		Run:  runFollow,
+	})
+	r.MustRegister(gate.Task{
+		Name: "recover",
+		Desc: "SIGKILL a durable -follow run, resume, byte-diff vs batch",
+		Deps: []string{"build"},
+		Run:  runRecover,
+	})
+	r.MustRegister(gate.Task{
+		Name: "overload",
+		Desc: "bounded admission sheds deterministically with a flat heap",
+		Deps: []string{"build"},
+		Run:  runOverload,
+	})
+	r.MustRegister(gate.Task{
+		Name: "streamheap",
+		Desc: "streaming differencer holds O(1) heap in the stream length",
+		Deps: []string{"build"},
+		Run:  runStreamHeap,
+	})
+	r.MustRegister(gate.Task{
+		Name: "sweep",
+		Desc: "clustering hot-path benchmarks for the BENCH.json trajectory",
+		Deps: []string{"build"},
+		Run:  runSweep,
+	})
+	r.MustRegister(gate.Task{
+		Name: "obs",
+		Desc: "instrumentation overhead < 2% vs obs_off build, interleaved rounds",
+		Deps: []string{"build"},
+		Run:  runObs,
+	})
+	return r
+}
+
+func runBuild(c *gate.Context) error {
+	if err := c.Go("vet", "./..."); err != nil {
+		return err
+	}
+	if err := c.Go("build", "./..."); err != nil {
+		return err
+	}
+	// The obs_off tag removes even the Enabled() check; both builds must
+	// always compile, and the obs package's disabled-path tests must pass
+	// in the tagged build too.
+	if err := c.Go("build", "-tags", "obs_off", "./..."); err != nil {
+		return err
+	}
+	return c.Go("test", "-tags", "obs_off", "./internal/obs/")
+}
+
+func runTest(c *gate.Context) error {
+	// The full suite: golden reproduction, fault suites, batch/streaming
+	// equivalence, recovery properties — everything -short skips runs here.
+	return c.Go("test", "-race", "-count=1", "./...")
+}
+
+// recordWall stores a task's wall time as an informational trajectory
+// metric, so even the pass/fail gates leave a visible point on the history.
+func recordWall(c *gate.Context, task string, start time.Time) {
+	c.Record(task+"/wall_ms", trajectory.Metric{
+		Value:   float64(time.Since(start).Milliseconds()),
+		Unit:    "ms",
+		Ungated: true,
+	})
+}
+
+// buildTool compiles a cmd/ package into the scratch dir and returns the
+// binary path.
+func buildTool(c *gate.Context, name string) (string, error) {
+	bin := filepath.Join(c.Tmp, name)
+	if err := c.Go("build", "-o", bin, "./cmd/"+name); err != nil {
+		return "", err
+	}
+	return bin, nil
+}
+
+// mustIdentical fails with the first differing line when two captured
+// outputs are not byte-identical.
+func mustIdentical(what string, a, b []byte) error {
+	if bytes.Equal(a, b) {
+		return nil
+	}
+	al, bl := strings.Split(string(a), "\n"), strings.Split(string(b), "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Errorf("%s differs at line %d:\n  a: %s\n  b: %s", what, i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Errorf("%s differs in length: %d vs %d lines", what, len(al), len(bl))
+}
+
+// stripLive drops the live:-prefixed progress lines a -follow run interleaves
+// with the batch report.
+func stripLive(out []byte) []byte {
+	var keep [][]byte
+	for _, line := range bytes.Split(out, []byte("\n")) {
+		if bytes.HasPrefix(line, []byte("live:")) {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return bytes.Join(keep, []byte("\n"))
+}
+
+// capture runs a command from the repo root and returns its stdout, logging
+// stderr to the task log.
+func capture(c *gate.Context, name string, args ...string) ([]byte, error) {
+	return c.ExecOutput(name, args...)
+}

@@ -1,0 +1,104 @@
+package trajectory
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzParse drives the trajectory parser with arbitrary bytes. The invariant
+// under fuzz is the one the regression gate depends on: anything Parse
+// accepts must contain only finite, gateable numbers, and must round-trip
+// byte-identically through Encode — a file the harness appends to can never
+// drift or smuggle a NaN past the significance guard.
+func FuzzParse(f *testing.F) {
+	seeds := [][]byte{
+		// Canonical well-formed history.
+		[]byte(`{
+  "version": 1,
+  "entries": [
+    {
+      "date": "2026-08-08",
+      "note": "exact pruning",
+      "metrics": {
+        "sweep/BenchmarkSweep/parallelism=1": {
+          "value": 28533404,
+          "unit": "ns/op",
+          "noise_pct": 4.461809043183211
+        },
+        "recover/wall_ms": {
+          "value": 5100,
+          "unit": "ms",
+          "noise_pct": 0,
+          "ungated": true
+        }
+      }
+    }
+  ]
+}
+`),
+		// Minimal empty history.
+		[]byte(`{"version": 1, "entries": []}`),
+		// Version from the future.
+		[]byte(`{"version": 2, "entries": []}`),
+		// Truncated mid-entry.
+		[]byte(`{"version": 1, "entries": [{"date": "2026-08-08", "metrics": {"a": {"val`),
+		// NaN/Inf attempts, literal and via exponent and string.
+		[]byte(`{"version": 1, "entries": [{"date": "2026-08-08", "metrics": {"a": {"value": NaN, "unit": "x", "noise_pct": 0}}}]}`),
+		[]byte(`{"version": 1, "entries": [{"date": "2026-08-08", "metrics": {"a": {"value": 1e999, "unit": "x", "noise_pct": 0}}}]}`),
+		[]byte(`{"version": 1, "entries": [{"date": "2026-08-08", "metrics": {"a": {"value": "Infinity", "unit": "x", "noise_pct": 0}}}]}`),
+		// Negative noise, empty unit, empty metrics, bad date.
+		[]byte(`{"version": 1, "entries": [{"date": "2026-08-08", "metrics": {"a": {"value": 1, "unit": "x", "noise_pct": -1}}}]}`),
+		[]byte(`{"version": 1, "entries": [{"date": "2026-08-08", "metrics": {"a": {"value": 1, "unit": "", "noise_pct": 0}}}]}`),
+		[]byte(`{"version": 1, "entries": [{"date": "2026-08-08", "metrics": {}}]}`),
+		[]byte(`{"version": 1, "entries": [{"date": "08/08/2026", "metrics": {"a": {"value": 1, "unit": "x", "noise_pct": 0}}}]}`),
+		// Unknown fields and trailing garbage.
+		[]byte(`{"version": 1, "entries": [], "checksum": "abc"}`),
+		[]byte(`{"version": 1, "entries": []}trailing`),
+		[]byte(`null`),
+		[]byte(``),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		traj, err := Parse(data)
+		if err != nil {
+			return // rejected input is the common, safe outcome
+		}
+		if traj.Version != Version {
+			t.Fatalf("accepted version %d", traj.Version)
+		}
+		for _, e := range traj.Entries {
+			if len(e.Metrics) == 0 {
+				t.Fatalf("accepted entry %q with no metrics", e.Date)
+			}
+			for name, m := range e.Metrics {
+				if name == "" || m.Unit == "" {
+					t.Fatalf("accepted unnamed or unit-less metric %q in %q", name, e.Date)
+				}
+				if math.IsNaN(m.Value) || math.IsInf(m.Value, 0) {
+					t.Fatalf("accepted non-finite value for %q", name)
+				}
+				if math.IsNaN(m.NoisePct) || math.IsInf(m.NoisePct, 0) || m.NoisePct < 0 {
+					t.Fatalf("accepted bad noise_pct %v for %q", m.NoisePct, name)
+				}
+			}
+		}
+		enc1, err := traj.Encode()
+		if err != nil {
+			t.Fatalf("accepted history failed to encode: %v", err)
+		}
+		again, err := Parse(enc1)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to re-parse: %v\n%s", err, enc1)
+		}
+		enc2, err := again.Encode()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("canonical encoding is not a fixed point:\n%s\nvs\n%s", enc1, enc2)
+		}
+	})
+}

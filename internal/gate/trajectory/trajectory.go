@@ -1,0 +1,228 @@
+// Package trajectory is the committed perf history of the repository: one
+// versioned, schema-checked JSON file (BENCH.json) holding one entry per
+// perf-relevant PR, each entry a flat map of namespaced gate metrics
+// ("sweep/BenchmarkSweep/parallelism=1", "stream/heap_growth_bytes", ...).
+// The file is the artifact that turns the gate zoo's throwaway CI reports
+// into a visible trajectory: `cmd/gate run` compares fresh numbers against
+// the newest entry under the stat package's noise-aware significance rules
+// and appends a new entry when asked, and `cmd/gate report` renders the
+// whole history as a table.
+//
+// Parsing is deliberately strict — unknown fields, trailing data, unknown
+// versions, malformed dates, and non-finite or unit-less metrics are all
+// rejected rather than silently gated past — and encoding is canonical, so a
+// file written by Encode round-trips byte-identically through Parse.
+package trajectory
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/incprof/incprof/internal/gate/stat"
+)
+
+// Version is the schema version this package reads and writes. A file with
+// any other version is rejected: the trajectory is committed history, and an
+// unknown schema must never be half-understood by an older binary.
+const Version = 1
+
+// DefaultFile is the committed trajectory's conventional path, relative to
+// the repository root.
+const DefaultFile = "BENCH.json"
+
+// Metric is one gate measurement inside an entry.
+type Metric struct {
+	// Value is the figure itself — for benchmarks the min-of-rounds ns/op.
+	Value float64 `json:"value"`
+	// Unit names what Value measures ("ns/op", "bytes", "count", "ms").
+	Unit string `json:"unit"`
+	// NoisePct is the measurement's own min-to-max spread in percent,
+	// recorded so later comparisons know how noisy the number was.
+	NoisePct float64 `json:"noise_pct"`
+	// Ungated marks informational metrics (wall times, machine-dependent
+	// counters) that are tracked but never regression-gated.
+	Ungated bool `json:"ungated,omitempty"`
+}
+
+// Entry is one point on the trajectory — typically one PR.
+type Entry struct {
+	// Date is the entry's UTC date in 2006-01-02 form.
+	Date string `json:"date"`
+	// Note labels what the entry measured ("exact pruning", "PR 8 baseline").
+	Note string `json:"note,omitempty"`
+	// Metrics maps namespaced metric names to their figures.
+	Metrics map[string]Metric `json:"metrics"`
+}
+
+// Trajectory is the whole committed history, oldest entry first.
+type Trajectory struct {
+	Version int     `json:"version"`
+	Entries []Entry `json:"entries"`
+}
+
+// Parse decodes and validates a trajectory file. It is strict: unknown
+// fields, trailing data, a version other than Version, entries without
+// metrics, malformed dates, empty metric names or units, and non-finite
+// values or spreads are all errors.
+func Parse(data []byte) (*Trajectory, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var t Trajectory
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("trajectory: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, fmt.Errorf("trajectory: trailing data after the history object")
+	}
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+func (t *Trajectory) validate() error {
+	if t.Version != Version {
+		return fmt.Errorf("trajectory: unsupported version %d (want %d)", t.Version, Version)
+	}
+	for i, e := range t.Entries {
+		if _, err := time.Parse("2006-01-02", e.Date); err != nil {
+			return fmt.Errorf("trajectory: entry %d: bad date %q", i, e.Date)
+		}
+		if len(e.Metrics) == 0 {
+			return fmt.Errorf("trajectory: entry %d (%s): no metrics", i, e.Date)
+		}
+		for name, m := range e.Metrics {
+			if name == "" {
+				return fmt.Errorf("trajectory: entry %d (%s): empty metric name", i, e.Date)
+			}
+			if m.Unit == "" {
+				return fmt.Errorf("trajectory: entry %d (%s): metric %q has no unit", i, e.Date, name)
+			}
+			if math.IsNaN(m.Value) || math.IsInf(m.Value, 0) {
+				return fmt.Errorf("trajectory: entry %d (%s): metric %q value is not finite", i, e.Date, name)
+			}
+			if math.IsNaN(m.NoisePct) || math.IsInf(m.NoisePct, 0) || m.NoisePct < 0 {
+				return fmt.Errorf("trajectory: entry %d (%s): metric %q noise_pct %v is not a finite non-negative number", i, e.Date, name, m.NoisePct)
+			}
+		}
+	}
+	return nil
+}
+
+// Load reads and parses the trajectory at path. A missing file is not an
+// error: it yields an empty history, which is how the very first entry gets
+// a file to land in.
+func Load(path string) (*Trajectory, error) {
+	buf, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Trajectory{Version: Version}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	t, err := Parse(buf)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// Encode renders the trajectory in its canonical byte form: two-space
+// indentation, sorted metric names (Go's map marshalling), and a trailing
+// newline. Parse(Encode(t)) followed by Encode yields identical bytes, which
+// is what keeps append→parse→append from churning committed history.
+func (t *Trajectory) Encode() ([]byte, error) {
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	buf, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// Save writes the canonical encoding to path.
+func (t *Trajectory) Save(path string) error {
+	buf, err := t.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// Latest returns the newest entry, or nil for an empty history.
+func (t *Trajectory) Latest() *Entry {
+	if len(t.Entries) == 0 {
+		return nil
+	}
+	return &t.Entries[len(t.Entries)-1]
+}
+
+// Append adds an entry to the end of the history.
+func (t *Trajectory) Append(e Entry) {
+	t.Entries = append(t.Entries, e)
+}
+
+// Comparison is one metric's regression check between two entries.
+type Comparison struct {
+	Name string
+	Prev Metric
+	Cur  Metric
+	stat.Verdict
+}
+
+// Gate compares the gated metrics shared by two entries under the stat
+// package's rules and reports every comparison plus the overall pass. A nil
+// previous entry (empty history) passes trivially: the first entry is the
+// baseline. Metrics marked Ungated on either side, metrics present in only
+// one entry, and metrics whose previous value is non-positive (deltas are
+// undefined) are tracked but never fail the gate.
+func Gate(prev, cur *Entry, thresholdPct float64) ([]Comparison, bool) {
+	if prev == nil || cur == nil {
+		return nil, true
+	}
+	names := make([]string, 0, len(prev.Metrics))
+	for name := range prev.Metrics {
+		if _, ok := cur.Metrics[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	pass := true
+	comps := make([]Comparison, 0, len(names))
+	for _, name := range names {
+		p, c := prev.Metrics[name], cur.Metrics[name]
+		comp := Comparison{Name: name, Prev: p, Cur: c}
+		if p.Ungated || c.Ungated || p.Value <= 0 {
+			comp.Pass = true
+			comps = append(comps, comp)
+			continue
+		}
+		v, err := stat.Gate(
+			stat.Figure{Min: p.Value, NoisePct: p.NoisePct},
+			stat.Figure{Min: c.Value, NoisePct: c.NoisePct},
+			thresholdPct,
+		)
+		if err != nil {
+			// validate() guarantees finite values and p.Value > 0 was
+			// checked above, so this cannot happen; fail closed if it does.
+			comp.Pass = false
+			pass = false
+			comps = append(comps, comp)
+			continue
+		}
+		comp.Verdict = v
+		if !v.Pass {
+			pass = false
+		}
+		comps = append(comps, comp)
+	}
+	return comps, pass
+}

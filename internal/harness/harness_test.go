@@ -136,6 +136,9 @@ func TestPaperDataComplete(t *testing.T) {
 }
 
 func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("every ablation over every app; run in the gate job")
+	}
 	for _, name := range AblationNames {
 		name := name
 		t.Run(name, func(t *testing.T) {

@@ -69,6 +69,9 @@ func checkGolden(t *testing.T, path string, got []byte) {
 // and an 8-worker run — the observability layer honors the same determinism
 // contract as the analysis results it describes.
 func TestObsGoldenPerApp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full per-app observability reproduction; run in the gate job")
+	}
 	requireObs(t)
 	for _, app := range []string{"graph500", "minife", "miniamr", "lammps", "gadget"} {
 		app := app
@@ -91,6 +94,9 @@ func TestObsGoldenPerApp(t *testing.T) {
 // asserts the bytes match between parallelism settings, with the trace of the
 // run exported alongside — the same artifact `evaluate -table 1 -trace` emits.
 func TestObsGoldenTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table-1 reproduction at two parallelism levels; run in the gate job")
+	}
 	requireObs(t)
 	render := func(parallelism int) (table, trace []byte) {
 		obs.Enable(obs.Config{Seed: 1})

@@ -4,7 +4,7 @@ package obs
 
 // compiledOut is true under -tags obs_off: Enabled() becomes a compile-time
 // false and every instrumentation call in the repo folds to a nil check the
-// compiler can eliminate. The benchmark regression gate (cmd/benchgate)
-// compares this build against the default disabled-at-runtime build to bound
-// the cost of the instrumentation points themselves.
+// compiler can eliminate. The harness's obs gate (cmd/gate run obs) compares
+// this build against the default disabled-at-runtime build to bound the cost
+// of the instrumentation points themselves.
 const compiledOut = true
