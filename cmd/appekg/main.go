@@ -31,9 +31,11 @@ import (
 	"github.com/incprof/incprof/internal/pipeline"
 	"github.com/incprof/incprof/internal/report"
 
+	_ "github.com/incprof/incprof/internal/apps/allocgc"
 	_ "github.com/incprof/incprof/internal/apps/gadget"
 	_ "github.com/incprof/incprof/internal/apps/graph500"
 	_ "github.com/incprof/incprof/internal/apps/lammps"
+	_ "github.com/incprof/incprof/internal/apps/microsvc"
 	_ "github.com/incprof/incprof/internal/apps/miniamr"
 	_ "github.com/incprof/incprof/internal/apps/minife"
 )

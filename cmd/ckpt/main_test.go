@@ -16,7 +16,7 @@ import (
 	"github.com/incprof/incprof/internal/checkpoint"
 	"github.com/incprof/incprof/internal/cluster"
 	"github.com/incprof/incprof/internal/faults"
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/interval"
 	"github.com/incprof/incprof/internal/mpi"
 	"github.com/incprof/incprof/internal/phase"
@@ -50,15 +50,15 @@ func buildState(t *testing.T, dir string) {
 	period := 10 * time.Millisecond
 	cum := make([]int64, 8)
 	for i := 0; i < 12; i++ {
-		s := &gmon.Snapshot{
+		s := &profile.Sample{
 			Seq:          i,
 			Timestamp:    time.Duration(i+1) * time.Second,
 			SamplePeriod: period,
-			Funcs:        make([]gmon.FuncRecord, len(cum)),
+			Funcs:        make([]profile.FuncRecord, len(cum)),
 		}
 		for j := range cum {
 			cum[j] += int64((i*7+j*3)%11) + 1
-			s.Funcs[j] = gmon.FuncRecord{
+			s.Funcs[j] = profile.FuncRecord{
 				Name:     fmt.Sprintf("fn_%02d", j),
 				Samples:  cum[j],
 				SelfTime: time.Duration(cum[j]) * period,

@@ -72,10 +72,29 @@ func run(args []string, reg *gate.Registry, stdout, stderr io.Writer) int {
 	note := fs.String("note", "", "label stored with an appended entry")
 	date := fs.String("date", "", "date for an appended entry, YYYY-MM-DD (default today, UTC)")
 	verbose := fs.Bool("v", false, "stream task output instead of buffering it")
-	if err := fs.Parse(args); err != nil {
-		return 2
+	// Flags may appear before or after the subcommand (`gate ci -threshold
+	// 50` and `gate run ci -append` are both documented forms); the stdlib
+	// parser stops at the first positional, so collect positionals and
+	// re-parse the remainder until the argument list is exhausted.
+	var pos []string
+	for {
+		if err := fs.Parse(args); err != nil {
+			return 2
+		}
+		args = fs.Args()
+		if len(args) == 0 {
+			break
+		}
+		pos = append(pos, args[0])
+		args = args[1:]
 	}
-	switch fs.Arg(0) {
+	arg := func(i int) string {
+		if i < len(pos) {
+			return pos[i]
+		}
+		return ""
+	}
+	switch arg(0) {
 	case "list":
 		for _, name := range reg.Names() {
 			t, _ := reg.Get(name)
@@ -89,7 +108,7 @@ func run(args []string, reg *gate.Registry, stdout, stderr io.Writer) int {
 	case "report":
 		return doReport(*history, stdout, stderr)
 	case "run":
-		names := splitTasks(fs.Arg(1))
+		names := splitTasks(arg(1))
 		if len(names) == 0 {
 			fmt.Fprintln(stderr, "gate: run needs a comma-separated task list")
 			fmt.Fprint(stderr, usage)

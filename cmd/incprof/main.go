@@ -22,13 +22,16 @@ import (
 	"time"
 
 	"github.com/incprof/incprof/internal/apps"
+	"github.com/incprof/incprof/internal/gmon"
 	"github.com/incprof/incprof/internal/incprof"
 	"github.com/incprof/incprof/internal/mpi"
 	"github.com/incprof/incprof/internal/profiler"
 
+	_ "github.com/incprof/incprof/internal/apps/allocgc"
 	_ "github.com/incprof/incprof/internal/apps/gadget"
 	_ "github.com/incprof/incprof/internal/apps/graph500"
 	_ "github.com/incprof/incprof/internal/apps/lammps"
+	_ "github.com/incprof/incprof/internal/apps/microsvc"
 	_ "github.com/incprof/incprof/internal/apps/miniamr"
 	_ "github.com/incprof/incprof/internal/apps/minife"
 )
@@ -87,7 +90,7 @@ func main() {
 		if len(snaps) > 0 {
 			f, err := os.Create(filepath.Join(*out, "callgraph.txt"))
 			fail(err)
-			fail(snaps[len(snaps)-1].CallGraphReport(f))
+			fail(gmon.CallGraphReport(f, snaps[len(snaps)-1]))
 			fail(f.Close())
 		}
 	}

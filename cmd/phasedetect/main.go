@@ -9,19 +9,28 @@
 // lines, and the final report is identical to a batch run over the finished
 // directory (filter with `grep -v '^live:'` to compare).
 //
+// Input arrives through the profile.Format registry: gmon.out.N canonical
+// dumps, pprof.out.N Go pprof protobufs, or perf.out.N folded stacks, chosen
+// with -format or auto-detected from the file names in -dir. All formats
+// flow through the same differencer and analysis core, so the same logical
+// run produces the same report whichever profiler captured it.
+//
 // Usage:
 //
 //	phasedetect -dir profiles/rank0
+//	phasedetect -dir profiles/rank0 -format pprof  # Go pprof protobuf dumps
 //	phasedetect -dir profiles/rank0 -text          # parse gprof.txt.N instead
 //	phasedetect -dir profiles/rank0 -selection silhouette -threshold 0.9
 //	phasedetect -dir profiles/rank0 -follow        # live mode
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -29,20 +38,25 @@ import (
 	"github.com/incprof/incprof/internal/checkpoint"
 	"github.com/incprof/incprof/internal/cluster"
 	"github.com/incprof/incprof/internal/fastphase"
-	"github.com/incprof/incprof/internal/gmon"
+	_ "github.com/incprof/incprof/internal/gcov" // register the jacoco frontend
+	_ "github.com/incprof/incprof/internal/gmon" // register the gmon frontend
 	"github.com/incprof/incprof/internal/incprof"
 	"github.com/incprof/incprof/internal/interval"
 	"github.com/incprof/incprof/internal/mpi"
 	"github.com/incprof/incprof/internal/obs"
 	"github.com/incprof/incprof/internal/obs/obsflag"
 	"github.com/incprof/incprof/internal/online"
+	_ "github.com/incprof/incprof/internal/perfscript" // register the perf frontend
 	"github.com/incprof/incprof/internal/phase"
+	_ "github.com/incprof/incprof/internal/pprof" // register the pprof frontend
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/report"
 	"github.com/incprof/incprof/internal/stream"
 )
 
 func main() {
-	dir := flag.String("dir", "", "directory holding gmon.out.N snapshots (one rank)")
+	dir := flag.String("dir", "", "directory holding profile dumps for one rank (gmon.out.N, pprof.out.N, or perf.out.N)")
+	formatFlag := flag.String("format", "auto", "dump format: auto, "+strings.Join(profile.Names(), ", ")+" (auto detects from the file names in -dir)")
 	text := flag.Bool("text", false, "ingest gprof.txt.N flat-profile text instead of binary dumps")
 	gmonout := flag.Bool("gmonout", false, "ingest real-format gmon.out.N dumps (with symbols.out.N sidecars)")
 	kmax := flag.Int("kmax", 8, "maximum k for the k-means sweep")
@@ -78,7 +92,28 @@ func main() {
 		os.Exit(2)
 	}
 	if *follow && (*text || *gmonout) {
-		fail(fmt.Errorf("-follow tails binary gmon.out.N dumps only (no -text / -gmonout)"))
+		fail(fmt.Errorf("-follow tails registry-format dumps only (no -text / -gmonout)"))
+	}
+	var ffmt *profile.Format
+	switch {
+	case *text || *gmonout:
+		if *formatFlag != "auto" && *formatFlag != "gmon" {
+			fail(fmt.Errorf("-text and -gmonout are gprof-family inputs and cannot combine with -format %s", *formatFlag))
+		}
+	case *formatFlag == "auto":
+		// Batch mode detects now; -follow detects lazily inside followDir,
+		// because the directory may still be empty when the tail starts.
+		if !*follow {
+			f, derr := profile.DetectDir(*dir)
+			fail(derr)
+			ffmt = f
+		}
+	default:
+		f, ok := profile.Lookup(*formatFlag)
+		if !ok {
+			fail(fmt.Errorf("unknown format %q (have auto, %s)", *formatFlag, strings.Join(profile.Names(), ", ")))
+		}
+		ffmt = f
 	}
 	if !*follow {
 		for name, set := range map[string]bool{
@@ -152,10 +187,11 @@ func main() {
 	var (
 		det      *phase.Detection
 		profiles []interval.Profile
-		lastSnap *gmon.Snapshot
+		lastSnap *profile.Sample
 	)
 	if *follow {
 		det, profiles, lastSnap = followDir(*dir, opts, policy, followConfig{
+			format:     ffmt,
 			poll:       *followPoll,
 			idle:       *followIdle,
 			refresh:    *refreshEvery,
@@ -174,7 +210,7 @@ func main() {
 			span:       root,
 		})
 	} else {
-		det, profiles, lastSnap = batchDir(*dir, opts, policy, *text, *gmonout, *salvage, *parallel, root)
+		det, profiles, lastSnap = batchDir(*dir, ffmt, opts, policy, *text, *gmonout, *salvage, *parallel, root)
 	}
 
 	if *promote && lastSnap == nil {
@@ -285,8 +321,8 @@ func main() {
 
 // batchDir is the original one-shot path: load every stored dump, difference
 // them, detect phases.
-func batchDir(dir string, opts phase.Options, policy interval.GapPolicy, text, gmonout, salvage bool, parallel int, root *obs.Span) (*phase.Detection, []interval.Profile, *gmon.Snapshot) {
-	var snaps []*gmon.Snapshot
+func batchDir(dir string, f *profile.Format, opts phase.Options, policy interval.GapPolicy, text, gmonout, salvage bool, parallel int, root *obs.Span) (*phase.Detection, []interval.Profile, *profile.Sample) {
+	var snaps []*profile.Sample
 	var err error
 	switch {
 	case text:
@@ -299,7 +335,7 @@ func batchDir(dir string, opts phase.Options, policy interval.GapPolicy, text, g
 		}
 	default:
 		var st *incprof.DirStore
-		st, err = incprof.NewDirStore(dir, false)
+		st, err = incprof.NewFormatDirStore(dir, f)
 		if err == nil && salvage {
 			var rep incprof.LoadReport
 			snaps, rep, err = st.SnapshotsSalvage()
@@ -334,6 +370,7 @@ func batchDir(dir string, opts phase.Options, policy interval.GapPolicy, text, g
 }
 
 type followConfig struct {
+	format     *profile.Format // nil = auto-detect once the first dump lands
 	poll       time.Duration
 	idle       time.Duration
 	refresh    int
@@ -358,7 +395,7 @@ type followConfig struct {
 // directory the engine runs behind the durability layer — WAL per dump,
 // periodic snapshots, resumable after a kill — and with -max-pending or
 // -stall a bounded admission queue sits between the tailer and the engine.
-func followDir(dir string, opts phase.Options, policy interval.GapPolicy, cfg followConfig) (*phase.Detection, []interval.Profile, *gmon.Snapshot) {
+func followDir(dir string, opts phase.Options, policy interval.GapPolicy, cfg followConfig) (*phase.Detection, []interval.Profile, *profile.Sample) {
 	// Engine callbacks print live lines; the replaying flag mutes them while
 	// recovery re-feeds WAL'd dumps the previous process already reported.
 	replaying := false
@@ -408,7 +445,7 @@ func followDir(dir string, opts phase.Options, policy interval.GapPolicy, cfg fo
 	var (
 		eng    *stream.Engine
 		runner *checkpoint.Runner
-		inner  stream.Sink[*gmon.Snapshot] // runner when durable, engine otherwise
+		inner  stream.Sink[*profile.Sample] // runner when durable, engine otherwise
 	)
 	if cfg.ckptDir != "" {
 		if !cfg.resume {
@@ -454,7 +491,7 @@ func followDir(dir string, opts phase.Options, policy interval.GapPolicy, cfg fo
 			MaxPending: cfg.maxPending,
 			Policy:     cfg.shed,
 			Stall:      cfg.stall,
-			OnShed: func(s *gmon.Snapshot) {
+			OnShed: func(s *profile.Sample) {
 				if runner != nil {
 					if err := runner.RecordShed(s); err != nil {
 						fmt.Fprintln(os.Stderr, "phasedetect: recording shed dump:", err)
@@ -477,7 +514,15 @@ func followDir(dir string, opts phase.Options, policy interval.GapPolicy, cfg fo
 		close(stop)
 	}()
 
+	ffmt := cfg.format
+	if ffmt == nil {
+		f, derr := waitDetect(dir, cfg.poll, cfg.idle, stop)
+		fail(derr)
+		ffmt = f // still nil if the dir stayed empty: tail the canonical layout
+	}
+
 	topts := incprof.TailOptions{
+		Format:  ffmt,
 		Poll:    cfg.poll,
 		Idle:    cfg.idle,
 		Salvage: cfg.salvage,
@@ -539,6 +584,38 @@ func followDir(dir string, opts phase.Options, policy interval.GapPolicy, cfg fo
 		reportGaps(r.Gaps, repaired, policy)
 	}
 	return r.Detection, r.Profiles, res.Last
+}
+
+// waitDetect resolves -format auto under -follow: poll the directory until
+// the first dump appears and names its format. A directory that stays empty
+// through the idle window or a stop signal yields (nil, nil) — the tail then
+// runs against the canonical layout and the normal no-snapshots / resumed-
+// idle handling applies. A mixed-format directory fails immediately.
+func waitDetect(dir string, poll, idle time.Duration, stop <-chan struct{}) (*profile.Format, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	if idle <= 0 {
+		idle = 2 * time.Second
+	}
+	deadline := time.Now().Add(idle)
+	for {
+		f, err := profile.DetectDir(dir)
+		if err == nil {
+			return f, nil
+		}
+		if !errors.Is(err, profile.ErrNoDumps) {
+			return nil, err
+		}
+		if time.Now().After(deadline) {
+			return nil, nil
+		}
+		select {
+		case <-stop:
+			return nil, nil
+		case <-time.After(poll):
+		}
+	}
 }
 
 // ckptConfig fingerprints the analysis options for the checkpoint layer: a

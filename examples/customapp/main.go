@@ -13,7 +13,7 @@ import (
 	"time"
 
 	incprof "github.com/incprof/incprof"
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/mpi"
 )
 
@@ -60,7 +60,7 @@ func main() {
 	}
 
 	// Phase 2: analyze the representative rank.
-	var snaps []*gmon.Snapshot
+	var snaps []*profile.Sample
 	if snaps, err = stores[0].Snapshots(); err != nil {
 		log.Fatal(err)
 	}

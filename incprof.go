@@ -5,7 +5,7 @@ import (
 
 	"github.com/incprof/incprof/internal/cluster"
 	"github.com/incprof/incprof/internal/exec"
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/heartbeat"
 	"github.com/incprof/incprof/internal/incprof"
 	"github.com/incprof/incprof/internal/interval"
@@ -46,11 +46,11 @@ type (
 	// counts, call-graph arcs.
 	Profiler = profiler.Profiler
 	// Snapshot is one cumulative profile dump (a gmon.out equivalent).
-	Snapshot = gmon.Snapshot
+	Snapshot = profile.Sample
 	// FuncRecord is a snapshot's per-function row.
-	FuncRecord = gmon.FuncRecord
+	FuncRecord = profile.FuncRecord
 	// Arc is a caller→callee edge with a count.
-	Arc = gmon.Arc
+	Arc = profile.Arc
 )
 
 // DefaultSamplePeriod is the 100 Hz profiling clock gprof customarily uses.

@@ -1,0 +1,198 @@
+// Package allocgc is a GC-heavy allocator fixture: not one of the paper's
+// Table I applications but a designed workload with known phase ground
+// truth, used to exercise the ProfileSource ingestion boundary (its
+// reference tests collect through the pprof frontend rather than the
+// canonical gmon layout).
+//
+// The run alternates two designed phases with sharply different function
+// mixes: a mutator phase where alloc_objects builds a linked object heap,
+// and a collection phase where gc_mark traverses the live graph and
+// gc_sweep compacts the dead objects away. The alternation repeats over
+// several epochs — the recurring-phase shape that distinguishes clustering
+// from mere change-point splitting.
+//
+// Virtual costs are calibrated so a full-scale run spans ~46 s: 8 epochs of
+// ~3.5 s allocation followed by ~1.4 s marking and ~0.9 s sweeping, giving
+// both phases multiple 1 s collection intervals per epoch.
+package allocgc
+
+import (
+	"time"
+
+	"github.com/incprof/incprof/internal/apps"
+	"github.com/incprof/incprof/internal/heartbeat"
+	"github.com/incprof/incprof/internal/mpi"
+	"github.com/incprof/incprof/internal/phase"
+	"github.com/incprof/incprof/internal/xmath"
+)
+
+// object is one heap cell: a payload plus references into the older heap.
+type object struct {
+	id     uint64
+	refs   []*object
+	marked bool
+}
+
+// Params sizes a run.
+type Params struct {
+	// Epochs is the number of allocate-then-collect cycles.
+	Epochs int
+	// ObjectsPerEpoch is the number of objects the mutator allocates
+	// before the collector runs.
+	ObjectsPerEpoch int
+	// RefsPerObject is how many references each new object takes into the
+	// existing heap (the mark phase's fanout).
+	RefsPerObject int
+	// SurvivorFrac is the fraction of each epoch's objects rooted across
+	// the collection (the rest become garbage for the sweep).
+	SurvivorFrac float64
+	// Seed drives reference wiring.
+	Seed uint64
+
+	// Target virtual durations (calibration to the designed 46 s run).
+	AllocTime time.Duration // per-epoch total allocation time
+	MarkTime  time.Duration // per-epoch total mark time
+	SweepTime time.Duration // per-epoch total sweep time
+}
+
+// DefaultParams returns the designed configuration, shrunk by scale in
+// (0, 1]: the epoch count scales down (keeping per-epoch durations so the
+// phase mix is scale-invariant).
+func DefaultParams(scale float64) Params {
+	epochs := int(8*scale + 0.5)
+	if epochs < 2 {
+		epochs = 2
+	}
+	return Params{
+		Epochs:          epochs,
+		ObjectsPerEpoch: 4096,
+		RefsPerObject:   3,
+		SurvivorFrac:    0.25,
+		Seed:            0xA11,
+		AllocTime:       3500 * time.Millisecond,
+		MarkTime:        1400 * time.Millisecond,
+		SweepTime:       900 * time.Millisecond,
+	}
+}
+
+// App is the allocator workload.
+type App struct {
+	p Params
+}
+
+// New creates an allocgc app with the given parameters.
+func New(p Params) *App { return &App{p: p} }
+
+func init() {
+	apps.Register("allocgc", func(scale float64) apps.App {
+		return New(DefaultParams(scale))
+	})
+}
+
+// Name implements apps.App.
+func (a *App) Name() string { return "allocgc" }
+
+// Meta implements apps.App. The reference numbers are the fixture's designed
+// ground truth, not Table I values: a 46 s run alternating two phases.
+func (a *App) Meta() apps.Meta {
+	return apps.Meta{
+		Name:            "allocgc",
+		Description:     "GC-heavy allocator fixture (mutator allocation vs mark-sweep collection)",
+		PaperRuntimeSec: 46,
+		PaperProcs:      1,
+		PaperNodes:      1,
+		PaperPhases:     2,
+		Ranks:           1,
+	}
+}
+
+// ManualSites implements apps.App with the designed best sites: the mutator
+// and the two collector halves.
+func (a *App) ManualSites() []heartbeat.SiteSpec {
+	return []heartbeat.SiteSpec{
+		{Function: "alloc_objects", Type: phase.Body, ID: 301},
+		{Function: "gc_mark", Type: phase.Body, ID: 302},
+		{Function: "gc_sweep", Type: phase.Body, ID: 303},
+	}
+}
+
+// Run implements apps.App: the full mutate/collect alternation on one rank.
+func (a *App) Run(r *mpi.Rank) {
+	rt := r.Runtime()
+	fnMain := rt.Register("main")
+	fnAlloc := rt.Register("alloc_objects")
+	fnMark := rt.Register("gc_mark")
+	fnSweep := rt.Register("gc_sweep")
+
+	rt.Call(fnMain, func() {
+		rng := xmath.NewRNG(a.p.Seed + uint64(r.ID()))
+		var heap []*object
+		var roots []*object
+		nextID := uint64(0)
+
+		perAlloc := time.Duration(int64(a.p.AllocTime) / int64(a.p.ObjectsPerEpoch))
+		for epoch := 0; epoch < a.p.Epochs; epoch++ {
+			// --- Mutator: allocate and wire the epoch's objects ---
+			rt.Call(fnAlloc, func() {
+				for i := 0; i < a.p.ObjectsPerEpoch; i++ {
+					o := &object{id: nextID}
+					nextID++
+					for j := 0; j < a.p.RefsPerObject && len(heap) > 0; j++ {
+						o.refs = append(o.refs, heap[rng.Intn(len(heap))])
+					}
+					heap = append(heap, o)
+					if rng.Float64() < a.p.SurvivorFrac {
+						roots = append(roots, o)
+					}
+					rt.Work(perAlloc)
+				}
+			})
+
+			// --- Collector: mark from the roots, then sweep ---
+			var visited int
+			rt.Call(fnMark, func() {
+				visited = markHeap(roots)
+				perVisit := a.p.MarkTime / time.Duration(visited)
+				rt.Work(perVisit * time.Duration(visited))
+			})
+			rt.Call(fnSweep, func() {
+				perObj := a.p.SweepTime / time.Duration(len(heap))
+				live := heap[:0]
+				for _, o := range heap {
+					if o.marked {
+						o.marked = false
+						live = append(live, o)
+					}
+					rt.Work(perObj)
+				}
+				heap = live
+			})
+			// Retire most roots so the heap does not grow without bound
+			// and each epoch creates fresh garbage.
+			keep := len(roots) / 4
+			roots = append([]*object(nil), roots[len(roots)-keep:]...)
+		}
+	})
+}
+
+// markHeap marks every object reachable from the roots, returning the number
+// of objects visited (iterative DFS, so deep ref chains cannot overflow the
+// stack).
+func markHeap(roots []*object) int {
+	visited := 0
+	stack := append([]*object(nil), roots...)
+	for len(stack) > 0 {
+		o := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if o.marked {
+			continue
+		}
+		o.marked = true
+		visited++
+		stack = append(stack, o.refs...)
+	}
+	if visited == 0 {
+		visited = 1
+	}
+	return visited
+}

@@ -1,0 +1,102 @@
+// Ground-truth test for the allocgc fixture, riding the pprof frontend: the
+// collected run is persisted as pprof.out.N protobuf dumps, re-ingested
+// through the ProfileSource boundary (format auto-detection included), and
+// the analysis must recover the designed mutate/collect alternation from
+// the re-ingested series.
+package allocgc_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/incprof/incprof/internal/apps"
+	_ "github.com/incprof/incprof/internal/apps/allocgc"
+	"github.com/incprof/incprof/internal/incprof"
+	"github.com/incprof/incprof/internal/pipeline"
+	_ "github.com/incprof/incprof/internal/pprof"
+	"github.com/incprof/incprof/internal/profile"
+)
+
+// roundTripPprof persists rank 0's snapshots as pprof.out.N dumps and loads
+// them back through format auto-detection.
+func roundTripPprof(t *testing.T, res *pipeline.CollectionResult) *pipeline.CollectionResult {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "dumps")
+	f, ok := profile.Lookup("pprof")
+	if !ok {
+		t.Fatal("pprof format not registered")
+	}
+	st, err := incprof.NewFormatDirStore(dir, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Snapshots[0] {
+		if err := st.Put(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	det, err := profile.DetectDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Name != "pprof" {
+		t.Fatalf("detected format %q, want pprof", det.Name)
+	}
+	st2, err := incprof.NewFormatDirStore(dir, det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := st2.Snapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != len(res.Snapshots[0]) {
+		t.Fatalf("round trip lost dumps: %d -> %d", len(res.Snapshots[0]), len(snaps))
+	}
+	return &pipeline.CollectionResult{Snapshots: [][]*profile.Sample{snaps}}
+}
+
+func TestGroundTruthPhasesViaPprof(t *testing.T) {
+	app, err := apps.New("allocgc", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pipeline.Collect(app, pipeline.CollectOptions{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := pipeline.Analyze(roundTripPprof(t, res), pipeline.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Detection.K < 2 {
+		t.Fatalf("K = %d, want >= 2 (mutator vs collector)", an.Detection.K)
+	}
+	found := map[string]bool{}
+	for _, p := range an.Detection.Phases {
+		for _, s := range p.Sites {
+			found[s.Function] = true
+		}
+	}
+	for _, fn := range []string{"alloc_objects", "gc_mark", "gc_sweep"} {
+		if !found[fn] {
+			t.Fatalf("site %s not discovered; found %v", fn, found)
+		}
+	}
+	// The mutator phase must RECUR: the phase whose leading site is
+	// alloc_objects holds intervals from multiple epochs, so its index
+	// range is wider than its membership (the alternation is the designed
+	// ground truth, not a one-shot split).
+	recurs := false
+	for _, p := range an.Detection.Phases {
+		if len(p.Sites) == 0 || p.Sites[0].Function != "alloc_objects" {
+			continue
+		}
+		if n := len(p.Intervals); n > 1 && p.Intervals[n-1]-p.Intervals[0]+1 > n {
+			recurs = true
+		}
+	}
+	if !recurs {
+		t.Fatalf("mutator phase does not recur across epochs; phases: %+v", an.Detection.Phases)
+	}
+}

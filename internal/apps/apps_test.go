@@ -4,15 +4,19 @@ import (
 	"testing"
 
 	"github.com/incprof/incprof/internal/apps"
+	_ "github.com/incprof/incprof/internal/apps/allocgc"
 	_ "github.com/incprof/incprof/internal/apps/gadget"
 	_ "github.com/incprof/incprof/internal/apps/graph500"
 	_ "github.com/incprof/incprof/internal/apps/lammps"
+	_ "github.com/incprof/incprof/internal/apps/microsvc"
 	_ "github.com/incprof/incprof/internal/apps/miniamr"
 	_ "github.com/incprof/incprof/internal/apps/minife"
 )
 
-func TestAllFivePaperAppsRegistered(t *testing.T) {
-	want := []string{"gadget", "graph500", "lammps", "miniamr", "minife"}
+// The registry holds the five Table I applications plus the two designed
+// ground-truth fixtures riding the pprof frontend.
+func TestAllAppsRegistered(t *testing.T) {
+	want := []string{"allocgc", "gadget", "graph500", "lammps", "microsvc", "miniamr", "minife"}
 	got := apps.Names()
 	if len(got) != len(want) {
 		t.Fatalf("registered apps = %v, want %v", got, want)
@@ -41,12 +45,15 @@ func TestNewValidatesArguments(t *testing.T) {
 }
 
 func TestMetaConsistency(t *testing.T) {
-	// Table I reference values are encoded in each app's Meta.
+	// Table I reference values are encoded in each app's Meta; the two
+	// fixtures carry their designed ground truth instead.
 	wantRuntime := map[string]float64{
 		"graph500": 188, "minife": 617, "miniamr": 459, "lammps": 307, "gadget": 421,
+		"microsvc": 60, "allocgc": 46,
 	}
 	wantPhases := map[string]int{
 		"graph500": 4, "minife": 5, "miniamr": 2, "lammps": 4, "gadget": 3,
+		"microsvc": 4, "allocgc": 2,
 	}
 	for _, name := range apps.Names() {
 		app, err := apps.New(name, 0.1)

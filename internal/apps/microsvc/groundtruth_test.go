@@ -1,0 +1,94 @@
+// Ground-truth test for the microsvc fixture, riding the pprof frontend:
+// the collected run is persisted as pprof.out.N protobuf dumps, re-ingested
+// through the ProfileSource boundary (format auto-detection included), and
+// the analysis must recover the designed warmup/steady/burst/drain phase
+// structure from the re-ingested series.
+package microsvc_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/incprof/incprof/internal/apps"
+	_ "github.com/incprof/incprof/internal/apps/microsvc"
+	"github.com/incprof/incprof/internal/incprof"
+	"github.com/incprof/incprof/internal/pipeline"
+	_ "github.com/incprof/incprof/internal/pprof"
+	"github.com/incprof/incprof/internal/profile"
+)
+
+// roundTripPprof persists rank 0's snapshots as pprof.out.N dumps and loads
+// them back through format auto-detection.
+func roundTripPprof(t *testing.T, res *pipeline.CollectionResult) *pipeline.CollectionResult {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "dumps")
+	f, ok := profile.Lookup("pprof")
+	if !ok {
+		t.Fatal("pprof format not registered")
+	}
+	st, err := incprof.NewFormatDirStore(dir, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Snapshots[0] {
+		if err := st.Put(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	det, err := profile.DetectDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Name != "pprof" {
+		t.Fatalf("detected format %q, want pprof", det.Name)
+	}
+	st2, err := incprof.NewFormatDirStore(dir, det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := st2.Snapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != len(res.Snapshots[0]) {
+		t.Fatalf("round trip lost dumps: %d -> %d", len(res.Snapshots[0]), len(snaps))
+	}
+	return &pipeline.CollectionResult{Snapshots: [][]*profile.Sample{snaps}}
+}
+
+func TestGroundTruthPhasesViaPprof(t *testing.T) {
+	app, err := apps.New("microsvc", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pipeline.Collect(app, pipeline.CollectOptions{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := pipeline.Analyze(roundTripPprof(t, res), pipeline.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Detection.K < 3 {
+		t.Fatalf("K = %d, want >= 3 (warmup, steady/burst, drain)", an.Detection.K)
+	}
+	found := map[string]bool{}
+	for _, p := range an.Detection.Phases {
+		for _, s := range p.Sites {
+			found[s.Function] = true
+		}
+	}
+	// Each designed phase's dominant function must be discovered as a site.
+	for _, fn := range []string{"warm_cache", "shed_load", "drain_queue"} {
+		if !found[fn] {
+			t.Fatalf("site %s not discovered; found %v", fn, found)
+		}
+	}
+	serving := false
+	for _, fn := range []string{"handle_request", "parse_request", "backend_call", "render_response"} {
+		serving = serving || found[fn]
+	}
+	if !serving {
+		t.Fatalf("no request-serving site discovered; found %v", found)
+	}
+}

@@ -1,0 +1,221 @@
+// Package microsvc is a request-driven bursty microservice fixture: not one
+// of the paper's Table I applications but a designed workload with known
+// phase ground truth, used to exercise the ProfileSource ingestion boundary
+// (its reference tests collect through the pprof frontend rather than the
+// canonical gmon layout).
+//
+// The run has four designed phases with distinct per-interval function
+// mixes:
+//
+//	warmup — warm_cache fills the in-memory cache (cache-fill dominant);
+//	steady — handle_request serves a steady request stream, splitting its
+//	         time across parse_request, backend_call, and render_response;
+//	burst  — arrival rate exceeds capacity: requests still flow, but
+//	         shed_load dominates as the service rejects overflow;
+//	drain  — drain_queue works off the backlog the burst left behind.
+//
+// Virtual costs are calibrated so a full-scale run spans ~60 s: 8 s warmup,
+// ~26 s steady serving, ~16 s burst, and ~10 s drain, giving each phase
+// several 1 s collection intervals at every test scale.
+package microsvc
+
+import (
+	"time"
+
+	"github.com/incprof/incprof/internal/apps"
+	"github.com/incprof/incprof/internal/heartbeat"
+	"github.com/incprof/incprof/internal/mpi"
+	"github.com/incprof/incprof/internal/phase"
+	"github.com/incprof/incprof/internal/xmath"
+)
+
+// Params sizes a run.
+type Params struct {
+	// CacheEntries is the number of cache slots warmed before serving.
+	CacheEntries int
+	// SteadyRequests is the number of requests in the steady phase.
+	SteadyRequests int
+	// BurstRequests is the number of requests arriving during the burst.
+	BurstRequests int
+	// Seed drives the request-key generator.
+	Seed uint64
+
+	// Target virtual durations (calibration to the designed 60 s run).
+	WarmTime    time.Duration // total cache-warm time
+	ParseTime   time.Duration // per-request parse cost
+	BackendTime time.Duration // per-miss backend-call cost
+	RenderTime  time.Duration // per-response render cost
+	ShedTime    time.Duration // per-shed rejection cost during the burst
+	DrainTime   time.Duration // total backlog-drain time
+}
+
+// DefaultParams returns the designed configuration, shrunk by scale in
+// (0, 1]: request counts and the warm/drain spans scale down, per-request
+// costs stay fixed so the phase mix is scale-invariant.
+func DefaultParams(scale float64) Params {
+	steady := int(900*scale + 0.5)
+	if steady < 20 {
+		steady = 20
+	}
+	burst := int(800*scale + 0.5)
+	if burst < 20 {
+		burst = 20
+	}
+	return Params{
+		CacheEntries:   1 << 10,
+		SteadyRequests: steady,
+		BurstRequests:  burst,
+		Seed:           0x5E5,
+		WarmTime:       time.Duration(8 * scale * float64(time.Second)),
+		ParseTime:      8 * time.Millisecond,
+		BackendTime:    22 * time.Millisecond,
+		RenderTime:     10 * time.Millisecond,
+		ShedTime:       18 * time.Millisecond,
+		DrainTime:      time.Duration(10 * scale * float64(time.Second)),
+	}
+}
+
+// App is the microservice workload.
+type App struct {
+	p Params
+}
+
+// New creates a microsvc app with the given parameters.
+func New(p Params) *App { return &App{p: p} }
+
+func init() {
+	apps.Register("microsvc", func(scale float64) apps.App {
+		return New(DefaultParams(scale))
+	})
+}
+
+// Name implements apps.App.
+func (a *App) Name() string { return "microsvc" }
+
+// Meta implements apps.App. The reference numbers are the fixture's designed
+// ground truth, not Table I values: a 60 s run with four phases.
+func (a *App) Meta() apps.Meta {
+	return apps.Meta{
+		Name:            "microsvc",
+		Description:     "request-driven bursty microservice fixture (warmup, steady, burst, drain)",
+		PaperRuntimeSec: 60,
+		PaperProcs:      1,
+		PaperNodes:      1,
+		PaperPhases:     4,
+		Ranks:           1,
+	}
+}
+
+// ManualSites implements apps.App with the designed best sites: one per
+// ground-truth phase.
+func (a *App) ManualSites() []heartbeat.SiteSpec {
+	return []heartbeat.SiteSpec{
+		{Function: "warm_cache", Type: phase.Body, ID: 201},
+		{Function: "handle_request", Type: phase.Body, ID: 202},
+		{Function: "shed_load", Type: phase.Body, ID: 203},
+		{Function: "drain_queue", Type: phase.Body, ID: 204},
+	}
+}
+
+// Run implements apps.App: the full service lifecycle on one rank.
+func (a *App) Run(r *mpi.Rank) {
+	rt := r.Runtime()
+	fnMain := rt.Register("main")
+	fnWarm := rt.Register("warm_cache")
+	fnHandle := rt.Register("handle_request")
+	fnParse := rt.Register("parse_request")
+	fnBackend := rt.Register("backend_call")
+	fnRender := rt.Register("render_response")
+	fnShed := rt.Register("shed_load")
+	fnDrain := rt.Register("drain_queue")
+
+	rt.Call(fnMain, func() {
+		rng := xmath.NewRNG(a.p.Seed + uint64(r.ID()))
+		cache := make(map[uint64]uint64, a.p.CacheEntries)
+
+		// --- Warmup: fill the cache before opening the listener ---
+		perEntry := time.Duration(int64(a.p.WarmTime) / int64(a.p.CacheEntries))
+		rt.Call(fnWarm, func() {
+			for i := 0; i < a.p.CacheEntries; i++ {
+				k := uint64(i)
+				cache[k] = mixKey(k)
+				rt.Work(perEntry)
+			}
+		})
+
+		// serve handles one request: parse, consult the cache, call the
+		// backend on a miss, render. Key skew keeps the hit rate high in
+		// steady state, so backend_call stays a minority share.
+		serve := func(key uint64) {
+			rt.Call(fnHandle, func() {
+				var digest uint64
+				rt.Call(fnParse, func() {
+					digest = mixKey(key)
+					rt.Work(a.p.ParseTime)
+				})
+				if _, hit := cache[key%uint64(a.p.CacheEntries*2)]; !hit {
+					rt.Call(fnBackend, func() {
+						cache[key%uint64(a.p.CacheEntries*2)] = digest
+						rt.Work(a.p.BackendTime)
+					})
+				}
+				rt.Call(fnRender, func() {
+					rt.Work(a.p.RenderTime)
+				})
+			})
+		}
+
+		// --- Steady serving ---
+		for i := 0; i < a.p.SteadyRequests; i++ {
+			serve(uint64(rng.Intn(a.p.CacheEntries * 2)))
+		}
+
+		// --- Burst: arrivals land in batches; the admission controller
+		// serves the few it can and sheds each batch's overflow in one
+		// pass, so shed_load dominates the interval mix and the burst
+		// clusters apart from steady serving ---
+		const batch = 64
+		backlog := 0
+		for done := 0; done < a.p.BurstRequests; {
+			n := batch
+			if done+n > a.p.BurstRequests {
+				n = a.p.BurstRequests - done
+			}
+			admitted := 0
+			for i := 0; i < n; i++ {
+				if rng.Float64() < 0.15 {
+					admitted++
+				}
+			}
+			for i := 0; i < admitted; i++ {
+				serve(uint64(rng.Intn(a.p.CacheEntries * 2)))
+			}
+			shed := n - admitted
+			rt.Call(fnShed, func() {
+				backlog += shed
+				rt.Work(time.Duration(shed) * a.p.ShedTime)
+			})
+			done += n
+		}
+
+		// --- Drain: work off the backlog the burst queued ---
+		if backlog > 0 {
+			perItem := time.Duration(int64(a.p.DrainTime) / int64(backlog))
+			rt.Call(fnDrain, func() {
+				for ; backlog > 0; backlog-- {
+					rt.Work(perItem)
+				}
+			})
+		}
+	})
+}
+
+// mixKey is the request digest: a cheap 64-bit finalizer (splitmix64 tail).
+func mixKey(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}

@@ -17,7 +17,7 @@ package callgraph
 import (
 	"sort"
 
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 )
 
 // Node is one function in the call graph.
@@ -45,7 +45,7 @@ type Graph struct {
 }
 
 // FromArcs builds a graph from gprof arc records; duplicate arcs accumulate.
-func FromArcs(arcs []gmon.Arc) *Graph {
+func FromArcs(arcs []profile.Arc) *Graph {
 	g := &Graph{nodes: make(map[string]*Node)}
 	for _, a := range arcs {
 		g.node(a.Caller).Callees[a.Callee] += a.Count
@@ -55,7 +55,7 @@ func FromArcs(arcs []gmon.Arc) *Graph {
 }
 
 // FromSnapshot builds a graph from a snapshot's arcs.
-func FromSnapshot(s *gmon.Snapshot) *Graph { return FromArcs(s.Arcs) }
+func FromSnapshot(s *profile.Sample) *Graph { return FromArcs(s.Arcs) }
 
 func (g *Graph) node(name string) *Node {
 	n, ok := g.nodes[name]

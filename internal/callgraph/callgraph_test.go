@@ -3,14 +3,14 @@ package callgraph
 import (
 	"testing"
 
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/phase"
 )
 
 // miniFE-shaped arcs: main calls perform_elem_loop once, which calls
 // sum_in_symm_elem_matrix per element.
-func minifeArcs() []gmon.Arc {
-	return []gmon.Arc{
+func minifeArcs() []profile.Arc {
+	return []profile.Arc{
 		{Caller: "main", Callee: "perform_elem_loop", Count: 1},
 		{Caller: "perform_elem_loop", Callee: "sum_in_symm_elem_matrix", Count: 3375},
 		{Caller: "main", Callee: "cg_solve", Count: 1},
@@ -38,7 +38,7 @@ func TestFromArcsStructure(t *testing.T) {
 }
 
 func TestDuplicateArcsAccumulate(t *testing.T) {
-	g := FromArcs([]gmon.Arc{
+	g := FromArcs([]profile.Arc{
 		{Caller: "a", Callee: "b", Count: 3},
 		{Caller: "a", Callee: "b", Count: 4},
 	})
@@ -80,7 +80,7 @@ func TestPromoteStopsAtFanIn(t *testing.T) {
 func TestPromoteStopsAtHotCaller(t *testing.T) {
 	// helper is called 1000x by worker, which is itself called 5000x —
 	// promoting to the busier parent would pick a worse site.
-	g := FromArcs([]gmon.Arc{
+	g := FromArcs([]profile.Arc{
 		{Caller: "main", Callee: "driver", Count: 1},
 		{Caller: "driver", Callee: "worker", Count: 5000},
 		{Caller: "worker", Callee: "helper", Count: 1000},
@@ -96,7 +96,7 @@ func TestPromoteStopsAtHotCaller(t *testing.T) {
 }
 
 func TestPromoteRespectsMaxHops(t *testing.T) {
-	g := FromArcs([]gmon.Arc{
+	g := FromArcs([]profile.Arc{
 		{Caller: "root", Callee: "a", Count: 1},
 		{Caller: "a", Callee: "b", Count: 1},
 		{Caller: "b", Callee: "c", Count: 1},
@@ -161,7 +161,7 @@ func TestPromoteDetection(t *testing.T) {
 func TestPromoteDetectionMergesCollidingSites(t *testing.T) {
 	// Two sites in one phase that promote to the same (fn, type) merge,
 	// pooling their coverage.
-	g := FromArcs([]gmon.Arc{
+	g := FromArcs([]profile.Arc{
 		{Caller: "main", Callee: "parent", Count: 1},
 		{Caller: "parent", Callee: "kidA", Count: 2},
 		{Caller: "parent", Callee: "kidB", Count: 2},

@@ -7,7 +7,7 @@ import (
 	"testing"
 	"time"
 
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 )
 
 func testSnap(accepted int) *Snapshot {
@@ -20,12 +20,12 @@ func testSnap(accepted int) *Snapshot {
 	}
 }
 
-func dump(seq int) *gmon.Snapshot {
-	return &gmon.Snapshot{
+func dump(seq int) *profile.Sample {
+	return &profile.Sample{
 		Seq:          seq,
 		Timestamp:    time.Duration(seq+1) * time.Second,
 		SamplePeriod: 10 * time.Millisecond,
-		Funcs: []gmon.FuncRecord{
+		Funcs: []profile.FuncRecord{
 			{Name: "work", Samples: int64(100 * (seq + 1)), SelfTime: time.Duration(seq+1) * time.Second, Calls: int64(seq + 1)},
 		},
 	}

@@ -12,25 +12,25 @@ import (
 
 	"github.com/incprof/incprof/internal/checkpoint"
 	"github.com/incprof/incprof/internal/faults"
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 )
 
 // fsckSnaps builds a deterministic synthetic cumulative stream: enough for
 // the engine to accept, tiny enough to run in every -short pass.
-func fsckSnaps(n, funcs int) []*gmon.Snapshot {
+func fsckSnaps(n, funcs int) []*profile.Sample {
 	period := 10 * time.Millisecond
 	cum := make([]int64, funcs)
-	out := make([]*gmon.Snapshot, n)
+	out := make([]*profile.Sample, n)
 	for i := 0; i < n; i++ {
-		s := &gmon.Snapshot{
+		s := &profile.Sample{
 			Seq:          i,
 			Timestamp:    time.Duration(i+1) * time.Second,
 			SamplePeriod: period,
-			Funcs:        make([]gmon.FuncRecord, funcs),
+			Funcs:        make([]profile.FuncRecord, funcs),
 		}
 		for j := range cum {
 			cum[j] += int64((i*7+j*3)%11) + 1
-			s.Funcs[j] = gmon.FuncRecord{
+			s.Funcs[j] = profile.FuncRecord{
 				Name:     fmt.Sprintf("fn_%02d", j),
 				Samples:  cum[j],
 				SelfTime: time.Duration(cum[j]) * period,

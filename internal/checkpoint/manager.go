@@ -9,7 +9,7 @@ import (
 	"reflect"
 	"time"
 
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/obs"
 )
 
@@ -155,7 +155,7 @@ func (m *Manager) ensureWAL() error {
 
 // Append logs one accepted dump. Call it before handing the dump to the
 // engine — write-ahead, so a crash between the two replays the dump.
-func (m *Manager) Append(s *gmon.Snapshot) error {
+func (m *Manager) Append(s *profile.Sample) error {
 	if err := m.ensureWAL(); err != nil {
 		return err
 	}

@@ -16,19 +16,23 @@ import (
 	"time"
 
 	"github.com/incprof/incprof/internal/apps"
+	_ "github.com/incprof/incprof/internal/apps/allocgc"
 	_ "github.com/incprof/incprof/internal/apps/gadget"
 	_ "github.com/incprof/incprof/internal/apps/graph500"
 	_ "github.com/incprof/incprof/internal/apps/lammps"
+	_ "github.com/incprof/incprof/internal/apps/microsvc"
 	_ "github.com/incprof/incprof/internal/apps/miniamr"
 	_ "github.com/incprof/incprof/internal/apps/minife"
 	"github.com/incprof/incprof/internal/checkpoint"
 	"github.com/incprof/incprof/internal/cluster"
 	"github.com/incprof/incprof/internal/faults"
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/incprof"
 	"github.com/incprof/incprof/internal/interval"
 	"github.com/incprof/incprof/internal/mpi"
 	"github.com/incprof/incprof/internal/phase"
 	"github.com/incprof/incprof/internal/pipeline"
+	_ "github.com/incprof/incprof/internal/pprof"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/stream"
 )
 
@@ -48,7 +52,7 @@ func flatten(t *testing.T, det *phase.Detection, gaps []interval.Gap) []byte {
 	return b
 }
 
-func collect(t *testing.T, name string) []*gmon.Snapshot {
+func collect(t *testing.T, name string) []*profile.Sample {
 	t.Helper()
 	app, err := apps.New(name, 0.12)
 	if err != nil {
@@ -77,7 +81,7 @@ func testConfig(robust bool) checkpoint.Config {
 }
 
 // golden runs the plain (non-durable) engine over the whole stream.
-func golden(t *testing.T, snaps []*gmon.Snapshot, opts stream.Options) []byte {
+func golden(t *testing.T, snaps []*profile.Sample, opts stream.Options) []byte {
 	t.Helper()
 	eng := stream.New(opts)
 	for _, s := range snaps {
@@ -96,7 +100,7 @@ func golden(t *testing.T, snaps []*gmon.Snapshot, opts stream.Options) []byte {
 // the stream ends, if crashAt is past it), then abandons everything exactly
 // as a SIGKILL would: no save, no flush, only the file descriptors closed
 // (contents are already what the kill leaves).
-func runToCrash(t *testing.T, dir string, robust bool, opts stream.Options, every int, snaps []*gmon.Snapshot, crashAt int) {
+func runToCrash(t *testing.T, dir string, robust bool, opts stream.Options, every int, snaps []*profile.Sample, crashAt int) {
 	t.Helper()
 	mgr, err := checkpoint.Open(dir, checkpoint.ManagerOptions{NoSync: true})
 	if err != nil {
@@ -127,7 +131,7 @@ func runToCrash(t *testing.T, dir string, robust bool, opts stream.Options, ever
 // resumeAndFinish recovers from dir, feeds every dump the previous life had
 // not disposed of (the tailer's Seen-skip), and returns the terminal
 // flattening.
-func resumeAndFinish(t *testing.T, dir string, robust bool, opts stream.Options, every int, snaps []*gmon.Snapshot) []byte {
+func resumeAndFinish(t *testing.T, dir string, robust bool, opts stream.Options, every int, snaps []*profile.Sample) []byte {
 	t.Helper()
 	mgr, err := checkpoint.Open(dir, checkpoint.ManagerOptions{NoSync: true})
 	if err != nil {
@@ -178,7 +182,8 @@ func TestKillAnywhereBitIdentity(t *testing.T) {
 	}
 }
 
-// All five fixture apps, crash points straddling checkpoint boundaries, at
+// Every registered app (the five paper apps plus the two ground-truth
+// fixtures), crash points straddling checkpoint boundaries, at
 // clustering parallelism 1 and 8 — the recovered state must be invariant
 // under the worker-pool size like every other entry point.
 func TestRecoveryBitIdentityAcrossAppsAndParallelism(t *testing.T) {
@@ -214,12 +219,12 @@ func TestRecoveryBitIdentityAcrossAppsAndParallelism(t *testing.T) {
 // exhibit — missing Seq spans and collector restarts (counters and clock
 // reset) — with strictly increasing Seqs, as a directory tailer would
 // deliver them.
-func faultyDirSnaps(seed int64, n int) []*gmon.Snapshot {
+func faultyDirSnaps(seed int64, n int) []*profile.Sample {
 	rng := rand.New(rand.NewSource(seed))
 	names := []string{"alpha", "beta", "gamma"}
 	period := 10 * time.Millisecond
 	cum := make([]int64, len(names))
-	var out []*gmon.Snapshot
+	var out []*profile.Sample
 	seq := 0
 	ts := time.Duration(0)
 	for len(out) < n {
@@ -233,10 +238,10 @@ func faultyDirSnaps(seed int64, n int) []*gmon.Snapshot {
 			ts = time.Duration(rng.Intn(500)) * time.Millisecond
 		}
 		ts += time.Second
-		s := &gmon.Snapshot{Seq: seq, Timestamp: ts, SamplePeriod: period}
+		s := &profile.Sample{Seq: seq, Timestamp: ts, SamplePeriod: period}
 		for i, name := range names {
 			cum[i] += int64(rng.Intn(80) + 1)
-			s.Funcs = append(s.Funcs, gmon.FuncRecord{
+			s.Funcs = append(s.Funcs, profile.FuncRecord{
 				Name: name, Samples: cum[i],
 				SelfTime: time.Duration(cum[i]) * period,
 				Calls:    cum[i] / 3,
@@ -369,7 +374,7 @@ func TestShedMarkersSurviveCrash(t *testing.T) {
 
 	// Golden: an uninterrupted run in which snaps[shedIdx] was shed — the
 	// engine simply never sees it, leaving a gap the robust path repairs.
-	var withoutShed []*gmon.Snapshot
+	var withoutShed []*profile.Sample
 	for i, s := range snaps {
 		if i != shedIdx {
 			withoutShed = append(withoutShed, s)
@@ -431,5 +436,48 @@ func TestShedMarkersSurviveCrash(t *testing.T) {
 	}
 	if got := flatten(t, r.Detection, r.Gaps); !bytes.Equal(got, want) {
 		t.Fatal("resumed run with durable shed diverged from uninterrupted shed run")
+	}
+}
+
+// Recovery is format-blind: a run persisted as pprof.out.N protobuf dumps
+// and re-ingested through the ProfileSource boundary survives kill/restart
+// with the same byte-identity guarantee the canonical layout gets — the WAL
+// and checkpoints carry format-neutral samples, so the frontend that decoded
+// them cannot matter.
+func TestRecoveryFromPprofIngestBitIdentity(t *testing.T) {
+	raw := collect(t, "microsvc")
+	f, ok := profile.Lookup("pprof")
+	if !ok {
+		t.Fatal("pprof format not registered")
+	}
+	st, err := incprof.NewFormatDirStore(filepath.Join(t.TempDir(), "dumps"), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range raw {
+		if err := st.Put(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snaps, err := st.Snapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != len(raw) {
+		t.Fatalf("pprof round trip lost dumps: %d -> %d", len(raw), len(snaps))
+	}
+	opts := engOpts(false, 0)
+	want := golden(t, snaps, opts)
+	const every = 3
+	for _, crashAt := range []int{0, 1, every, len(snaps) - 1} {
+		if crashAt < 0 || crashAt > len(snaps) {
+			continue
+		}
+		dir := t.TempDir()
+		runToCrash(t, dir, false, opts, every, snaps, crashAt)
+		got := resumeAndFinish(t, dir, false, opts, every, snaps)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("crash at %d: resumed pprof-ingested report diverged", crashAt)
+		}
 	}
 }

@@ -10,7 +10,7 @@ import (
 	"sort"
 	"sync"
 
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/obs"
 	"github.com/incprof/incprof/internal/stream"
 )
@@ -97,7 +97,7 @@ func Start(mgr *Manager, opts RunnerOptions) (*Runner, *Recovery, error) {
 
 // emit feeds the engine and updates acceptance accounting (shared by replay
 // and live ingestion; replay must not re-append to the WAL).
-func (r *Runner) emit(s *gmon.Snapshot) error {
+func (r *Runner) emit(s *profile.Sample) error {
 	if err := r.eng.Emit(s); err != nil {
 		return err
 	}
@@ -112,7 +112,7 @@ func (r *Runner) emit(s *gmon.Snapshot) error {
 
 // Emit ingests one live dump durably: WAL append first, then the engine,
 // then a snapshot when the cadence is due.
-func (r *Runner) Emit(s *gmon.Snapshot) error {
+func (r *Runner) Emit(s *profile.Sample) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if err := r.mgr.Append(s); err != nil {
@@ -130,7 +130,7 @@ func (r *Runner) Emit(s *gmon.Snapshot) error {
 // RecordShed logs a deliberately-shed dump: its Seq joins the seen set (a
 // resuming tailer must not re-ingest it — the gap it left is part of the
 // accepted stream's history) and a WAL marker makes that durable.
-func (r *Runner) RecordShed(s *gmon.Snapshot) error {
+func (r *Runner) RecordShed(s *profile.Sample) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.seen[s.Seq] = true

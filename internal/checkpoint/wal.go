@@ -18,7 +18,7 @@ import (
 	"path/filepath"
 	"sort"
 
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 )
 
 // WAL record kinds.
@@ -35,7 +35,7 @@ const walHeaderLen = 1 + 4 + 4
 // WALRecord is one replayed record: exactly one of Snap or Shed is set.
 type WALRecord struct {
 	// Snap is an accepted dump, nil for a shed marker.
-	Snap *gmon.Snapshot
+	Snap *profile.Sample
 	// Shed is the shed dump's Seq; valid when Snap is nil.
 	Shed int
 }
@@ -85,7 +85,7 @@ func (w *WAL) append(kind byte, payload []byte) error {
 }
 
 // AppendSnapshot logs one accepted dump ahead of the engine processing it.
-func (w *WAL) AppendSnapshot(s *gmon.Snapshot) error {
+func (w *WAL) AppendSnapshot(s *profile.Sample) error {
 	w.buf.Reset()
 	if err := s.Encode(&w.buf); err != nil {
 		return fmt.Errorf("checkpoint: encoding WAL dump: %w", err)
@@ -142,7 +142,7 @@ func replayWAL(path string) (recs []WALRecord, validLen int64, torn bool, err er
 		}
 		switch kind {
 		case recSnapshot:
-			s, derr := gmon.Decode(bytes.NewReader(payload))
+			s, derr := profile.Decode(bytes.NewReader(payload))
 			if derr != nil {
 				// The frame checksum passed but the payload does not
 				// decode: treat as corruption, stop here.

@@ -13,7 +13,7 @@ import (
 	"fmt"
 	"os"
 
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/xmath"
 )
 
@@ -37,7 +37,7 @@ var ErrCrash = errors.New("faults: injected crash")
 // SnapshotSink is the sink shape CrashSink wraps — the checkpoint Runner,
 // the stream engine, or an admission queue all satisfy it.
 type SnapshotSink interface {
-	Emit(*gmon.Snapshot) error
+	Emit(*profile.Sample) error
 	Flush() error
 }
 
@@ -71,7 +71,7 @@ func NewFlushCrashSink(down SnapshotSink) *CrashSink {
 }
 
 // Emit implements SnapshotSink.
-func (c *CrashSink) Emit(s *gmon.Snapshot) error {
+func (c *CrashSink) Emit(s *profile.Sample) error {
 	if c.crashed || (c.after >= 0 && c.emitted >= c.after) {
 		c.crashed = true
 		return ErrCrash

@@ -19,7 +19,7 @@ import (
 	"os"
 	"time"
 
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/incprof"
 	"github.com/incprof/incprof/internal/ldms"
 	"github.com/incprof/incprof/internal/xmath"
@@ -181,7 +181,7 @@ func NewStore(inner incprof.Store, plan Plan, rank int) *Store {
 // Put implements incprof.Store, deciding per dump whether it is dropped,
 // duplicated, truncated, or silently discarded because the rank has
 // "died". Decisions key on the snapshot's Seq, not on call order.
-func (s *Store) Put(snap *gmon.Snapshot) error {
+func (s *Store) Put(snap *profile.Sample) error {
 	s.puts++
 	if s.plan.StopAfter > 0 && s.rank == s.plan.StopRank && s.puts > s.plan.StopAfter {
 		s.stopped = true
@@ -226,7 +226,7 @@ func truncateFile(path string, frac float64) error {
 }
 
 // Snapshots implements incprof.Store by delegating to the wrapped store.
-func (s *Store) Snapshots() ([]*gmon.Snapshot, error) { return s.inner.Snapshots() }
+func (s *Store) Snapshots() ([]*profile.Sample, error) { return s.inner.Snapshots() }
 
 // Dropped returns how many dumps the injector discarded (including those
 // suppressed after the rank stop).

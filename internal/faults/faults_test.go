@@ -6,20 +6,20 @@ import (
 	"testing"
 	"time"
 
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/incprof"
 	"github.com/incprof/incprof/internal/interval"
 	"github.com/incprof/incprof/internal/ldms"
 )
 
 // fsnap builds a minimal cumulative snapshot for injector tests.
-func fsnap(seq int) *gmon.Snapshot {
+func fsnap(seq int) *profile.Sample {
 	cum := int64((seq + 1) * 100)
-	return &gmon.Snapshot{
+	return &profile.Sample{
 		Seq:          seq,
 		Timestamp:    time.Duration(seq+1) * time.Second,
 		SamplePeriod: 10 * time.Millisecond,
-		Funcs: []gmon.FuncRecord{{
+		Funcs: []profile.FuncRecord{{
 			Name: "f", Samples: cum, SelfTime: time.Duration(cum) * 10 * time.Millisecond, Calls: cum,
 		}},
 	}

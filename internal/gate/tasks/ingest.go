@@ -1,0 +1,147 @@
+// ingest.go holds the cross-format ingestion gate: the ProfileSource
+// boundary's proof obligation. One logical run, persisted through two
+// different frontends (canonical gmon.out.N and pprof.out.N protobuf), must
+// produce byte-identical phase reports — batch and -follow, at clustering
+// parallelism 1 and 8, under the race detector. The gate also times the new
+// decoders and records their throughput into the BENCH.json trajectory.
+package tasks
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/incprof/incprof/internal/gate"
+	"github.com/incprof/incprof/internal/gate/stat"
+	"github.com/incprof/incprof/internal/gate/trajectory"
+	"github.com/incprof/incprof/internal/incprof"
+	_ "github.com/incprof/incprof/internal/pprof" // register the pprof frontend
+	"github.com/incprof/incprof/internal/profile"
+)
+
+func runIngest(c *gate.Context) error {
+	start := time.Now()
+	defer recordWall(c, "ingest", start)
+
+	// Race-enabled binary: the byte-identity matrix below doubles as a
+	// data-race hunt over the parallel analysis paths.
+	bin := filepath.Join(c.Tmp, "phasedetect.race")
+	if err := c.Go("build", "-race", "-o", bin, "./cmd/phasedetect"); err != nil {
+		return err
+	}
+
+	// One logical run from the bursty-microservice fixture, persisted in
+	// the canonical layout by the real collector binary.
+	out := filepath.Join(c.Tmp, "ingestsrc")
+	if err := c.Go("run", "./cmd/incprof", "-app", "microsvc", "-scale", "0.2", "-out", out); err != nil {
+		return err
+	}
+	gmonDir := filepath.Join(out, "rank0")
+
+	// Transcode the same run into the pprof frontend through the registry —
+	// identical samples, a different on-disk format.
+	gst, err := incprof.NewDirStore(gmonDir, false)
+	if err != nil {
+		return err
+	}
+	snaps, err := gst.Snapshots()
+	if err != nil {
+		return err
+	}
+	if len(snaps) == 0 {
+		return fmt.Errorf("no dumps under %s", gmonDir)
+	}
+	pf, ok := profile.Lookup("pprof")
+	if !ok {
+		return fmt.Errorf("pprof frontend not registered")
+	}
+	pprofDir := filepath.Join(c.Tmp, "ingestpprof")
+	pst, err := incprof.NewFormatDirStore(pprofDir, pf)
+	if err != nil {
+		return err
+	}
+	for _, s := range snaps {
+		if err := pst.Put(s); err != nil {
+			return err
+		}
+	}
+	c.Logf("transcoded %d dumps: %s -> %s", len(snaps), gmonDir, pprofDir)
+
+	// The report matrix: every (format, parallelism) cell must match the
+	// first one byte for byte.
+	var golden []byte
+	for _, dir := range []string{gmonDir, pprofDir} {
+		for _, par := range []string{"1", "8"} {
+			rep, err := capture(c, bin, "-dir", dir, "-parallel", par)
+			if err != nil {
+				return err
+			}
+			label := fmt.Sprintf("report (%s, -parallel %s)", filepath.Base(dir), par)
+			if golden == nil {
+				golden = rep
+				continue
+			}
+			if err := mustIdentical(label+" vs golden", golden, rep); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Explicit -format selection must agree with auto-detection.
+	explicit, err := capture(c, bin, "-dir", pprofDir, "-format", "pprof")
+	if err != nil {
+		return err
+	}
+	if err := mustIdentical("-format pprof vs auto", golden, explicit); err != nil {
+		return err
+	}
+
+	// Follow mode tailing the foreign-format directory converges on the
+	// same report.
+	follow, err := capture(c, bin, "-dir", pprofDir, "-follow",
+		"-follow-poll", "20ms", "-follow-idle", "200ms")
+	if err != nil {
+		return err
+	}
+	if err := mustIdentical("pprof -follow vs batch", golden, stripLive(follow)); err != nil {
+		return err
+	}
+
+	// Decoder throughput for the trajectory: the two new frontends' decode
+	// hot paths, tracked like the clustering sweep.
+	for _, pkg := range []struct{ label, path string }{
+		{"pprof", "./internal/pprof"},
+		{"perf", "./internal/perfscript"},
+	} {
+		benchOut, err := capture(c, "go", "test", pkg.path,
+			"-run", "^$", "-bench", "^BenchmarkDecode$", "-benchtime", "200x", "-count", "3")
+		if err != nil {
+			return fmt.Errorf("%s decode benchmark: %w\n%s", pkg.label, err, benchOut)
+		}
+		samples, err := stat.ParseBench(bytes.NewReader(benchOut))
+		if err != nil {
+			return err
+		}
+		if len(samples) == 0 {
+			return fmt.Errorf("no BenchmarkDecode results in %s", pkg.path)
+		}
+		names := make([]string, 0, len(samples))
+		for name := range samples {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fig, err := stat.Summarize(samples[name])
+			if err != nil {
+				return fmt.Errorf("%s %s: %w", pkg.label, name, err)
+			}
+			c.Logf("%-10s %-45s %12.0f ns/op (noise %.1f%%, %d rounds)",
+				pkg.label, name, fig.Min, fig.NoisePct, fig.Rounds)
+			c.Record("ingest/"+pkg.label+"/"+name,
+				trajectory.Metric{Value: fig.Min, Unit: "ns/op", NoisePct: fig.NoisePct})
+		}
+	}
+	return nil
+}

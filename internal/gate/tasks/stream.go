@@ -14,7 +14,7 @@ import (
 
 	"github.com/incprof/incprof/internal/gate"
 	"github.com/incprof/incprof/internal/gate/trajectory"
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/interval"
 	"github.com/incprof/incprof/internal/stream"
 )
@@ -30,7 +30,7 @@ func liveHeap() uint64 {
 
 // synthStream feeds n synthetic snapshots of funcs functions into sink,
 // seed-deterministically, calling observe(i) after each emit.
-func synthStream(sink stream.Sink[*gmon.Snapshot], n, funcs int, seed int64, observe func(i int)) error {
+func synthStream(sink stream.Sink[*profile.Sample], n, funcs int, seed int64, observe func(i int)) error {
 	rng := rand.New(rand.NewSource(seed))
 	names := make([]string, funcs)
 	cumSamples := make([]int64, funcs)
@@ -40,16 +40,16 @@ func synthStream(sink stream.Sink[*gmon.Snapshot], n, funcs int, seed int64, obs
 	}
 	period := 10 * time.Millisecond
 	for i := 0; i < n; i++ {
-		s := &gmon.Snapshot{
+		s := &profile.Sample{
 			Seq:          i,
 			Timestamp:    time.Duration(i+1) * time.Second,
 			SamplePeriod: period,
-			Funcs:        make([]gmon.FuncRecord, funcs),
+			Funcs:        make([]profile.FuncRecord, funcs),
 		}
 		for j := range names {
 			cumSamples[j] += int64(rng.Intn(20))
 			cumCalls[j] += int64(rng.Intn(4))
-			s.Funcs[j] = gmon.FuncRecord{
+			s.Funcs[j] = profile.FuncRecord{
 				Name:     names[j],
 				Samples:  cumSamples[j],
 				SelfTime: time.Duration(cumSamples[j]) * period,
@@ -76,7 +76,7 @@ func runStreamHeap(c *gate.Context) error {
 		threshold = int64(2 << 20)
 	)
 	d := stream.NewDifferencer(stream.DifferencerOptions{Robust: true})
-	head := stream.Pipe[*gmon.Snapshot, interval.Profile](d, stream.Discard[interval.Profile]{})
+	head := stream.Pipe[*profile.Sample, interval.Profile](d, stream.Discard[interval.Profile]{})
 
 	warmup := n / 4
 	decile := (n - warmup) / 10
@@ -112,11 +112,11 @@ func runStreamHeap(c *gate.Context) error {
 // slowSink throttles the consumer side so the producer outruns it and the
 // admission queue actually overloads.
 type slowSink struct {
-	down  stream.Sink[*gmon.Snapshot]
+	down  stream.Sink[*profile.Sample]
 	delay time.Duration
 }
 
-func (s slowSink) Emit(x *gmon.Snapshot) error {
+func (s slowSink) Emit(x *profile.Sample) error {
 	time.Sleep(s.delay)
 	return s.down.Emit(x)
 }
@@ -143,7 +143,7 @@ func runOverload(c *gate.Context) error {
 	// the admitted count no matter how wide the shed spans happen to be on
 	// this machine.
 	d := stream.NewDifferencer(stream.DifferencerOptions{Robust: true, Policy: interval.GapScale})
-	head := stream.Pipe[*gmon.Snapshot, interval.Profile](d, stream.Discard[interval.Profile]{})
+	head := stream.Pipe[*profile.Sample, interval.Profile](d, stream.Discard[interval.Profile]{})
 	adm := stream.NewAdmission(slowSink{down: head, delay: consumerDelay}, stream.AdmissionOptions{
 		MaxPending: maxPending,
 		Policy:     stream.ShedDropOldest,

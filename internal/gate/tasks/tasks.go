@@ -23,7 +23,7 @@ import (
 func CISet() []string {
 	return []string{
 		"build", "test",
-		"determinism", "a12", "follow", "recover",
+		"determinism", "a12", "follow", "recover", "ingest",
 		"overload", "streamheap",
 		"sweep", "obs",
 	}
@@ -66,6 +66,12 @@ func Registry() *gate.Registry {
 		Desc: "SIGKILL a durable -follow run, resume, byte-diff vs batch",
 		Deps: []string{"build"},
 		Run:  runRecover,
+	})
+	r.MustRegister(gate.Task{
+		Name: "ingest",
+		Desc: "cross-format ingestion: gmon vs pprof byte-identical, batch/follow, p1/p8, -race",
+		Deps: []string{"build"},
+		Run:  runIngest,
 	})
 	r.MustRegister(gate.Task{
 		Name: "overload",

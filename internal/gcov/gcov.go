@@ -16,12 +16,10 @@
 package gcov
 
 import (
-	"fmt"
 	"sort"
 	"time"
 
 	"github.com/incprof/incprof/internal/exec"
-	"github.com/incprof/incprof/internal/interval"
 	"github.com/incprof/incprof/internal/vclock"
 )
 
@@ -130,56 +128,5 @@ func (c *Collector) Snapshots() []*Snapshot {
 	return out
 }
 
-// Difference converts cumulative count snapshots into interval profiles the
-// phase detector can consume: per-interval block counts become the activity
-// feature (scaled as pseudo-nanoseconds so interval.Features sees them),
-// and per-interval call counts drive Algorithm 1's sorting. Counters must
-// be non-decreasing.
-func Difference(snaps []*Snapshot) ([]interval.Profile, error) {
-	profiles := make([]interval.Profile, 0, len(snaps))
-	var prev *Snapshot
-	for i, s := range snaps {
-		p := interval.Profile{
-			Index:     i,
-			End:       s.Timestamp,
-			Self:      make(map[string]time.Duration),
-			ExactSelf: make(map[string]time.Duration),
-			Calls:     make(map[string]int64),
-		}
-		if prev != nil {
-			p.Start = prev.Timestamp
-		}
-		for fn, blocks := range s.Blocks {
-			var before int64
-			if prev != nil {
-				before = prev.Blocks[fn]
-			}
-			d := blocks - before
-			if d < 0 {
-				return nil, fmt.Errorf("gcov: block counter for %q regressed at dump %d", fn, s.Seq)
-			}
-			if d > 0 {
-				// One pseudo-microsecond per block keeps features
-				// well-scaled for clustering.
-				p.Self[fn] = time.Duration(d) * time.Microsecond
-				p.ExactSelf[fn] = p.Self[fn]
-			}
-		}
-		for fn, calls := range s.Calls {
-			var before int64
-			if prev != nil {
-				before = prev.Calls[fn]
-			}
-			d := calls - before
-			if d < 0 {
-				return nil, fmt.Errorf("gcov: call counter for %q regressed at dump %d", fn, s.Seq)
-			}
-			if d > 0 {
-				p.Calls[fn] = d
-			}
-		}
-		profiles = append(profiles, p)
-		prev = s
-	}
-	return profiles, nil
-}
+// Difference lives in source.go: count snapshots now difference through the
+// canonical interval kernel via the ProfileSource boundary.

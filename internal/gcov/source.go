@@ -1,0 +1,139 @@
+// source.go joins the coverage decoders to the ProfileSource boundary:
+// count snapshots convert to format-neutral profile.Samples, differencing
+// routes through the canonical interval.Difference kernel instead of a
+// private reimplementation, and JaCoCo XML registers as an on-disk frontend
+// ("jacoco", jacoco.out.N) so coverage-derived series flow through the same
+// stores, tailer, and analysis core as every sampled format.
+package gcov
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/incprof/incprof/internal/interval"
+	"github.com/incprof/incprof/internal/profile"
+)
+
+// BlockPeriod is the pseudo-time one executed block bundle stands for: it
+// doubles as the converted Sample's period so interval differencing scales
+// count deltas exactly as the original count differencer did.
+const BlockPeriod = time.Microsecond
+
+// BooleanSelf is the unit pseudo-time a covered function gets under
+// JaCoCo-grade boolean coverage (matching BooleanProfiles).
+const BooleanSelf = time.Millisecond
+
+func init() {
+	profile.Register(&profile.Format{
+		Name:       "jacoco",
+		FilePrefix: "jacoco.out.",
+		Detect: func(data []byte) bool {
+			head := data
+			if len(head) > 512 {
+				head = head[:512]
+			}
+			return bytes.Contains(head, []byte("<report"))
+		},
+		Decode: DecodeJaCoCo,
+		Encode: EncodeJaCoCo,
+	})
+}
+
+// ToSample converts one cumulative counter snapshot to the format-neutral
+// Sample: block counts become the sample histogram (at BlockPeriod per
+// block, so Self time after differencing matches the count differencer's
+// scaling), and invocation counts carry over directly.
+func (s *Snapshot) ToSample() *profile.Sample {
+	out := &profile.Sample{
+		Seq:          s.Seq,
+		Timestamp:    s.Timestamp,
+		SamplePeriod: BlockPeriod,
+	}
+	names := make(map[string]bool, len(s.Blocks)+len(s.Calls))
+	for fn := range s.Blocks {
+		names[fn] = true
+	}
+	for fn := range s.Calls {
+		names[fn] = true
+	}
+	for fn := range names {
+		blocks := s.Blocks[fn]
+		out.Funcs = append(out.Funcs, profile.FuncRecord{
+			Name:     fn,
+			Samples:  blocks,
+			SelfTime: time.Duration(blocks) * BlockPeriod,
+			Calls:    s.Calls[fn],
+		})
+	}
+	out.Normalize()
+	return out
+}
+
+// ToSamples converts a snapshot series for the canonical differencers.
+func ToSamples(snaps []*Snapshot) []*profile.Sample {
+	out := make([]*profile.Sample, len(snaps))
+	for i, s := range snaps {
+		out[i] = s.ToSample()
+	}
+	return out
+}
+
+// DecodeJaCoCo reads one cumulative JaCoCo report (dump WITHOUT reset, so
+// coverage only grows across dumps — the ingestion contract every frontend
+// shares) into a boolean-coverage Sample: each covered method gets one
+// sample, BooleanSelf pseudo-time, and one call. Differencing consecutive
+// dumps then surfaces the functions newly covered in each interval.
+func DecodeJaCoCo(r io.Reader) (*profile.Sample, error) {
+	active, dump, ts, err := ParseJaCoCoXML(r)
+	if err != nil {
+		return nil, err
+	}
+	s := &profile.Sample{
+		Seq:          dump,
+		Timestamp:    ts,
+		SamplePeriod: BooleanSelf,
+	}
+	for fn, on := range active {
+		if !on {
+			continue
+		}
+		s.Funcs = append(s.Funcs, profile.FuncRecord{
+			Name:     fn,
+			Samples:  1,
+			SelfTime: BooleanSelf,
+			Calls:    1,
+		})
+	}
+	s.Normalize()
+	return s, nil
+}
+
+// EncodeJaCoCo writes the sample as a JaCoCo-style report: any function with
+// activity counts as covered, everything else about the sample (magnitudes,
+// arcs) is not representable in boolean coverage and is dropped.
+func EncodeJaCoCo(w io.Writer, s *profile.Sample) error {
+	active := make(map[string]bool, len(s.Funcs))
+	for _, rec := range s.Funcs {
+		active[rec.Name] = rec.Samples > 0 || rec.SelfTime > 0 || rec.Calls > 0
+	}
+	seq := s.Seq
+	if seq == profile.SeqUnassigned {
+		seq = 0
+	}
+	return WriteJaCoCoXML(w, "incprof", seq, s.Timestamp, active)
+}
+
+// Difference converts cumulative count snapshots into interval profiles
+// through the ProfileSource boundary: snapshots become Samples and the
+// canonical strict differencer — the one every other frontend feeds — does
+// the subtraction, so coverage data cannot drift from the sampled formats'
+// validation or repair semantics.
+func Difference(snaps []*Snapshot) ([]interval.Profile, error) {
+	profiles, err := interval.Difference(ToSamples(snaps))
+	if err != nil {
+		return nil, fmt.Errorf("gcov: %w", err)
+	}
+	return profiles, nil
+}

@@ -6,6 +6,8 @@ import (
 	"io"
 	"sort"
 	"time"
+
+	"github.com/incprof/incprof/internal/profile"
 )
 
 // TotalTimes propagates sampled self time up the call graph, gprof-style: a
@@ -14,9 +16,9 @@ import (
 // ignoring back edges discovered during the traversal (gprof proper lumps
 // strongly-connected components; for the acyclic call trees the evaluation
 // applications produce, the two treatments agree).
-func (s *Snapshot) TotalTimes() map[string]time.Duration {
+func TotalTimes(s *profile.Sample) map[string]time.Duration {
 	// callers[callee] -> arcs into it; callees[caller] -> arcs out.
-	callees := make(map[string][]Arc)
+	callees := make(map[string][]profile.Arc)
 	inCalls := make(map[string]int64)
 	for _, a := range s.Arcs {
 		callees[a.Caller] = append(callees[a.Caller], a)
@@ -66,9 +68,9 @@ func (s *Snapshot) TotalTimes() map[string]time.Duration {
 // with its callers above and callees below, showing self time, propagated
 // children time, and call counts (paper §IV: "a table relating function
 // profiles to particular calling contexts").
-func (s *Snapshot) CallGraphReport(w io.Writer) error {
+func CallGraphReport(w io.Writer, s *profile.Sample) error {
 	bw := bufio.NewWriter(w)
-	totals := s.TotalTimes()
+	totals := TotalTimes(s)
 	grand := s.TotalSampledSelf().Seconds()
 
 	type entry struct {
@@ -100,8 +102,8 @@ func (s *Snapshot) CallGraphReport(w io.Writer) error {
 		index[e.name] = i + 1
 	}
 
-	callersOf := make(map[string][]Arc)
-	calleesOf := make(map[string][]Arc)
+	callersOf := make(map[string][]profile.Arc)
+	calleesOf := make(map[string][]profile.Arc)
 	inCalls := make(map[string]int64)
 	for _, a := range s.Arcs {
 		callersOf[a.Callee] = append(callersOf[a.Callee], a)

@@ -4,20 +4,22 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/incprof/incprof/internal/profile"
 )
 
 // chainSnapshot: main(0 self) -> solve(2s self, 1 call) -> matvec(1s self,
 // 100 calls), plus main -> io(0.5s, 3 calls).
-func chainSnapshot() *Snapshot {
-	s := &Snapshot{
+func chainSnapshot() *profile.Sample {
+	s := &profile.Sample{
 		Seq: 0, Timestamp: 4 * time.Second, SamplePeriod: 10 * time.Millisecond,
-		Funcs: []FuncRecord{
+		Funcs: []profile.FuncRecord{
 			{Name: "main", Samples: 0, Calls: 1},
 			{Name: "solve", Samples: 200, Calls: 1},
 			{Name: "matvec", Samples: 100, Calls: 100},
 			{Name: "io", Samples: 50, Calls: 3},
 		},
-		Arcs: []Arc{
+		Arcs: []profile.Arc{
 			{Caller: "main", Callee: "solve", Count: 1},
 			{Caller: "solve", Callee: "matvec", Count: 100},
 			{Caller: "main", Callee: "io", Count: 3},
@@ -29,7 +31,7 @@ func chainSnapshot() *Snapshot {
 
 func TestTotalTimesPropagation(t *testing.T) {
 	s := chainSnapshot()
-	totals := s.TotalTimes()
+	totals := TotalTimes(s)
 	if got := totals["matvec"]; got != time.Second {
 		t.Fatalf("matvec total = %v, want 1s (leaf)", got)
 	}
@@ -44,20 +46,20 @@ func TestTotalTimesPropagation(t *testing.T) {
 func TestTotalTimesSplitsByArcShare(t *testing.T) {
 	// Two callers of a 1s-self helper, 3:1 call ratio: totals attribute
 	// 0.75s and 0.25s respectively.
-	s := &Snapshot{
+	s := &profile.Sample{
 		SamplePeriod: 10 * time.Millisecond,
-		Funcs: []FuncRecord{
+		Funcs: []profile.FuncRecord{
 			{Name: "a", Samples: 0, Calls: 1},
 			{Name: "b", Samples: 0, Calls: 1},
 			{Name: "helper", Samples: 100, Calls: 4},
 		},
-		Arcs: []Arc{
+		Arcs: []profile.Arc{
 			{Caller: "a", Callee: "helper", Count: 3},
 			{Caller: "b", Callee: "helper", Count: 1},
 		},
 	}
 	s.Normalize()
-	totals := s.TotalTimes()
+	totals := TotalTimes(s)
 	if got := totals["a"]; got != 750*time.Millisecond {
 		t.Fatalf("a total = %v, want 750ms", got)
 	}
@@ -68,19 +70,19 @@ func TestTotalTimesSplitsByArcShare(t *testing.T) {
 
 func TestTotalTimesCycleSafe(t *testing.T) {
 	// Mutual recursion must terminate and not inflate totals unboundedly.
-	s := &Snapshot{
+	s := &profile.Sample{
 		SamplePeriod: 10 * time.Millisecond,
-		Funcs: []FuncRecord{
+		Funcs: []profile.FuncRecord{
 			{Name: "even", Samples: 100, Calls: 50},
 			{Name: "odd", Samples: 100, Calls: 50},
 		},
-		Arcs: []Arc{
+		Arcs: []profile.Arc{
 			{Caller: "even", Callee: "odd", Count: 50},
 			{Caller: "odd", Callee: "even", Count: 49},
 		},
 	}
 	s.Normalize()
-	totals := s.TotalTimes()
+	totals := TotalTimes(s)
 	if totals["even"] <= 0 || totals["even"] > 10*time.Second {
 		t.Fatalf("cycle total = %v", totals["even"])
 	}
@@ -89,7 +91,7 @@ func TestTotalTimesCycleSafe(t *testing.T) {
 func TestCallGraphReportContent(t *testing.T) {
 	s := chainSnapshot()
 	var b strings.Builder
-	if err := s.CallGraphReport(&b); err != nil {
+	if err := CallGraphReport(&b, s); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -116,10 +118,10 @@ func TestCallGraphReportContent(t *testing.T) {
 
 func TestCallGraphReportOmitsUnobserved(t *testing.T) {
 	s := chainSnapshot()
-	s.Funcs = append(s.Funcs, FuncRecord{Name: "dead_code"})
+	s.Funcs = append(s.Funcs, profile.FuncRecord{Name: "dead_code"})
 	s.Normalize()
 	var b strings.Builder
-	if err := s.CallGraphReport(&b); err != nil {
+	if err := CallGraphReport(&b, s); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(b.String(), "dead_code") {

@@ -6,30 +6,15 @@ import (
 	"testing"
 )
 
-// FuzzDecode hardens the compact binary decoder against corrupted input:
-// it must error or succeed, never panic or over-allocate.
-func FuzzDecode(f *testing.F) {
-	s := sample()
-	var buf bytes.Buffer
-	if err := s.Encode(&buf); err != nil {
-		f.Fatal(err)
-	}
-	f.Add(buf.Bytes())
-	f.Add([]byte(Magic))
-	f.Add([]byte("IGMN\x01\x00\x00\x00\xff\xff\xff\xff\x7f"))
-	f.Fuzz(func(t *testing.T, data []byte) {
-		snap, err := Decode(bytes.NewReader(data))
-		if err == nil && snap == nil {
-			t.Fatal("nil snapshot with nil error")
-		}
-	})
-}
+// FuzzDecode for the canonical binary codec lives in internal/profile now;
+// this file keeps the fuzzers for the gprof-specific text and gmon.out
+// containers.
 
 // FuzzParseFlatProfile hardens the gprof-text parser.
 func FuzzParseFlatProfile(f *testing.F) {
 	s := sample()
 	var buf bytes.Buffer
-	if err := s.FlatProfile(&buf); err != nil {
+	if err := FlatProfile(&buf, s); err != nil {
 		f.Fatal(err)
 	}
 	f.Add(buf.String())
@@ -46,7 +31,7 @@ func FuzzParseFlatProfile(f *testing.F) {
 // FuzzReadGmonOut hardens the real-format reader.
 func FuzzReadGmonOut(f *testing.F) {
 	s := sample()
-	l := LayoutForSnapshot(s)
+	l := LayoutForSample(s)
 	var buf bytes.Buffer
 	if err := WriteGmonOut(&buf, s, l); err != nil {
 		f.Fatal(err)

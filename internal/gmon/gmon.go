@@ -1,25 +1,25 @@
-// Package gmon models the cumulative profile snapshots that the gprof
-// runtime dumps (the gmon.out files the paper's IncProf collector forces out
-// once per interval).
+// Package gmon is the gprof frontend: the first registered profile.Format.
+// It models what the gprof toolchain produces around the cumulative profile
+// dumps the paper's IncProf collector forces out once per interval (the
+// gmon.out files), and decodes all of it into the format-neutral
+// profile.Sample the analysis core consumes.
 //
-// A Snapshot holds, per function, the sampled self-time histogram count, the
-// exact self time (an extension the paper's gprof cannot provide; used for
-// ablations), and the call count — plus caller→callee arcs, mirroring
-// gprof's call-graph records. Snapshots are cumulative since program start,
-// exactly like gmon.out: package interval turns consecutive snapshots into
-// per-interval profiles by subtraction.
-//
-// Two serializations are provided, mirroring the paper's workflow of writing
+// Three serializations live here, mirroring the paper's workflow of writing
 // binary gmon files and then running the gprof command-line tool to obtain
 // a textual flat profile which is then parsed:
 //
-//   - a compact binary format (Encode/Decode), and
-//   - a gprof-like textual flat profile (FlatProfile / ParseFlatProfile).
+//   - the dump files themselves: gmon.out.N in the repository's canonical
+//     binary sample encoding (profile.Encode/Decode), registered with the
+//     format registry under the name "gmon";
+//   - the real GNU gmon.out wire format (WriteGmonOut / ReadGmonOut), with
+//     exactly a real gprof pipeline's information loss; and
+//   - the gprof-like textual reports (FlatProfile / ParseFlatProfile and
+//     CallGraphReport).
 package gmon
 
 import (
 	"bufio"
-	"encoding/binary"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -28,295 +28,29 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"github.com/incprof/incprof/internal/profile"
 )
 
-// Magic identifies the binary snapshot format.
-const Magic = "IGMN"
-
-// Version is the binary format version written by Encode.
-const Version = 1
-
-// maxCount caps name/record counts while decoding, guarding against
-// corrupted length prefixes.
-const maxCount = 1 << 22
-
-// FuncRecord is the per-function content of a snapshot.
-type FuncRecord struct {
-	Name string
-	// Samples is the number of profiling-clock samples attributed to the
-	// function, cumulative since program start. Sampled self time is
-	// Samples * SamplePeriod.
-	Samples int64
-	// SelfTime is the exactly-accounted self time (not available from
-	// real gprof; kept for the feature-choice ablation).
-	SelfTime time.Duration
-	// Calls is the number of invocations, cumulative since program start
-	// (gprof's mcount).
-	Calls int64
-}
-
-// Arc is a call-graph edge with an invocation count.
-type Arc struct {
-	Caller string
-	Callee string
-	Count  int64
-}
-
-// Snapshot is one cumulative profile dump.
-type Snapshot struct {
-	// Seq is the dump's sequence number (0-based interval index).
-	Seq int
-	// Timestamp is the virtual time of the dump since run start.
-	Timestamp time.Duration
-	// SamplePeriod is the profiling clock period in effect.
-	SamplePeriod time.Duration
-	// Funcs holds per-function records sorted by name.
-	Funcs []FuncRecord
-	// Arcs holds call-graph edges sorted by (caller, callee).
-	Arcs []Arc
-}
-
-// Normalize sorts the function records by name and arcs by (caller, callee)
-// so that snapshots compare and encode deterministically.
-func (s *Snapshot) Normalize() {
-	sort.Slice(s.Funcs, func(i, j int) bool { return s.Funcs[i].Name < s.Funcs[j].Name })
-	sort.Slice(s.Arcs, func(i, j int) bool {
-		if s.Arcs[i].Caller != s.Arcs[j].Caller {
-			return s.Arcs[i].Caller < s.Arcs[j].Caller
-		}
-		return s.Arcs[i].Callee < s.Arcs[j].Callee
+func init() {
+	profile.Register(&profile.Format{
+		Name:       "gmon",
+		FilePrefix: "gmon.out.",
+		Detect: func(data []byte) bool {
+			return bytes.HasPrefix(data, []byte(profile.Magic))
+		},
+		Decode: profile.Decode,
+		Encode: func(w io.Writer, s *profile.Sample) error { return s.Encode(w) },
 	})
 }
 
-// Func returns the record for name and whether it is present. Funcs must be
-// sorted (see Normalize); snapshots produced by the profiler already are.
-func (s *Snapshot) Func(name string) (FuncRecord, bool) {
-	i := sort.Search(len(s.Funcs), func(i int) bool { return s.Funcs[i].Name >= name })
-	if i < len(s.Funcs) && s.Funcs[i].Name == name {
-		return s.Funcs[i], true
-	}
-	return FuncRecord{}, false
-}
-
-// SampledSelf returns the function's sampled self time
-// (Samples × SamplePeriod).
-func (s *Snapshot) SampledSelf(rec FuncRecord) time.Duration {
-	return time.Duration(rec.Samples) * s.SamplePeriod
-}
-
-// TotalSampledSelf returns the sum of sampled self time over all functions.
-func (s *Snapshot) TotalSampledSelf() time.Duration {
-	var n int64
-	for _, f := range s.Funcs {
-		n += f.Samples
-	}
-	return time.Duration(n) * s.SamplePeriod
-}
-
-// Clone returns a deep copy of the snapshot.
-func (s *Snapshot) Clone() *Snapshot {
-	c := *s
-	c.Funcs = append([]FuncRecord(nil), s.Funcs...)
-	c.Arcs = append([]Arc(nil), s.Arcs...)
-	return &c
-}
-
-// Encode writes the snapshot in the binary format. The snapshot should be
-// normalized first for deterministic output.
-func (s *Snapshot) Encode(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(Magic); err != nil {
-		return err
-	}
-	var scratch [binary.MaxVarintLen64]byte
-	putUvarint := func(v uint64) error {
-		n := binary.PutUvarint(scratch[:], v)
-		_, err := bw.Write(scratch[:n])
-		return err
-	}
-	putVarint := func(v int64) error {
-		n := binary.PutVarint(scratch[:], v)
-		_, err := bw.Write(scratch[:n])
-		return err
-	}
-	putString := func(str string) error {
-		if err := putUvarint(uint64(len(str))); err != nil {
-			return err
-		}
-		_, err := bw.WriteString(str)
-		return err
-	}
-	if err := putUvarint(Version); err != nil {
-		return err
-	}
-	if err := putVarint(int64(s.Seq)); err != nil {
-		return err
-	}
-	if err := putVarint(int64(s.Timestamp)); err != nil {
-		return err
-	}
-	if err := putVarint(int64(s.SamplePeriod)); err != nil {
-		return err
-	}
-	if err := putUvarint(uint64(len(s.Funcs))); err != nil {
-		return err
-	}
-	for _, f := range s.Funcs {
-		if err := putString(f.Name); err != nil {
-			return err
-		}
-		if err := putVarint(f.Samples); err != nil {
-			return err
-		}
-		if err := putVarint(int64(f.SelfTime)); err != nil {
-			return err
-		}
-		if err := putVarint(f.Calls); err != nil {
-			return err
-		}
-	}
-	if err := putUvarint(uint64(len(s.Arcs))); err != nil {
-		return err
-	}
-	for _, a := range s.Arcs {
-		if err := putString(a.Caller); err != nil {
-			return err
-		}
-		if err := putString(a.Callee); err != nil {
-			return err
-		}
-		if err := putVarint(a.Count); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
-}
-
-// Decode reads a snapshot previously written by Encode.
-func Decode(r io.Reader) (*Snapshot, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, len(Magic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("gmon: reading magic: %w", err)
-	}
-	if string(magic) != Magic {
-		return nil, fmt.Errorf("gmon: bad magic %q", magic)
-	}
-	getUvarint := func() (uint64, error) { return binary.ReadUvarint(br) }
-	getVarint := func() (int64, error) { return binary.ReadVarint(br) }
-	getString := func() (string, error) {
-		n, err := getUvarint()
-		if err != nil {
-			return "", err
-		}
-		if n > maxCount {
-			return "", fmt.Errorf("gmon: string length %d too large", n)
-		}
-		b := make([]byte, n)
-		if _, err := io.ReadFull(br, b); err != nil {
-			return "", err
-		}
-		return string(b), nil
-	}
-	ver, err := getUvarint()
-	if err != nil {
-		return nil, fmt.Errorf("gmon: reading version: %w", err)
-	}
-	if ver != Version {
-		return nil, fmt.Errorf("gmon: unsupported version %d", ver)
-	}
-	s := &Snapshot{}
-	seq, err := getVarint()
-	if err != nil {
-		return nil, err
-	}
-	// Field validation: a dump produced by Encode always carries
-	// non-negative header fields and counters (they are cumulative counts
-	// and virtual times), so anything negative is corruption — reject it
-	// here rather than letting a fabricated value distort the downstream
-	// gap arithmetic.
-	if seq < 0 || seq > math.MaxInt32 {
-		return nil, fmt.Errorf("gmon: sequence number %d out of range", seq)
-	}
-	s.Seq = int(seq)
-	ts, err := getVarint()
-	if err != nil {
-		return nil, err
-	}
-	if ts < 0 {
-		return nil, fmt.Errorf("gmon: negative timestamp %d", ts)
-	}
-	s.Timestamp = time.Duration(ts)
-	sp, err := getVarint()
-	if err != nil {
-		return nil, err
-	}
-	if sp < 0 {
-		return nil, fmt.Errorf("gmon: negative sample period %d", sp)
-	}
-	s.SamplePeriod = time.Duration(sp)
-	nf, err := getUvarint()
-	if err != nil {
-		return nil, err
-	}
-	if nf > maxCount {
-		return nil, fmt.Errorf("gmon: function count %d too large", nf)
-	}
-	if nf > 0 {
-		s.Funcs = make([]FuncRecord, nf)
-	}
-	for i := range s.Funcs {
-		f := &s.Funcs[i]
-		if f.Name, err = getString(); err != nil {
-			return nil, err
-		}
-		if f.Samples, err = getVarint(); err != nil {
-			return nil, err
-		}
-		st, err := getVarint()
-		if err != nil {
-			return nil, err
-		}
-		f.SelfTime = time.Duration(st)
-		if f.Calls, err = getVarint(); err != nil {
-			return nil, err
-		}
-		if f.Samples < 0 || st < 0 || f.Calls < 0 {
-			return nil, fmt.Errorf("gmon: negative counters for %q", f.Name)
-		}
-	}
-	na, err := getUvarint()
-	if err != nil {
-		return nil, err
-	}
-	if na > maxCount {
-		return nil, fmt.Errorf("gmon: arc count %d too large", na)
-	}
-	if na > 0 {
-		s.Arcs = make([]Arc, na)
-	}
-	for i := range s.Arcs {
-		a := &s.Arcs[i]
-		if a.Caller, err = getString(); err != nil {
-			return nil, err
-		}
-		if a.Callee, err = getString(); err != nil {
-			return nil, err
-		}
-		if a.Count, err = getVarint(); err != nil {
-			return nil, err
-		}
-	}
-	return s, nil
-}
-
-// FlatProfile renders the snapshot as a gprof-style flat profile. Functions
+// FlatProfile renders the sample as a gprof-style flat profile. Functions
 // with zero samples and zero calls are omitted, as gprof omits functions
 // never observed ("not all functions in a program end up being represented
 // in the profile data", paper §V-A footnote).
-func (s *Snapshot) FlatProfile(w io.Writer) error {
+func FlatProfile(w io.Writer, s *profile.Sample) error {
 	type row struct {
-		rec  FuncRecord
+		rec  profile.FuncRecord
 		self float64 // seconds
 	}
 	rows := make([]row, 0, len(s.Funcs))
@@ -360,15 +94,15 @@ func (s *Snapshot) FlatProfile(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ParseFlatProfile parses text produced by FlatProfile back into a snapshot.
+// ParseFlatProfile parses text produced by FlatProfile back into a sample.
 // Only the data the paper's analysis consumes — per-function self time and
 // call counts — is recovered; arcs and exact self time are not present in a
 // flat profile. Sample counts are reconstructed from self seconds and the
 // sample period in the header.
-func ParseFlatProfile(r io.Reader) (*Snapshot, error) {
+func ParseFlatProfile(r io.Reader) (*profile.Sample, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	s := &Snapshot{}
+	s := &profile.Sample{}
 	sawHeader := false
 	for sc.Scan() {
 		line := sc.Text()
@@ -418,7 +152,7 @@ func ParseFlatProfile(r io.Reader) (*Snapshot, error) {
 				return nil, fmt.Errorf("gmon: bad call count in %q", line)
 			}
 			name := strings.Join(fields[5:], " ")
-			rec := FuncRecord{Name: name, Calls: calls}
+			rec := profile.FuncRecord{Name: name, Calls: calls}
 			if s.SamplePeriod > 0 {
 				rec.Samples = int64(math.Round(self / s.SamplePeriod.Seconds()))
 			}

@@ -2,24 +2,24 @@ package gmon
 
 import (
 	"bytes"
-	"reflect"
 	"strings"
 	"testing"
-	"testing/quick"
 	"time"
+
+	"github.com/incprof/incprof/internal/profile"
 )
 
-func sample() *Snapshot {
-	s := &Snapshot{
+func sample() *profile.Sample {
+	s := &profile.Sample{
 		Seq:          3,
 		Timestamp:    4 * time.Second,
 		SamplePeriod: 10 * time.Millisecond,
-		Funcs: []FuncRecord{
+		Funcs: []profile.FuncRecord{
 			{Name: "run_bfs", Samples: 120, SelfTime: 1205 * time.Millisecond, Calls: 7},
 			{Name: "make_one_edge", Samples: 30, SelfTime: 301 * time.Millisecond, Calls: 90000},
 			{Name: "validate_bfs_result", Samples: 250, SelfTime: 2498 * time.Millisecond, Calls: 2},
 		},
-		Arcs: []Arc{
+		Arcs: []profile.Arc{
 			{Caller: "main", Callee: "run_bfs", Count: 7},
 			{Caller: "main", Callee: "validate_bfs_result", Count: 2},
 		},
@@ -28,135 +28,40 @@ func sample() *Snapshot {
 	return s
 }
 
-func TestNormalizeSorts(t *testing.T) {
-	s := sample()
-	for i := 1; i < len(s.Funcs); i++ {
-		if s.Funcs[i-1].Name >= s.Funcs[i].Name {
-			t.Fatalf("funcs not sorted: %v", s.Funcs)
-		}
+// The package's init must contribute the gmon frontend to the registry, and
+// its Detect must accept exactly the canonical magic.
+func TestFormatRegistration(t *testing.T) {
+	f, ok := profile.Lookup("gmon")
+	if !ok {
+		t.Fatal("gmon format not registered")
 	}
-	for i := 1; i < len(s.Arcs); i++ {
-		a, b := s.Arcs[i-1], s.Arcs[i]
-		if a.Caller > b.Caller || (a.Caller == b.Caller && a.Callee >= b.Callee) {
-			t.Fatalf("arcs not sorted: %v", s.Arcs)
-		}
+	if f.FilePrefix != "gmon.out." {
+		t.Fatalf("prefix = %q", f.FilePrefix)
 	}
-}
-
-func TestFuncLookup(t *testing.T) {
-	s := sample()
-	rec, ok := s.Func("run_bfs")
-	if !ok || rec.Calls != 7 {
-		t.Fatalf("Func(run_bfs) = %+v, %v", rec, ok)
+	if !f.Detect([]byte(profile.Magic + "anything")) {
+		t.Fatal("Detect rejects the canonical magic")
 	}
-	if _, ok := s.Func("nonexistent"); ok {
-		t.Fatal("found a function that is not there")
+	if f.Detect([]byte("gmon")) {
+		t.Fatal("Detect accepts the real gmon.out magic (that is the -gmonout path, not this frontend)")
 	}
-}
-
-func TestSampledSelf(t *testing.T) {
-	s := sample()
-	rec, _ := s.Func("run_bfs")
-	if got := s.SampledSelf(rec); got != 1200*time.Millisecond {
-		t.Fatalf("SampledSelf = %v, want 1.2s", got)
-	}
-	if got := s.TotalSampledSelf(); got != 4*time.Second {
-		t.Fatalf("TotalSampledSelf = %v, want 4s (400 samples x 10ms)", got)
-	}
-}
-
-func TestClone(t *testing.T) {
-	s := sample()
-	c := s.Clone()
-	c.Funcs[0].Samples = 999999
-	c.Arcs[0].Count = 999999
-	if s.Funcs[0].Samples == 999999 || s.Arcs[0].Count == 999999 {
-		t.Fatal("Clone shares backing arrays")
-	}
-}
-
-func TestEncodeDecodeRoundTrip(t *testing.T) {
 	s := sample()
 	var buf bytes.Buffer
-	if err := s.Encode(&buf); err != nil {
+	if err := f.Encode(&buf, s); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Decode(&buf)
+	got, err := f.Decode(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(s, got) {
-		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, s)
-	}
-}
-
-func TestEncodeDeterministic(t *testing.T) {
-	s := sample()
-	var a, b bytes.Buffer
-	if err := s.Encode(&a); err != nil {
-		t.Fatal(err)
-	}
-	if err := s.Encode(&b); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(a.Bytes(), b.Bytes()) {
-		t.Fatal("Encode is not deterministic")
-	}
-}
-
-func TestDecodeRejectsBadMagic(t *testing.T) {
-	if _, err := Decode(strings.NewReader("NOPE....")); err == nil {
-		t.Fatal("decoded garbage")
-	}
-}
-
-func TestDecodeRejectsTruncation(t *testing.T) {
-	s := sample()
-	var buf bytes.Buffer
-	if err := s.Encode(&buf); err != nil {
-		t.Fatal(err)
-	}
-	full := buf.Bytes()
-	for _, cut := range []int{1, len(Magic), len(full) / 2, len(full) - 1} {
-		if _, err := Decode(bytes.NewReader(full[:cut])); err == nil {
-			t.Fatalf("decoded a %d-byte truncation of a %d-byte snapshot", cut, len(full))
-		}
-	}
-}
-
-func TestDecodeRejectsHugeCounts(t *testing.T) {
-	// Craft a header claiming an absurd function count.
-	var buf bytes.Buffer
-	buf.WriteString(Magic)
-	buf.WriteByte(Version)                          // version uvarint
-	buf.WriteByte(0)                                // seq
-	buf.WriteByte(0)                                // timestamp
-	buf.WriteByte(0)                                // sample period
-	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0x7f}) // huge nfuncs
-	if _, err := Decode(&buf); err == nil {
-		t.Fatal("accepted absurd function count")
-	}
-}
-
-func TestEmptySnapshotRoundTrip(t *testing.T) {
-	s := &Snapshot{Seq: 0, SamplePeriod: time.Millisecond}
-	var buf bytes.Buffer
-	if err := s.Encode(&buf); err != nil {
-		t.Fatal(err)
-	}
-	got, err := Decode(&buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(got.Funcs) != 0 || len(got.Arcs) != 0 || got.SamplePeriod != time.Millisecond {
-		t.Fatalf("empty round trip: %+v", got)
+	if got.Seq != s.Seq || len(got.Funcs) != len(s.Funcs) {
+		t.Fatalf("registry round trip: %+v", got)
 	}
 }
 
 func TestFlatProfileFormat(t *testing.T) {
 	s := sample()
 	var buf bytes.Buffer
-	if err := s.FlatProfile(&buf); err != nil {
+	if err := FlatProfile(&buf, s); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -174,10 +79,10 @@ func TestFlatProfileFormat(t *testing.T) {
 
 func TestFlatProfileOmitsUnobservedFunctions(t *testing.T) {
 	s := sample()
-	s.Funcs = append(s.Funcs, FuncRecord{Name: "never_ran"})
+	s.Funcs = append(s.Funcs, profile.FuncRecord{Name: "never_ran"})
 	s.Normalize()
 	var buf bytes.Buffer
-	if err := s.FlatProfile(&buf); err != nil {
+	if err := FlatProfile(&buf, s); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(buf.String(), "never_ran") {
@@ -188,7 +93,7 @@ func TestFlatProfileOmitsUnobservedFunctions(t *testing.T) {
 func TestParseFlatProfileRoundTrip(t *testing.T) {
 	s := sample()
 	var buf bytes.Buffer
-	if err := s.FlatProfile(&buf); err != nil {
+	if err := FlatProfile(&buf, s); err != nil {
 		t.Fatal(err)
 	}
 	got, err := ParseFlatProfile(&buf)
@@ -225,12 +130,12 @@ func TestParseFlatProfileRejectsGarbage(t *testing.T) {
 }
 
 func TestParseFlatProfileFunctionNameWithSpaces(t *testing.T) {
-	s := &Snapshot{
+	s := &profile.Sample{
 		Seq: 1, SamplePeriod: 10 * time.Millisecond,
-		Funcs: []FuncRecord{{Name: "operator new [abi:cxx11]", Samples: 5, Calls: 2}},
+		Funcs: []profile.FuncRecord{{Name: "operator new [abi:cxx11]", Samples: 5, Calls: 2}},
 	}
 	var buf bytes.Buffer
-	if err := s.FlatProfile(&buf); err != nil {
+	if err := FlatProfile(&buf, s); err != nil {
 		t.Fatal(err)
 	}
 	got, err := ParseFlatProfile(&buf)
@@ -239,72 +144,5 @@ func TestParseFlatProfileFunctionNameWithSpaces(t *testing.T) {
 	}
 	if _, ok := got.Func("operator new [abi:cxx11]"); !ok {
 		t.Fatalf("name with spaces not recovered: %+v", got.Funcs)
-	}
-}
-
-// Property: binary round trip is the identity for arbitrary well-formed
-// snapshots.
-func TestPropertyBinaryRoundTrip(t *testing.T) {
-	f := func(names []string, samples []uint16, calls []uint16, seq uint8) bool {
-		s := &Snapshot{Seq: int(seq), Timestamp: time.Duration(seq) * time.Second, SamplePeriod: 10 * time.Millisecond}
-		seen := map[string]bool{}
-		for i, n := range names {
-			if i >= 32 {
-				break
-			}
-			if n == "" || seen[n] {
-				continue
-			}
-			seen[n] = true
-			rec := FuncRecord{Name: n}
-			if i < len(samples) {
-				rec.Samples = int64(samples[i])
-				rec.SelfTime = time.Duration(samples[i]) * 10 * time.Millisecond
-			}
-			if i < len(calls) {
-				rec.Calls = int64(calls[i])
-			}
-			s.Funcs = append(s.Funcs, rec)
-		}
-		s.Normalize()
-		var buf bytes.Buffer
-		if err := s.Encode(&buf); err != nil {
-			return false
-		}
-		got, err := Decode(&buf)
-		if err != nil {
-			return false
-		}
-		return reflect.DeepEqual(s, got)
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func BenchmarkEncode(b *testing.B) {
-	s := sample()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		var buf bytes.Buffer
-		if err := s.Encode(&buf); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkDecode(b *testing.B) {
-	s := sample()
-	var buf bytes.Buffer
-	if err := s.Encode(&buf); err != nil {
-		b.Fatal(err)
-	}
-	raw := buf.Bytes()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := Decode(bytes.NewReader(raw)); err != nil {
-			b.Fatal(err)
-		}
 	}
 }

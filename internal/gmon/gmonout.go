@@ -7,6 +7,8 @@ import (
 	"io"
 	"sort"
 	"time"
+
+	"github.com/incprof/incprof/internal/profile"
 )
 
 // This file implements the actual GNU gmon.out wire format (the file the
@@ -60,9 +62,9 @@ func NewSymbolLayout(names []string) *SymbolLayout {
 	return l
 }
 
-// LayoutForSnapshot builds a layout covering every function and arc
-// endpoint in the snapshot.
-func LayoutForSnapshot(s *Snapshot) *SymbolLayout {
+// LayoutForSample builds a layout covering every function and arc
+// endpoint in the sample.
+func LayoutForSample(s *profile.Sample) *SymbolLayout {
 	seen := make(map[string]bool)
 	for _, f := range s.Funcs {
 		seen[f.Name] = true
@@ -112,7 +114,7 @@ func (l *SymbolLayout) Names() []string { return append([]string(nil), l.names..
 // granularity is configurable; one-per-function loses nothing our model
 // has). Exact self time and per-function call totals beyond arcs are not
 // representable — precisely gprof's own limitation.
-func WriteGmonOut(w io.Writer, s *Snapshot, l *SymbolLayout) error {
+func WriteGmonOut(w io.Writer, s *profile.Sample, l *SymbolLayout) error {
 	bw := bufio.NewWriter(w)
 	// Header: magic, version, 3 spare words.
 	if _, err := bw.Write(gmonMagic[:]); err != nil {
@@ -193,7 +195,7 @@ func WriteGmonOut(w io.Writer, s *Snapshot, l *SymbolLayout) error {
 // ReadGmonOut decodes a GNU gmon.out stream against the layout, recovering
 // a snapshot with sampled histogram counts and arcs (and per-function call
 // counts summed from incoming arcs, as gprof derives them).
-func ReadGmonOut(r io.Reader, l *SymbolLayout) (*Snapshot, error) {
+func ReadGmonOut(r io.Reader, l *SymbolLayout) (*profile.Sample, error) {
 	br := bufio.NewReader(r)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
@@ -215,7 +217,7 @@ func ReadGmonOut(r io.Reader, l *SymbolLayout) (*Snapshot, error) {
 		}
 	}
 
-	s := &Snapshot{}
+	s := &profile.Sample{}
 	samples := make(map[string]int64)
 	calls := make(map[string]int64)
 	for {
@@ -289,7 +291,7 @@ func ReadGmonOut(r io.Reader, l *SymbolLayout) (*Snapshot, error) {
 			if !ok1 || !ok2 {
 				return nil, fmt.Errorf("gmon: arc endpoints outside layout")
 			}
-			s.Arcs = append(s.Arcs, Arc{Caller: caller, Callee: callee, Count: count})
+			s.Arcs = append(s.Arcs, profile.Arc{Caller: caller, Callee: callee, Count: count})
 			calls[callee] += count
 		case tagBBCount:
 			return nil, fmt.Errorf("gmon: basic-block records not supported")
@@ -305,7 +307,7 @@ func ReadGmonOut(r io.Reader, l *SymbolLayout) (*Snapshot, error) {
 		names[n] = true
 	}
 	for n := range names {
-		s.Funcs = append(s.Funcs, FuncRecord{Name: n, Samples: samples[n], Calls: calls[n]})
+		s.Funcs = append(s.Funcs, profile.FuncRecord{Name: n, Samples: samples[n], Calls: calls[n]})
 	}
 	s.Normalize()
 	return s, nil

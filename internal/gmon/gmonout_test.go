@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/incprof/incprof/internal/profile"
 )
 
 func TestSymbolLayoutAddressing(t *testing.T) {
@@ -38,7 +40,7 @@ func TestSymbolLayoutAddressing(t *testing.T) {
 
 func TestGmonOutRoundTrip(t *testing.T) {
 	s := sample() // from gmon_test.go
-	l := LayoutForSnapshot(s)
+	l := LayoutForSample(s)
 	var buf bytes.Buffer
 	if err := WriteGmonOut(&buf, s, l); err != nil {
 		t.Fatal(err)
@@ -74,12 +76,12 @@ func TestGmonOutRoundTrip(t *testing.T) {
 }
 
 func TestGmonOutSaturatesHistogram(t *testing.T) {
-	s := &Snapshot{
+	s := &profile.Sample{
 		SamplePeriod: time.Millisecond,
-		Funcs:        []FuncRecord{{Name: "hot", Samples: 1_000_000}},
+		Funcs:        []profile.FuncRecord{{Name: "hot", Samples: 1_000_000}},
 	}
 	s.Normalize()
-	l := LayoutForSnapshot(s)
+	l := LayoutForSample(s)
 	var buf bytes.Buffer
 	if err := WriteGmonOut(&buf, s, l); err != nil {
 		t.Fatal(err)
@@ -106,10 +108,10 @@ func TestGmonOutRejectsGarbage(t *testing.T) {
 }
 
 func TestGmonOutUnknownArcEndpoint(t *testing.T) {
-	s := &Snapshot{
+	s := &profile.Sample{
 		SamplePeriod: time.Millisecond,
-		Arcs:         []Arc{{Caller: "ghost", Callee: "f", Count: 1}},
-		Funcs:        []FuncRecord{{Name: "f", Samples: 1}},
+		Arcs:         []profile.Arc{{Caller: "ghost", Callee: "f", Count: 1}},
+		Funcs:        []profile.FuncRecord{{Name: "f", Samples: 1}},
 	}
 	s.Normalize()
 	l := NewSymbolLayout([]string{"f"}) // ghost missing
@@ -123,26 +125,26 @@ func TestGmonOutUnknownArcEndpoint(t *testing.T) {
 // interval dump as gmon.out bytes, decode, difference, and confirm the
 // per-interval self times match the direct path.
 func TestGmonOutPreservesIntervalAnalysis(t *testing.T) {
-	cumulative := []*Snapshot{
+	cumulative := []*profile.Sample{
 		snap(0, time.Second,
-			FuncRecord{Name: "init", Samples: 90, Calls: 3},
-			FuncRecord{Name: "solve", Samples: 10, Calls: 1}),
+			profile.FuncRecord{Name: "init", Samples: 90, Calls: 3},
+			profile.FuncRecord{Name: "solve", Samples: 10, Calls: 1}),
 		snap(1, 2*time.Second,
-			FuncRecord{Name: "init", Samples: 90, Calls: 3},
-			FuncRecord{Name: "solve", Samples: 110, Calls: 1}),
+			profile.FuncRecord{Name: "init", Samples: 90, Calls: 3},
+			profile.FuncRecord{Name: "solve", Samples: 110, Calls: 1}),
 	}
 	// Give them arcs so call counts survive the format.
 	for _, s := range cumulative {
 		initRec, _ := s.Func("init")
 		solveRec, _ := s.Func("solve")
-		s.Arcs = []Arc{
+		s.Arcs = []profile.Arc{
 			{Caller: "main", Callee: "init", Count: initRec.Calls},
 			{Caller: "main", Callee: "solve", Count: solveRec.Calls},
 		}
 		s.Normalize()
 	}
-	l := LayoutForSnapshot(cumulative[0])
-	var decoded []*Snapshot
+	l := LayoutForSample(cumulative[0])
+	var decoded []*profile.Sample
 	for i, s := range cumulative {
 		var buf bytes.Buffer
 		if err := WriteGmonOut(&buf, s, l); err != nil {
@@ -168,8 +170,8 @@ func TestGmonOutPreservesIntervalAnalysis(t *testing.T) {
 }
 
 // snap builds a normalized snapshot for table-driven tests.
-func snap(seq int, ts time.Duration, recs ...FuncRecord) *Snapshot {
-	s := &Snapshot{Seq: seq, Timestamp: ts, SamplePeriod: 10 * time.Millisecond, Funcs: recs}
+func snap(seq int, ts time.Duration, recs ...profile.FuncRecord) *profile.Sample {
+	s := &profile.Sample{Seq: seq, Timestamp: ts, SamplePeriod: 10 * time.Millisecond, Funcs: recs}
 	s.Normalize()
 	return s
 }

@@ -7,17 +7,17 @@ import (
 	"testing"
 	"time"
 
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/interval"
 )
 
 // fuzzSnapshot builds a small valid snapshot for seeding the corpus.
-func fuzzSnapshot(seq int) *gmon.Snapshot {
-	s := &gmon.Snapshot{
+func fuzzSnapshot(seq int) *profile.Sample {
+	s := &profile.Sample{
 		Seq:          seq,
 		Timestamp:    time.Duration(seq+1) * time.Second,
 		SamplePeriod: 10 * time.Millisecond,
-		Funcs: []gmon.FuncRecord{
+		Funcs: []profile.FuncRecord{
 			{Name: "compute", Samples: int64(90 * (seq + 1)), SelfTime: time.Duration(seq+1) * 900 * time.Millisecond, Calls: int64(10 * (seq + 1))},
 			{Name: "halo", Samples: int64(10 * (seq + 1)), SelfTime: time.Duration(seq+1) * 100 * time.Millisecond, Calls: int64(20 * (seq + 1))},
 		},
@@ -38,7 +38,7 @@ func FuzzSnapshotsSalvage(f *testing.F) {
 	f.Add(valid.Bytes())
 	f.Add([]byte{})
 	f.Add(valid.Bytes()[:len(valid.Bytes())/2])
-	f.Add([]byte(gmon.Magic))
+	f.Add([]byte(profile.Magic))
 	f.Add([]byte("IGMN\x01\x80\x80\x80\x80\x80\x80\x80\x80\x80\x01"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 )
 
 // GmonOutStore writes dumps in the real GNU gmon.out wire format — byte-for-
@@ -39,8 +40,8 @@ func NewGmonOutStore(dir string) (*GmonOutStore, error) {
 func (g *GmonOutStore) Dir() string { return g.dir }
 
 // Put implements Store.
-func (g *GmonOutStore) Put(s *gmon.Snapshot) error {
-	layout := gmon.LayoutForSnapshot(s)
+func (g *GmonOutStore) Put(s *profile.Sample) error {
+	layout := gmon.LayoutForSample(s)
 
 	sf, err := os.Create(filepath.Join(g.dir, fmt.Sprintf("symbols.out.%d", s.Seq)))
 	if err != nil {
@@ -72,7 +73,7 @@ func (g *GmonOutStore) Put(s *gmon.Snapshot) error {
 
 // Snapshots implements Store, decoding the real-format dumps against their
 // sidecar symbol tables.
-func (g *GmonOutStore) Snapshots() ([]*gmon.Snapshot, error) {
+func (g *GmonOutStore) Snapshots() ([]*profile.Sample, error) {
 	entries, err := os.ReadDir(g.dir)
 	if err != nil {
 		return nil, err
@@ -90,7 +91,7 @@ func (g *GmonOutStore) Snapshots() ([]*gmon.Snapshot, error) {
 		seqs = append(seqs, seq)
 	}
 	sort.Ints(seqs)
-	out := make([]*gmon.Snapshot, 0, len(seqs))
+	out := make([]*profile.Sample, 0, len(seqs))
 	for _, seq := range seqs {
 		names, ts, err := g.readSymbols(seq)
 		if err != nil {

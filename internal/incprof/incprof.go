@@ -12,7 +12,9 @@
 package incprof
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -24,6 +26,7 @@ import (
 
 	"github.com/incprof/incprof/internal/exec"
 	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/obs"
 	"github.com/incprof/incprof/internal/profiler"
 	"github.com/incprof/incprof/internal/vclock"
@@ -36,9 +39,9 @@ const DefaultInterval = time.Second
 type Store interface {
 	// Put files away one snapshot. Implementations may assume ascending
 	// Seq.
-	Put(s *gmon.Snapshot) error
+	Put(s *profile.Sample) error
 	// Snapshots returns all stored snapshots in Seq order.
-	Snapshots() ([]*gmon.Snapshot, error)
+	Snapshots() ([]*profile.Sample, error)
 }
 
 // Sink receives dumped snapshots as a live stream, independent of storage —
@@ -46,7 +49,7 @@ type Store interface {
 // satisfies it structurally, so a collector can feed phase detection while
 // the run is still in progress.
 type Sink interface {
-	Emit(s *gmon.Snapshot) error
+	Emit(s *profile.Sample) error
 }
 
 // Options configures a Collector.
@@ -223,31 +226,35 @@ func (c *Collector) Close() error {
 
 // MemStore keeps snapshots in memory.
 type MemStore struct {
-	snaps []*gmon.Snapshot
+	snaps []*profile.Sample
 }
 
 // NewMemStore returns an empty in-memory store.
 func NewMemStore() *MemStore { return &MemStore{} }
 
 // Put implements Store.
-func (m *MemStore) Put(s *gmon.Snapshot) error {
+func (m *MemStore) Put(s *profile.Sample) error {
 	m.snaps = append(m.snaps, s)
 	return nil
 }
 
 // Snapshots implements Store.
-func (m *MemStore) Snapshots() ([]*gmon.Snapshot, error) {
-	out := append([]*gmon.Snapshot(nil), m.snaps...)
+func (m *MemStore) Snapshots() ([]*profile.Sample, error) {
+	out := append([]*profile.Sample(nil), m.snaps...)
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	return out, nil
 }
 
-// DirStore writes one binary snapshot file per interval, named gmon.out.N
-// as the paper's collector renames dumps, with an optional gprof-style text
-// report (gprof.txt.N) beside each.
+// DirStore writes one dump file per interval — by default gmon.out.N in the
+// canonical binary encoding, as the paper's collector renames dumps, with an
+// optional gprof-style text report (gprof.txt.N) beside each. A DirStore
+// opened with a registered profile.Format instead reads and writes that
+// frontend's encoding under its own file naming (pprof.out.N, perf.out.N,
+// ...); everything downstream of the load is format-blind.
 type DirStore struct {
 	dir         string
 	textReports bool
+	format      *profile.Format // nil: canonical gmon.out.N
 }
 
 // NewDirStore returns a store writing under dir, creating it if necessary.
@@ -261,23 +268,33 @@ func NewDirStore(dir string, textReports bool) (*DirStore, error) {
 	return &DirStore{dir: dir, textReports: textReports}, nil
 }
 
+// NewFormatDirStore returns a store reading and writing dumps under dir in
+// the given registered format (nil falls back to the canonical gmon.out.N
+// layout).
+func NewFormatDirStore(dir string, f *profile.Format) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("incprof: creating store dir: %w", err)
+	}
+	return &DirStore{dir: dir, format: f}, nil
+}
+
 // Dir returns the directory the store writes into.
 func (d *DirStore) Dir() string { return d.dir }
 
 // PathFor returns the path of the binary dump for the given sequence
 // number; the fault injector uses it to corrupt files after they land.
 func (d *DirStore) PathFor(seq int) string {
-	return filepath.Join(d.dir, fmt.Sprintf("gmon.out.%d", seq))
+	return filepath.Join(d.dir, formatDecoder(d.format).fileName(seq))
 }
 
 // Put implements Store.
-func (d *DirStore) Put(s *gmon.Snapshot) error {
+func (d *DirStore) Put(s *profile.Sample) error {
 	path := d.PathFor(s.Seq)
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := s.Encode(f); err != nil {
+	if err := formatDecoder(d.format).encode(f, s); err != nil {
 		f.Close()
 		return err
 	}
@@ -289,7 +306,7 @@ func (d *DirStore) Put(s *gmon.Snapshot) error {
 		if err != nil {
 			return err
 		}
-		if err := s.FlatProfile(tf); err != nil {
+		if err := gmon.FlatProfile(tf, s); err != nil {
 			tf.Close()
 			return err
 		}
@@ -301,7 +318,7 @@ func (d *DirStore) Put(s *gmon.Snapshot) error {
 // Snapshots implements Store, reading back the binary dumps in Seq order.
 // The load is strict: one unreadable or corrupt file fails it. Use
 // SnapshotsSalvage when degraded data should degrade, not abort, the run.
-func (d *DirStore) Snapshots() ([]*gmon.Snapshot, error) {
+func (d *DirStore) Snapshots() ([]*profile.Sample, error) {
 	snaps, report, err := d.load(false)
 	if err != nil {
 		return nil, err
@@ -335,39 +352,20 @@ type LoadReport struct {
 // truncated files instead of failing the load. The report names each
 // skipped file; the missing Seq numbers surface downstream as
 // interval.Gap records via DifferenceRobust.
-func (d *DirStore) SnapshotsSalvage() ([]*gmon.Snapshot, LoadReport, error) {
+func (d *DirStore) SnapshotsSalvage() ([]*profile.Sample, LoadReport, error) {
 	return d.load(true)
 }
 
-func (d *DirStore) load(salvage bool) ([]*gmon.Snapshot, LoadReport, error) {
+func (d *DirStore) load(salvage bool) ([]*profile.Sample, LoadReport, error) {
 	var report LoadReport
-	entries, err := os.ReadDir(d.dir)
+	dec := formatDecoder(d.format)
+	files, err := listDumps(d.dir, dec.prefix)
 	if err != nil {
 		return nil, report, err
 	}
-	type numbered struct {
-		seq  int
-		name string
-	}
-	var files []numbered
-	for _, e := range entries {
-		if e.IsDir() {
-			continue
-		}
-		rest, ok := strings.CutPrefix(e.Name(), "gmon.out.")
-		if !ok {
-			continue
-		}
-		seq, err := strconv.Atoi(rest)
-		if err != nil {
-			continue
-		}
-		files = append(files, numbered{seq, e.Name()})
-	}
-	sort.Slice(files, func(i, j int) bool { return files[i].seq < files[j].seq })
-	out := make([]*gmon.Snapshot, 0, len(files))
+	out := make([]*profile.Sample, 0, len(files))
 	for _, f := range files {
-		s, err := decodeDump(filepath.Join(d.dir, f.name))
+		s, err := dec.decodeDump(filepath.Join(d.dir, f.name), f.seq)
 		if err != nil {
 			report.Skipped = append(report.Skipped, SkippedFile{Name: f.name, Seq: f.seq, Err: err})
 			if salvage {
@@ -385,19 +383,64 @@ func (d *DirStore) load(salvage bool) ([]*gmon.Snapshot, LoadReport, error) {
 	return out, report, nil
 }
 
-// decodeDump opens and decodes one binary dump file.
-func decodeDump(path string) (*gmon.Snapshot, error) {
-	fh, err := os.Open(path)
+// decoder binds one frontend's file naming and codec for the dump readers.
+// The nil-format fallback is the canonical encoding under gmon.out.N, so the
+// historical entry points keep working without any format registered.
+type decoder struct {
+	name   string
+	prefix string
+	dec    func(r io.Reader) (*profile.Sample, error)
+	enc    func(w io.Writer, s *profile.Sample) error
+}
+
+func formatDecoder(f *profile.Format) decoder {
+	if f == nil {
+		return decoder{
+			name:   "gmon",
+			prefix: "gmon.out.",
+			dec:    profile.Decode,
+			enc:    func(w io.Writer, s *profile.Sample) error { return s.Encode(w) },
+		}
+	}
+	return decoder{name: f.Name, prefix: f.FilePrefix, dec: f.Decode, enc: f.Encode}
+}
+
+func (d decoder) fileName(seq int) string { return d.prefix + strconv.Itoa(seq) }
+
+func (d decoder) encode(w io.Writer, s *profile.Sample) error {
+	if d.enc == nil {
+		return fmt.Errorf("incprof: format %q has no encoder", d.name)
+	}
+	return d.enc(w, s)
+}
+
+// decodeDump reads and decodes one dump file. A decoder whose container has
+// no sequence number of its own gets the number parsed from the file name.
+// On a decode failure the leading bytes are sniffed against the format
+// registry so a dump of the wrong format fails with a clear cross-format
+// diagnostic instead of a corruption error deep in salvage.
+func (d decoder) decodeDump(path string, seq int) (*profile.Sample, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer fh.Close()
-	return gmon.Decode(fh)
+	s, err := d.dec(bytes.NewReader(data))
+	if err != nil {
+		if f := profile.Sniff(data); f != nil && f.Name != d.name {
+			return nil, fmt.Errorf("incprof: %s has %s-format magic bytes, not %s (mixed dump dir? pass -format %s): %w",
+				filepath.Base(path), f.Name, d.name, f.Name, err)
+		}
+		return nil, err
+	}
+	if s.Seq == profile.SeqUnassigned {
+		s.Seq = seq
+	}
+	return s, nil
 }
 
 // LoadTextReports parses gprof-style text reports (gprof.txt.N) from dir in
 // sequence order — the paper's actual ingestion path, provided for parity.
-func LoadTextReports(dir string) ([]*gmon.Snapshot, error) {
+func LoadTextReports(dir string) ([]*profile.Sample, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -419,7 +462,7 @@ func LoadTextReports(dir string) ([]*gmon.Snapshot, error) {
 		files = append(files, numbered{seq, e.Name()})
 	}
 	sort.Slice(files, func(i, j int) bool { return files[i].seq < files[j].seq })
-	out := make([]*gmon.Snapshot, 0, len(files))
+	out := make([]*profile.Sample, 0, len(files))
 	for _, f := range files {
 		fh, err := os.Open(filepath.Join(dir, f.name))
 		if err != nil {

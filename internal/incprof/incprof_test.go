@@ -9,7 +9,7 @@ import (
 
 	"github.com/incprof/incprof/internal/cluster"
 	"github.com/incprof/incprof/internal/exec"
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/interval"
 	"github.com/incprof/incprof/internal/phase"
 	"github.com/incprof/incprof/internal/profiler"
@@ -429,8 +429,8 @@ func TestStoreAccessorsAndErrPropagation(t *testing.T) {
 
 type failingStore struct{}
 
-func (failingStore) Put(*gmon.Snapshot) error { return errStoreBroken }
-func (failingStore) Snapshots() ([]*gmon.Snapshot, error) {
+func (failingStore) Put(*profile.Sample) error { return errStoreBroken }
+func (failingStore) Snapshots() ([]*profile.Sample, error) {
 	return nil, errStoreBroken
 }
 

@@ -7,7 +7,7 @@ import (
 	"time"
 
 	"github.com/incprof/incprof/internal/exec"
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/interval"
 	"github.com/incprof/incprof/internal/profiler"
 	"github.com/incprof/incprof/internal/vclock"
@@ -111,7 +111,7 @@ type flakyStore struct {
 	calls int
 }
 
-func (f *flakyStore) Put(s *gmon.Snapshot) error {
+func (f *flakyStore) Put(s *profile.Sample) error {
 	f.calls++
 	if f.calls <= f.failN {
 		return errors.New("transient store failure")
@@ -119,7 +119,7 @@ func (f *flakyStore) Put(s *gmon.Snapshot) error {
 	return f.inner.Put(s)
 }
 
-func (f *flakyStore) Snapshots() ([]*gmon.Snapshot, error) { return f.inner.Snapshots() }
+func (f *flakyStore) Snapshots() ([]*profile.Sample, error) { return f.inner.Snapshots() }
 
 func TestCollectorRetriesTransientPutFailure(t *testing.T) {
 	rt := exec.New(nil)

@@ -10,7 +10,7 @@ import (
 	"time"
 
 	"github.com/incprof/incprof/internal/exec"
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/incprof"
 	"github.com/incprof/incprof/internal/profiler"
 	"github.com/incprof/incprof/internal/stream"
@@ -20,11 +20,11 @@ import (
 var _ incprof.Sink = (*stream.Engine)(nil)
 
 type recordingSink struct {
-	snaps []*gmon.Snapshot
+	snaps []*profile.Sample
 	fail  bool
 }
 
-func (r *recordingSink) Emit(s *gmon.Snapshot) error {
+func (r *recordingSink) Emit(s *profile.Sample) error {
 	if r.fail {
 		return fmt.Errorf("sink down")
 	}
@@ -35,8 +35,8 @@ func (r *recordingSink) Emit(s *gmon.Snapshot) error {
 // failStore rejects every Put, modeling dead storage.
 type failStore struct{}
 
-func (failStore) Put(*gmon.Snapshot) error             { return fmt.Errorf("store down") }
-func (failStore) Snapshots() ([]*gmon.Snapshot, error) { return nil, nil }
+func (failStore) Put(*profile.Sample) error             { return fmt.Errorf("store down") }
+func (failStore) Snapshots() ([]*profile.Sample, error) { return nil, nil }
 
 func runCollector(t *testing.T, opts incprof.Options, seconds int) *incprof.Collector {
 	t.Helper()

@@ -8,7 +8,7 @@ import (
 	"time"
 
 	"github.com/incprof/incprof/internal/exec"
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/profiler"
 )
 
@@ -20,7 +20,7 @@ type oddPutStore struct {
 	attempts atomic.Int64
 }
 
-func (s *oddPutStore) Put(snap *gmon.Snapshot) error {
+func (s *oddPutStore) Put(snap *profile.Sample) error {
 	if s.attempts.Add(1)%2 == 1 {
 		return errors.New("transient store failure")
 	}
@@ -32,12 +32,12 @@ type brickedStore struct {
 	puts atomic.Int64
 }
 
-func (s *brickedStore) Put(*gmon.Snapshot) error {
+func (s *brickedStore) Put(*profile.Sample) error {
 	s.puts.Add(1)
 	return errors.New("store bricked")
 }
 
-func (s *brickedStore) Snapshots() ([]*gmon.Snapshot, error) { return nil, nil }
+func (s *brickedStore) Snapshots() ([]*profile.Sample, error) { return nil, nil }
 
 // spawnReaders hammers every counter accessor from n goroutines until stop is
 // closed. Under -race this is the proof that polling a collector mid-run —

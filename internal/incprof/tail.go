@@ -14,12 +14,15 @@ import (
 	"strings"
 	"time"
 
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/obs"
 )
 
 // TailOptions configures TailDir.
 type TailOptions struct {
+	// Format selects the frontend whose dumps the tail follows; nil tails
+	// the canonical gmon.out.N layout.
+	Format *profile.Format
 	// Poll is the directory re-scan interval. Default 200ms.
 	Poll time.Duration
 	// Idle ends the tail: once no new dump has been emitted for this
@@ -48,20 +51,20 @@ type TailResult struct {
 	// Skipped lists the undecodable dumps (salvage mode only).
 	Skipped []SkippedFile
 	// Last is the final snapshot emitted, nil if none.
-	Last *gmon.Snapshot
+	Last *profile.Sample
 	// Stopped reports the tail ended because opts.Stop fired, not because
 	// the stream went idle.
 	Stopped bool
 }
 
-// dumpFile is one gmon.out.N directory entry.
+// dumpFile is one <prefix>N directory entry.
 type dumpFile struct {
 	seq  int
 	name string
 }
 
-// listDumps returns the gmon.out.N entries under dir in Seq order.
-func listDumps(dir string) ([]dumpFile, error) {
+// listDumps returns the <prefix>N entries under dir in Seq order.
+func listDumps(dir, prefix string) ([]dumpFile, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -71,12 +74,12 @@ func listDumps(dir string) ([]dumpFile, error) {
 		if e.IsDir() {
 			continue
 		}
-		rest, ok := strings.CutPrefix(e.Name(), "gmon.out.")
+		rest, ok := strings.CutPrefix(e.Name(), prefix)
 		if !ok {
 			continue
 		}
 		seq, err := strconv.Atoi(rest)
-		if err != nil {
+		if err != nil || seq < 0 {
 			continue
 		}
 		files = append(files, dumpFile{seq, e.Name()})
@@ -85,7 +88,8 @@ func listDumps(dir string) ([]dumpFile, error) {
 	return files, nil
 }
 
-// TailDir polls dir for gmon.out.N dumps and emits each decoded snapshot to
+// TailDir polls dir for dumps of the configured format (gmon.out.N by
+// default) and emits each decoded snapshot to
 // sink in sequence order as it appears, returning once no new dump has
 // arrived for opts.Idle. A file that fails to decode is assumed to be
 // mid-write and blocks emission (order is preserved, never skipped around)
@@ -100,8 +104,9 @@ func TailDir(dir string, sink Sink, opts TailOptions) (TailResult, error) {
 		opts.Idle = 2 * time.Second
 	}
 	var res TailResult
+	dec := formatDecoder(opts.Format)
 	done := make(map[int]bool)
-	emit := func(s *gmon.Snapshot, seq int) error {
+	emit := func(s *profile.Sample, seq int) error {
 		if err := sink.Emit(s); err != nil {
 			return err
 		}
@@ -128,7 +133,7 @@ func TailDir(dir string, sink Sink, opts TailOptions) (TailResult, error) {
 		if stopped() {
 			return res, nil
 		}
-		files, err := listDumps(dir)
+		files, err := listDumps(dir, dec.prefix)
 		if err != nil {
 			return res, err
 		}
@@ -144,7 +149,7 @@ func TailDir(dir string, sink Sink, opts TailOptions) (TailResult, error) {
 			if stopped() {
 				return res, nil
 			}
-			s, err := decodeDump(filepath.Join(dir, f.name))
+			s, err := dec.decodeDump(filepath.Join(dir, f.name), f.seq)
 			if err != nil {
 				// Possibly still being written: retry next poll, and do
 				// not emit anything past it out of order.
@@ -176,7 +181,7 @@ func TailDir(dir string, sink Sink, opts TailOptions) (TailResult, error) {
 	}
 	// The run is over; whatever still fails to decode is corrupt, not
 	// mid-write. Sweep the remainder in order, skipping or failing.
-	files, err := listDumps(dir)
+	files, err := listDumps(dir, dec.prefix)
 	if err != nil {
 		return res, err
 	}
@@ -184,7 +189,7 @@ func TailDir(dir string, sink Sink, opts TailOptions) (TailResult, error) {
 		if done[f.seq] || (opts.Seen != nil && opts.Seen(f.seq)) {
 			continue
 		}
-		s, err := decodeDump(filepath.Join(dir, f.name))
+		s, err := dec.decodeDump(filepath.Join(dir, f.name), f.seq)
 		if err != nil {
 			if !opts.Salvage {
 				return res, fmt.Errorf("incprof: decoding %s: %w", f.name, err)

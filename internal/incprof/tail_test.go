@@ -5,17 +5,17 @@ import (
 	"testing"
 	"time"
 
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/incprof"
 )
 
-func tailSnap(seq int, samples int64) *gmon.Snapshot {
+func tailSnap(seq int, samples int64) *profile.Sample {
 	period := 10 * time.Millisecond
-	return &gmon.Snapshot{
+	return &profile.Sample{
 		Seq:          seq,
 		Timestamp:    time.Duration(seq+1) * time.Second,
 		SamplePeriod: period,
-		Funcs: []gmon.FuncRecord{{
+		Funcs: []profile.FuncRecord{{
 			Name:     "work",
 			Samples:  samples,
 			SelfTime: time.Duration(samples) * period,

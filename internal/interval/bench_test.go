@@ -5,12 +5,12 @@ import (
 	"math/rand"
 	"testing"
 
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 )
 
 // benchStream is a production-scale stream: 500 dumps over 60 functions,
 // optionally with dumps dropped so the robust path exercises gap repair.
-func benchStream(drops int) []*gmon.Snapshot {
+func benchStream(drops int) []*profile.Sample {
 	rng := rand.New(rand.NewSource(7))
 	fns := make([]string, 60)
 	for i := range fns {

@@ -13,7 +13,7 @@ import (
 	"fmt"
 	"time"
 
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/par"
 )
 
@@ -61,7 +61,7 @@ func (p *Profile) TotalSelf() time.Duration {
 //
 // Difference uses the full GOMAXPROCS worker budget; DifferenceP takes an
 // explicit bound.
-func Difference(snaps []*gmon.Snapshot) ([]Profile, error) {
+func Difference(snaps []*profile.Sample) ([]Profile, error) {
 	return DifferenceP(snaps, 0)
 }
 
@@ -71,10 +71,10 @@ func Difference(snaps []*gmon.Snapshot) ([]Profile, error) {
 // the pairs diff concurrently; profiles are written by index and the
 // lowest-index validation error wins, making the output identical to the
 // serial loop's.
-func DifferenceP(snaps []*gmon.Snapshot, parallelism int) ([]Profile, error) {
+func DifferenceP(snaps []*profile.Sample, parallelism int) ([]Profile, error) {
 	profiles := make([]Profile, len(snaps))
 	err := par.ForError(len(snaps), parallelism, func(i int) error {
-		var prev *gmon.Snapshot
+		var prev *profile.Sample
 		if i > 0 {
 			prev = snaps[i-1]
 		}
@@ -102,7 +102,7 @@ func DifferenceP(snaps []*gmon.Snapshot, parallelism int) ([]Profile, error) {
 // StrictPair is the single strict-differencing kernel: the batch pool
 // (DifferenceP) and the streaming engine's incremental differencer both call
 // it, so the two paths cannot diverge.
-func StrictPair(prev, s *gmon.Snapshot) (Profile, error) {
+func StrictPair(prev, s *profile.Sample) (Profile, error) {
 	if prev != nil {
 		if s.Timestamp < prev.Timestamp {
 			return Profile{}, fmt.Errorf("interval: snapshot %d at %v precedes snapshot %d at %v",
@@ -122,7 +122,7 @@ func StrictPair(prev, s *gmon.Snapshot) (Profile, error) {
 		p.Start = prev.Timestamp
 	}
 	for _, rec := range s.Funcs {
-		var prevRec gmon.FuncRecord
+		var prevRec profile.FuncRecord
 		if prev != nil {
 			prevRec, _ = prev.Func(rec.Name)
 		}

@@ -7,26 +7,26 @@ import (
 	"time"
 
 	"github.com/incprof/incprof/internal/exec"
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/incprof"
 	"github.com/incprof/incprof/internal/profiler"
 )
 
-func snap(seq int, ts time.Duration, recs ...gmon.FuncRecord) *gmon.Snapshot {
-	s := &gmon.Snapshot{Seq: seq, Timestamp: ts, SamplePeriod: 10 * time.Millisecond, Funcs: recs}
+func snap(seq int, ts time.Duration, recs ...profile.FuncRecord) *profile.Sample {
+	s := &profile.Sample{Seq: seq, Timestamp: ts, SamplePeriod: 10 * time.Millisecond, Funcs: recs}
 	s.Normalize()
 	return s
 }
 
 func TestDifferenceBasic(t *testing.T) {
-	snaps := []*gmon.Snapshot{
+	snaps := []*profile.Sample{
 		snap(0, time.Second,
-			gmon.FuncRecord{Name: "a", Samples: 50, SelfTime: 500 * time.Millisecond, Calls: 2},
-			gmon.FuncRecord{Name: "b", Samples: 50, SelfTime: 500 * time.Millisecond, Calls: 10},
+			profile.FuncRecord{Name: "a", Samples: 50, SelfTime: 500 * time.Millisecond, Calls: 2},
+			profile.FuncRecord{Name: "b", Samples: 50, SelfTime: 500 * time.Millisecond, Calls: 10},
 		),
 		snap(1, 2*time.Second,
-			gmon.FuncRecord{Name: "a", Samples: 150, SelfTime: 1500 * time.Millisecond, Calls: 3},
-			gmon.FuncRecord{Name: "b", Samples: 50, SelfTime: 500 * time.Millisecond, Calls: 10},
+			profile.FuncRecord{Name: "a", Samples: 150, SelfTime: 1500 * time.Millisecond, Calls: 3},
+			profile.FuncRecord{Name: "b", Samples: 50, SelfTime: 500 * time.Millisecond, Calls: 10},
 		),
 	}
 	profs, err := Difference(snaps)
@@ -58,9 +58,9 @@ func TestDifferenceBasic(t *testing.T) {
 }
 
 func TestDifferenceRejectsRegression(t *testing.T) {
-	snaps := []*gmon.Snapshot{
-		snap(0, time.Second, gmon.FuncRecord{Name: "a", Samples: 50, Calls: 5}),
-		snap(1, 2*time.Second, gmon.FuncRecord{Name: "a", Samples: 40, Calls: 6}),
+	snaps := []*profile.Sample{
+		snap(0, time.Second, profile.FuncRecord{Name: "a", Samples: 50, Calls: 5}),
+		snap(1, 2*time.Second, profile.FuncRecord{Name: "a", Samples: 40, Calls: 6}),
 	}
 	if _, err := Difference(snaps); err == nil {
 		t.Fatal("accepted a regressing cumulative counter")
@@ -68,9 +68,9 @@ func TestDifferenceRejectsRegression(t *testing.T) {
 }
 
 func TestDifferenceRejectsOutOfOrderTimestamps(t *testing.T) {
-	snaps := []*gmon.Snapshot{
-		snap(0, 2*time.Second, gmon.FuncRecord{Name: "a", Samples: 1}),
-		snap(1, time.Second, gmon.FuncRecord{Name: "a", Samples: 2}),
+	snaps := []*profile.Sample{
+		snap(0, 2*time.Second, profile.FuncRecord{Name: "a", Samples: 1}),
+		snap(1, time.Second, profile.FuncRecord{Name: "a", Samples: 2}),
 	}
 	if _, err := Difference(snaps); err == nil {
 		t.Fatal("accepted out-of-order snapshots")
@@ -78,10 +78,10 @@ func TestDifferenceRejectsOutOfOrderTimestamps(t *testing.T) {
 }
 
 func TestDifferenceRejectsPeriodChange(t *testing.T) {
-	a := snap(0, time.Second, gmon.FuncRecord{Name: "a", Samples: 1})
-	b := snap(1, 2*time.Second, gmon.FuncRecord{Name: "a", Samples: 2})
+	a := snap(0, time.Second, profile.FuncRecord{Name: "a", Samples: 1})
+	b := snap(1, 2*time.Second, profile.FuncRecord{Name: "a", Samples: 2})
 	b.SamplePeriod = time.Millisecond
-	if _, err := Difference([]*gmon.Snapshot{a, b}); err == nil {
+	if _, err := Difference([]*profile.Sample{a, b}); err == nil {
 		t.Fatal("accepted a sample-period change mid-run")
 	}
 }
@@ -239,12 +239,12 @@ func TestPropertyDifferenceInvertsAccumulation(t *testing.T) {
 		if len(increments) > 30 {
 			increments = increments[:30]
 		}
-		var snaps []*gmon.Snapshot
+		var snaps []*profile.Sample
 		var cum int64
 		for i, inc := range increments {
 			cum += int64(inc)
 			snaps = append(snaps, snap(i, time.Duration(i+1)*time.Second,
-				gmon.FuncRecord{Name: "f", Samples: cum, SelfTime: time.Duration(cum) * 10 * time.Millisecond, Calls: cum}))
+				profile.FuncRecord{Name: "f", Samples: cum, SelfTime: time.Duration(cum) * 10 * time.Millisecond, Calls: cum}))
 		}
 		profs, err := Difference(snaps)
 		if err != nil {
@@ -264,11 +264,11 @@ func TestPropertyDifferenceInvertsAccumulation(t *testing.T) {
 }
 
 func BenchmarkDifference60Intervals(b *testing.B) {
-	var snaps []*gmon.Snapshot
+	var snaps []*profile.Sample
 	for i := 0; i < 60; i++ {
-		recs := make([]gmon.FuncRecord, 40)
+		recs := make([]profile.FuncRecord, 40)
 		for j := range recs {
-			recs[j] = gmon.FuncRecord{
+			recs[j] = profile.FuncRecord{
 				Name:    "fn" + string(rune('a'+j%26)) + string(rune('0'+j/26)),
 				Samples: int64((i + 1) * (j + 1)),
 				Calls:   int64((i + 1) * j),
@@ -288,11 +288,11 @@ func BenchmarkDifference60Intervals(b *testing.B) {
 // DifferenceP must produce exactly what the serial loop produces — profiles
 // by index with identical maps — for any worker-pool bound.
 func TestDifferencePMatchesSerial(t *testing.T) {
-	var snaps []*gmon.Snapshot
+	var snaps []*profile.Sample
 	for i := 0; i < 40; i++ {
 		snaps = append(snaps, snap(i, time.Duration(i+1)*time.Second,
-			gmon.FuncRecord{Name: "a", Samples: int64(10 * (i + 1)), SelfTime: time.Duration(i+1) * 100 * time.Millisecond, Calls: int64(i + 1)},
-			gmon.FuncRecord{Name: "b", Samples: int64(5 * (i + 1)), Calls: int64(2 * (i + 1))},
+			profile.FuncRecord{Name: "a", Samples: int64(10 * (i + 1)), SelfTime: time.Duration(i+1) * 100 * time.Millisecond, Calls: int64(i + 1)},
+			profile.FuncRecord{Name: "b", Samples: int64(5 * (i + 1)), Calls: int64(2 * (i + 1))},
 		))
 	}
 	serial, err := DifferenceP(snaps, 1)
@@ -332,10 +332,10 @@ func TestDifferencePMatchesSerial(t *testing.T) {
 // Validation failures must surface the lowest-index error, matching the one
 // a serial scan reports first.
 func TestDifferencePReportsLowestIndexError(t *testing.T) {
-	snaps := []*gmon.Snapshot{
-		snap(0, time.Second, gmon.FuncRecord{Name: "a", Samples: 50}),
-		snap(1, 2*time.Second, gmon.FuncRecord{Name: "a", Samples: 40}), // regression at pair (0,1)
-		snap(2, time.Second, gmon.FuncRecord{Name: "a", Samples: 45}),   // out of order at pair (1,2)
+	snaps := []*profile.Sample{
+		snap(0, time.Second, profile.FuncRecord{Name: "a", Samples: 50}),
+		snap(1, 2*time.Second, profile.FuncRecord{Name: "a", Samples: 40}), // regression at pair (0,1)
+		snap(2, time.Second, profile.FuncRecord{Name: "a", Samples: 45}),   // out of order at pair (1,2)
 	}
 	for _, p := range []int{1, 8} {
 		_, err := DifferenceP(snaps, p)

@@ -6,21 +6,21 @@ import (
 	"testing"
 	"time"
 
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 )
 
 // genStream builds a clean cumulative snapshot stream: counters are
 // monotone non-decreasing per function, timestamps advance one second per
 // dump, the sample period is constant — exactly what a healthy collector
 // produces.
-func genStream(rng *rand.Rand, n int, fns []string) []*gmon.Snapshot {
+func genStream(rng *rand.Rand, n int, fns []string) []*profile.Sample {
 	period := 10 * time.Millisecond
 	cumSamples := make(map[string]int64)
 	cumSelf := make(map[string]time.Duration)
 	cumCalls := make(map[string]int64)
-	out := make([]*gmon.Snapshot, n)
+	out := make([]*profile.Sample, n)
 	for i := 0; i < n; i++ {
-		s := &gmon.Snapshot{
+		s := &profile.Sample{
 			Seq:          i,
 			Timestamp:    time.Duration(i+1) * time.Second,
 			SamplePeriod: period,
@@ -29,7 +29,7 @@ func genStream(rng *rand.Rand, n int, fns []string) []*gmon.Snapshot {
 			cumSamples[fn] += int64(rng.Intn(50))
 			cumSelf[fn] += time.Duration(rng.Intn(500)) * time.Millisecond
 			cumCalls[fn] += int64(rng.Intn(20))
-			s.Funcs = append(s.Funcs, gmon.FuncRecord{
+			s.Funcs = append(s.Funcs, profile.FuncRecord{
 				Name:     fn,
 				Samples:  cumSamples[fn],
 				SelfTime: cumSelf[fn],
@@ -45,7 +45,7 @@ func genStream(rng *rand.Rand, n int, fns []string) []*gmon.Snapshot {
 // rawTotals is the ground truth the repair policies are judged against: the
 // last snapshot's cumulative counters, i.e. the sum of every true interval
 // delta whether or not the dump carrying it survived.
-func rawTotals(snaps []*gmon.Snapshot) (self map[string]time.Duration, calls map[string]int64) {
+func rawTotals(snaps []*profile.Sample) (self map[string]time.Duration, calls map[string]int64) {
 	self = make(map[string]time.Duration)
 	calls = make(map[string]int64)
 	last := snaps[len(snaps)-1]
@@ -73,8 +73,8 @@ func sumProfiles(profs []Profile) (self map[string]time.Duration, calls map[stri
 
 // dropSeqs removes the snapshots whose Seq is in drop, returning the
 // surviving stream.
-func dropSeqs(snaps []*gmon.Snapshot, drop map[int]bool) []*gmon.Snapshot {
-	out := make([]*gmon.Snapshot, 0, len(snaps))
+func dropSeqs(snaps []*profile.Sample, drop map[int]bool) []*profile.Sample {
+	out := make([]*profile.Sample, 0, len(snaps))
 	for _, s := range snaps {
 		if !drop[s.Seq] {
 			out = append(out, s)
@@ -190,7 +190,7 @@ func TestPropertyDedupeIdempotent(t *testing.T) {
 		}
 		// Perturb: after each position (except the first), maybe re-insert
 		// the current dump (duplicate) or an arbitrary earlier one (late).
-		perturbed := make([]*gmon.Snapshot, 0, 2*len(snaps))
+		perturbed := make([]*profile.Sample, 0, 2*len(snaps))
 		injected := 0
 		for i, s := range snaps {
 			perturbed = append(perturbed, s)
@@ -231,15 +231,15 @@ func TestPropertyDedupeIdempotent(t *testing.T) {
 // not allocate one profile per "missing" interval; the span collapses to a
 // single repaired profile that still conserves the observed delta.
 func TestSplitFanoutCapped(t *testing.T) {
-	mk := func(seq int, samples int64) *gmon.Snapshot {
-		return &gmon.Snapshot{
+	mk := func(seq int, samples int64) *profile.Sample {
+		return &profile.Sample{
 			Seq:          seq,
 			Timestamp:    time.Duration(seq+1) * time.Second,
 			SamplePeriod: 10 * time.Millisecond,
-			Funcs:        []gmon.FuncRecord{{Name: "f", Samples: samples, Calls: samples}},
+			Funcs:        []profile.FuncRecord{{Name: "f", Samples: samples, Calls: samples}},
 		}
 	}
-	snaps := []*gmon.Snapshot{mk(0, 100), mk(1<<30, 300)}
+	snaps := []*profile.Sample{mk(0, 100), mk(1<<30, 300)}
 	res, err := DifferenceRobust(snaps, RobustOptions{Policy: GapSplit})
 	if err != nil {
 		t.Fatal(err)

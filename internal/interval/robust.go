@@ -11,7 +11,7 @@ import (
 	"fmt"
 	"time"
 
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/obs"
 	"github.com/incprof/incprof/internal/par"
 )
@@ -159,7 +159,7 @@ type pairOut struct {
 //
 // The result is deterministic: it depends only on the snapshot contents,
 // never on Parallelism or scheduling.
-func DifferenceRobust(snaps []*gmon.Snapshot, opts RobustOptions) (*Result, error) {
+func DifferenceRobust(snaps []*profile.Sample, opts RobustOptions) (*Result, error) {
 	if len(snaps) == 0 {
 		return nil, fmt.Errorf("interval: no snapshots")
 	}
@@ -169,7 +169,7 @@ func DifferenceRobust(snaps []*gmon.Snapshot, opts RobustOptions) (*Result, erro
 
 	// Serial pre-pass: drop nils, duplicates, and late arrivals; rebase
 	// timestamps across collector restarts so Start/End stay monotone.
-	kept := make([]*gmon.Snapshot, 0, len(snaps))
+	kept := make([]*profile.Sample, 0, len(snaps))
 	adjTS := make([]time.Duration, 0, len(snaps)) // rebased timestamps
 	restart := make([]bool, 0, len(snaps))        // timestamp regressed at this snapshot
 	preGaps := make(map[int][]Gap)                // kept index -> gaps recorded just after it
@@ -251,8 +251,8 @@ func DifferenceRobust(snaps []*gmon.Snapshot, opts RobustOptions) (*Result, erro
 
 // diffPair differences kept[i] against its predecessor, detecting and
 // repairing gaps and regressions local to the pair.
-func diffPair(kept []*gmon.Snapshot, adjTS []time.Duration, restart []bool, i int, policy GapPolicy) pairOut {
-	var prev *gmon.Snapshot
+func diffPair(kept []*profile.Sample, adjTS []time.Duration, restart []bool, i int, policy GapPolicy) pairOut {
+	var prev *profile.Sample
 	var start time.Duration
 	if i > 0 {
 		prev = kept[i-1]
@@ -267,7 +267,7 @@ func diffPair(kept []*gmon.Snapshot, adjTS []time.Duration, restart []bool, i in
 // resyncs and missing spans, and applies the repair policy. tsRestart
 // reports that the timestamp pre-pass already caught a clock regression at
 // this snapshot.
-func robustPair(prev, s *gmon.Snapshot, start, end time.Duration, tsRestart bool, policy GapPolicy) pairOut {
+func robustPair(prev, s *profile.Sample, start, end time.Duration, tsRestart bool, policy GapPolicy) pairOut {
 	prevSeq := -1
 	if prev != nil {
 		prevSeq = prev.Seq
@@ -335,7 +335,7 @@ func robustPair(prev, s *gmon.Snapshot, start, end time.Duration, tsRestart bool
 
 // makeProfile computes one interval profile from a snapshot pair (base may
 // be nil, meaning cumulative-from-zero), mirroring Difference's inner loop.
-func makeProfile(s, base *gmon.Snapshot, start, end time.Duration) Profile {
+func makeProfile(s, base *profile.Sample, start, end time.Duration) Profile {
 	p := Profile{
 		Start:     start,
 		End:       end,
@@ -344,7 +344,7 @@ func makeProfile(s, base *gmon.Snapshot, start, end time.Duration) Profile {
 		Calls:     make(map[string]int64),
 	}
 	for _, rec := range s.Funcs {
-		var baseRec gmon.FuncRecord
+		var baseRec profile.FuncRecord
 		if base != nil {
 			baseRec, _ = base.Func(rec.Name)
 		}
@@ -364,7 +364,7 @@ func makeProfile(s, base *gmon.Snapshot, start, end time.Duration) Profile {
 // splitSpan divides the combined delta of a gap-spanning pair into n
 // repaired profiles with even time bounds; integer remainders accumulate on
 // the last share so per-function totals are conserved exactly.
-func splitSpan(s, base *gmon.Snapshot, start, end time.Duration, n int) []Profile {
+func splitSpan(s, base *profile.Sample, start, end time.Duration, n int) []Profile {
 	whole := makeProfile(s, base, start, end)
 	span := end - start
 	out := make([]Profile, n)
@@ -439,7 +439,7 @@ func scaleProfile(p *Profile, n int) {
 type RobustStream struct {
 	policy GapPolicy
 
-	prev      *gmon.Snapshot // last kept snapshot
+	prev      *profile.Sample // last kept snapshot
 	prevAdj   time.Duration  // its rebased timestamp
 	tsOffset  time.Duration  // accumulated clock-restart rebase
 	started   bool           // at least one snapshot kept
@@ -458,7 +458,7 @@ func NewRobustStream(policy GapPolicy) *RobustStream {
 // A nil snapshot, a duplicate, or a late arrival produces no profiles; the
 // latter two produce their Gap record. Returned profiles carry their final
 // stream-wide Index values.
-func (r *RobustStream) Push(s *gmon.Snapshot) ([]Profile, []Gap) {
+func (r *RobustStream) Push(s *profile.Sample) ([]Profile, []Gap) {
 	r.pushed++
 	if s == nil {
 		return nil, nil
@@ -511,7 +511,7 @@ func (r *RobustStream) Profiles() int { return r.nProfiles }
 // streaming engine's checkpoint/restore path relies on.
 type RobustStreamState struct {
 	Policy    GapPolicy
-	Prev      *gmon.Snapshot
+	Prev      *profile.Sample
 	PrevAdj   time.Duration
 	TSOffset  time.Duration
 	Started   bool

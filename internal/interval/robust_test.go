@@ -4,17 +4,17 @@ import (
 	"testing"
 	"time"
 
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 )
 
 // snap builds a cumulative snapshot with one function "f" at the given
 // counters, for the gap/regression table tests.
-func rsnap(seq int, ts time.Duration, samples int64, calls int64) *gmon.Snapshot {
-	return &gmon.Snapshot{
+func rsnap(seq int, ts time.Duration, samples int64, calls int64) *profile.Sample {
+	return &profile.Sample{
 		Seq:          seq,
 		Timestamp:    ts,
 		SamplePeriod: 10 * time.Millisecond,
-		Funcs: []gmon.FuncRecord{{
+		Funcs: []profile.FuncRecord{{
 			Name:     "f",
 			Samples:  samples,
 			SelfTime: time.Duration(samples) * 10 * time.Millisecond,
@@ -24,7 +24,7 @@ func rsnap(seq int, ts time.Duration, samples int64, calls int64) *gmon.Snapshot
 }
 
 func TestRobustMatchesStrictOnCleanStream(t *testing.T) {
-	snaps := []*gmon.Snapshot{
+	snaps := []*profile.Sample{
 		rsnap(0, time.Second, 50, 5),
 		rsnap(1, 2*time.Second, 120, 12),
 		rsnap(2, 3*time.Second, 130, 13),
@@ -62,7 +62,7 @@ func TestRobustMatchesStrictOnCleanStream(t *testing.T) {
 func TestRobustMissingSeqPolicies(t *testing.T) {
 	// Seq 1 and 2 lost: the diff 0->3 spans three intervals with 90
 	// samples / 9 calls of combined delta.
-	snaps := []*gmon.Snapshot{
+	snaps := []*profile.Sample{
 		rsnap(0, time.Second, 10, 1),
 		rsnap(3, 4*time.Second, 100, 10),
 	}
@@ -139,7 +139,7 @@ func TestRobustMissingSeqPolicies(t *testing.T) {
 
 func TestRobustLeadingGap(t *testing.T) {
 	// The first two dumps were lost; the stream starts at Seq 2.
-	snaps := []*gmon.Snapshot{
+	snaps := []*profile.Sample{
 		rsnap(2, 3*time.Second, 90, 9),
 		rsnap(3, 4*time.Second, 100, 10),
 	}
@@ -166,7 +166,7 @@ func TestRobustCounterRegressionResyncs(t *testing.T) {
 	// The collector restarted between Seq 1 and Seq 2: counters reset but
 	// the (virtual) clock kept going. The strict path errors; the robust
 	// path must resync instead of producing negative self times.
-	snaps := []*gmon.Snapshot{
+	snaps := []*profile.Sample{
 		rsnap(0, time.Second, 50, 5),
 		rsnap(1, 2*time.Second, 120, 12),
 		rsnap(2, 3*time.Second, 30, 3), // regressed
@@ -202,7 +202,7 @@ func TestRobustCounterRegressionResyncs(t *testing.T) {
 func TestRobustTimestampRestartRebases(t *testing.T) {
 	// Full restart: both counters and the clock reset. Timestamps must be
 	// rebased so Start/End stay monotone.
-	snaps := []*gmon.Snapshot{
+	snaps := []*profile.Sample{
 		rsnap(0, time.Second, 50, 5),
 		rsnap(1, 2*time.Second, 120, 12),
 		rsnap(2, time.Second, 30, 3), // clock restarted
@@ -229,7 +229,7 @@ func TestRobustTimestampRestartRebases(t *testing.T) {
 
 func TestRobustDuplicateAndLateSeqsSkipped(t *testing.T) {
 	dup := rsnap(1, 2*time.Second, 120, 12)
-	snaps := []*gmon.Snapshot{
+	snaps := []*profile.Sample{
 		rsnap(0, time.Second, 50, 5),
 		rsnap(1, 2*time.Second, 120, 12),
 		dup,                          // duplicate delivery
@@ -263,7 +263,7 @@ func TestRobustDuplicateAndLateSeqsSkipped(t *testing.T) {
 func TestRobustSamplePeriodChangeResyncs(t *testing.T) {
 	changed := rsnap(2, 3*time.Second, 130, 13)
 	changed.SamplePeriod = 20 * time.Millisecond
-	snaps := []*gmon.Snapshot{
+	snaps := []*profile.Sample{
 		rsnap(0, time.Second, 50, 5),
 		rsnap(1, 2*time.Second, 120, 12),
 		changed,
@@ -281,7 +281,7 @@ func TestRobustSamplePeriodChangeResyncs(t *testing.T) {
 }
 
 func TestRobustParallelismInvariant(t *testing.T) {
-	var snaps []*gmon.Snapshot
+	var snaps []*profile.Sample
 	var cum int64
 	for i := 0; i < 40; i++ {
 		cum += int64(i%7) + 1
@@ -327,7 +327,7 @@ func TestRobustEmptyAndAllUnusable(t *testing.T) {
 	if _, err := DifferenceRobust(nil, RobustOptions{}); err == nil {
 		t.Fatal("expected error for empty input")
 	}
-	if _, err := DifferenceRobust([]*gmon.Snapshot{nil, nil}, RobustOptions{}); err == nil {
+	if _, err := DifferenceRobust([]*profile.Sample{nil, nil}, RobustOptions{}); err == nil {
 		t.Fatal("expected error for all-nil input")
 	}
 }

@@ -1,0 +1,53 @@
+package perfscript
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/incprof/incprof/internal/profile"
+)
+
+// FuzzDecode hardens the folded-stack parser: it must error or succeed,
+// never panic, and anything it accepts must be internally consistent.
+func FuzzDecode(f *testing.F) {
+	s := &profile.Sample{
+		Seq: 2, Timestamp: time.Second, SamplePeriod: 10 * time.Millisecond,
+		Funcs: []profile.FuncRecord{{Name: "solve", Samples: 40}, {Name: "io", Samples: 3}},
+	}
+	s.Normalize()
+	var buf bytes.Buffer
+	if err := Encode(&buf, s); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())                            // valid dump
+	f.Add("main;solve;matvec 80\nmain;solve 15\n") // multi-frame stacks
+	f.Add("# seq: 1\n# seq: 2\nf 1\n")             // duplicate seq headers: last wins
+	f.Add("# period_ns: 10000000\n")               // headers only, no stacks
+	f.Add("f 99999999999999999999\n")              // count overflow
+	f.Add("no trailing count here\n")
+	f.Add("; 5\n")
+	f.Add(strings.Repeat("deep;", 1000) + "leaf 1\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := Decode(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		if s == nil {
+			t.Fatal("nil sample with nil error")
+		}
+		for _, rec := range s.Funcs {
+			if rec.Samples < 0 {
+				t.Fatalf("negative samples survived decode: %+v", rec)
+			}
+			if rec.Name == "" {
+				t.Fatal("unnamed function survived decode")
+			}
+		}
+		if s.SamplePeriod <= 0 {
+			t.Fatalf("non-positive period %v", s.SamplePeriod)
+		}
+		_ = s.TotalSampledSelf()
+	})
+}

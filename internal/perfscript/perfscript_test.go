@@ -1,0 +1,182 @@
+package perfscript
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/incprof/incprof/internal/profile"
+)
+
+func TestFormatRegistration(t *testing.T) {
+	f, ok := profile.Lookup("perf")
+	if !ok {
+		t.Fatal("perf format not registered")
+	}
+	if f.FilePrefix != "perf.out." {
+		t.Fatalf("prefix = %q", f.FilePrefix)
+	}
+	if !f.Detect([]byte("main;solve;matvec 120\n")) {
+		t.Fatal("Detect rejects a folded stack")
+	}
+	if !f.Detect([]byte("# seq: 3\nmain 5\n")) {
+		t.Fatal("Detect rejects a folded stack behind headers")
+	}
+	if f.Detect([]byte(profile.Magic + "garbage")) {
+		t.Fatal("Detect accepts IGMN binary")
+	}
+	if f.Detect([]byte("just words no count\n")) {
+		t.Fatal("Detect accepts non-folded text")
+	}
+}
+
+func TestDecodeFoldedStacks(t *testing.T) {
+	in := `# seq: 12
+# time_ns: 13000000000
+# period_ns: 10000000
+# tool: stackcollapse-perf.pl (unknown keys are ignored)
+main;solve;matvec 80
+main;solve 15
+main;io 5
+main;solve;matvec 20
+`
+	s, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seq != 12 || s.Timestamp != 13*time.Second || s.SamplePeriod != 10*time.Millisecond {
+		t.Fatalf("header fields: %+v", s)
+	}
+	// Leaf attribution, same leaf through different stacks sums.
+	want := map[string]int64{"matvec": 100, "solve": 15, "io": 5}
+	for name, n := range want {
+		rec, ok := s.Func(name)
+		if !ok || rec.Samples != n {
+			t.Fatalf("%s = %+v, want %d samples", name, rec, n)
+		}
+		if rec.SelfTime != 0 || rec.Calls != 0 {
+			t.Fatalf("%s carries self time or calls a perf stream cannot know: %+v", name, rec)
+		}
+	}
+	if _, ok := s.Func("main"); ok {
+		t.Fatal("main is never a leaf")
+	}
+}
+
+func TestDecodeDefaults(t *testing.T) {
+	s, err := Decode(strings.NewReader("f 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seq != profile.SeqUnassigned {
+		t.Fatalf("seq = %d, want unassigned", s.Seq)
+	}
+	if s.SamplePeriod != DefaultSamplePeriod {
+		t.Fatalf("period = %v, want the 100 Hz default", s.SamplePeriod)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := &profile.Sample{
+		Seq:          4,
+		Timestamp:    2 * time.Second,
+		SamplePeriod: 10 * time.Millisecond,
+		Funcs: []profile.FuncRecord{
+			{Name: "alpha", Samples: 10},
+			{Name: "beta", Samples: 3},
+		},
+	}
+	s.Normalize()
+	var buf bytes.Buffer
+	if err := Encode(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != s.Seq || got.Timestamp != s.Timestamp || got.SamplePeriod != s.SamplePeriod {
+		t.Fatalf("metadata: %+v", got)
+	}
+	for _, w := range s.Funcs {
+		rec, ok := got.Func(w.Name)
+		if !ok || rec.Samples != w.Samples {
+			t.Fatalf("%s = %+v, want %d", w.Name, rec, w.Samples)
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	s := &profile.Sample{
+		SamplePeriod: time.Millisecond,
+		Funcs:        []profile.FuncRecord{{Name: "b", Samples: 1}, {Name: "a", Samples: 2}},
+	}
+	s.Normalize()
+	var a, b bytes.Buffer
+	if err := Encode(&a, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("Encode is not deterministic")
+	}
+}
+
+func TestDecodeRejectsBadInput(t *testing.T) {
+	cases := []string{
+		"not a folded line\n",        // words with no trailing count
+		"f -3\n",                     // negative count
+		"; 5\n",                      // empty leaf
+		"# seq: -2\nf 1\n",           // bad seq header
+		"# period_ns: 0\nf 1\n",      // zero period
+		"# time_ns: minusone\nf 1\n", // non-numeric time
+	}
+	for _, in := range cases {
+		if _, err := Decode(strings.NewReader(in)); err == nil {
+			t.Fatalf("decoded %q", in)
+		}
+	}
+}
+
+func TestFunctionNamesWithSpaces(t *testing.T) {
+	// C++ symbol names keep internal spaces: only the LAST space splits the
+	// count off.
+	s, err := Decode(strings.NewReader("main;operator new [abi:cxx11] 7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec, ok := s.Func("operator new [abi:cxx11]"); !ok || rec.Samples != 7 {
+		t.Fatalf("got %+v", s.Funcs)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	s := &profile.Sample{
+		Seq:          3,
+		Timestamp:    5 * time.Second,
+		SamplePeriod: 10 * time.Millisecond,
+	}
+	for i := 0; i < 64; i++ {
+		s.Funcs = append(s.Funcs, profile.FuncRecord{
+			Name:    fmt.Sprintf("func_%02d", i),
+			Samples: int64(i + 1),
+		})
+	}
+	s.Normalize()
+	var buf bytes.Buffer
+	if err := Encode(&buf, s); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.String()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(strings.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -22,7 +22,7 @@ import (
 	"github.com/incprof/incprof/internal/apps"
 	"github.com/incprof/incprof/internal/callgraph"
 	"github.com/incprof/incprof/internal/faults"
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/heartbeat"
 	"github.com/incprof/incprof/internal/incprof"
 	"github.com/incprof/incprof/internal/interval"
@@ -57,7 +57,7 @@ type CollectOptions struct {
 type CollectionResult struct {
 	// Snapshots holds each rank's cumulative dumps; Snapshots[0] is the
 	// representative rank the analysis uses.
-	Snapshots [][]*gmon.Snapshot
+	Snapshots [][]*profile.Sample
 	// VirtualRuntime is the application's span in virtual time (max over
 	// ranks).
 	VirtualRuntime time.Duration
@@ -84,7 +84,7 @@ func Collect(app apps.App, opts CollectOptions) (*CollectionResult, error) {
 	sp := obs.Under(opts.Span, "pipeline.collect", 0)
 	sp.SetStr("app", app.Meta().Name).SetInt("ranks", int64(ranks)).SetBool("profile", opts.Profile)
 	defer sp.End()
-	res := &CollectionResult{Snapshots: make([][]*gmon.Snapshot, ranks)}
+	res := &CollectionResult{Snapshots: make([][]*profile.Sample, ranks)}
 	stores := make([]incprof.Store, ranks)
 	fstores := make([]*faults.Store, ranks)
 	collDropped := make([]int, ranks)
@@ -221,7 +221,7 @@ func Analyze(res *CollectionResult, opts AnalyzeOptions) (*Analysis, error) {
 		Phase:  popts,
 		Span:   sp,
 	})
-	if err := (stream.SliceSource[*gmon.Snapshot]{Items: snaps}).Run(eng); err != nil {
+	if err := (stream.SliceSource[*profile.Sample]{Items: snaps}).Run(eng); err != nil {
 		return nil, err
 	}
 	r, err := eng.Finish()

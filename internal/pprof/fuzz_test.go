@@ -1,0 +1,71 @@
+package pprof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"testing"
+
+	"github.com/incprof/incprof/internal/profile"
+)
+
+// FuzzDecode hardens the protobuf decoder against corrupted, truncated, and
+// adversarial input: it must error or succeed, never panic, over-allocate,
+// or return a sample with negative counters.
+func FuzzDecode(f *testing.F) {
+	s := sample()
+	var buf bytes.Buffer
+	if err := Encode(&buf, s); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())                      // valid gzip-compressed profile
+	f.Add(buf.Bytes()[:len(buf.Bytes())/2]) // torn mid-stream
+	gzRaw := rawProto(f, buf.Bytes())
+	f.Add(gzRaw)                // valid raw proto
+	f.Add(gzRaw[:len(gzRaw)-1]) // truncated raw proto
+	f.Add([]byte{0x1f, 0x8b})   // bare gzip magic
+	f.Add([]byte("not a profile"))
+	// Duplicate seq comments: last one wins, must not confuse the decoder.
+	dup := sample()
+	dup.Seq = 7
+	var dupBuf bytes.Buffer
+	if err := Encode(&dupBuf, dup); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(dupBuf.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if s == nil {
+			t.Fatal("nil sample with nil error")
+		}
+		for _, rec := range s.Funcs {
+			if rec.Samples < 0 || rec.Calls < 0 || rec.SelfTime < 0 {
+				t.Fatalf("negative counters survived decode: %+v", rec)
+			}
+			if rec.Name == "" {
+				t.Fatal("unnamed function survived decode")
+			}
+		}
+		if s.Seq < 0 && s.Seq != profile.SeqUnassigned {
+			t.Fatalf("invalid seq %d", s.Seq)
+		}
+		_ = s.TotalSampledSelf()
+	})
+}
+
+// rawProto decompresses an encoded profile for raw-proto seeds.
+func rawProto(f *testing.F, data []byte) []byte {
+	f.Helper()
+	gz, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		f.Fatal(err)
+	}
+	raw, err := io.ReadAll(gz)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return raw
+}

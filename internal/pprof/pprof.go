@@ -1,0 +1,581 @@
+// Package pprof is the Go pprof frontend: it decodes gzip-compressed
+// profile.proto payloads — the format `go tool pprof`, net/http/pprof, and
+// runtime/pprof produce — into the format-neutral profile.Sample the
+// analysis core consumes, and encodes Samples back for fixtures and the
+// cross-format gates.
+//
+// The ingestion contract mirrors gmon.out: each dump is CUMULATIVE since
+// program start (a CPU profile whose collection started at run begin,
+// snapshotted once per interval), and the differencer turns consecutive
+// dumps into per-interval profiles by subtraction. Self time is attributed
+// to the leaf frame of each stack, exactly as pprof's own "flat" view does,
+// so a multi-stack profile folds to per-function totals.
+//
+// Column mapping: the sample_type table is scanned by name — "samples"
+// (unit "count") feeds FuncRecord.Samples, "cpu" (unit "nanoseconds") feeds
+// SelfTime, and an optional third "calls" column (an IncProf extension the
+// encoder writes) feeds Calls. Real two-column Go CPU profiles therefore
+// ingest with Calls left zero — the honest degradation for a format that
+// does not count invocations. Call-graph arcs are likewise not represented:
+// stack edges weight sample counts, not invocation counts, and fabricating
+// arc counts from them would corrupt the call-graph reports.
+//
+// The sequence number travels in the profile's comment table ("seq=N");
+// profiles without it (any real pprof capture) decode to Seq =
+// profile.SeqUnassigned and the directory readers number them from the
+// pprof.out.N file name.
+package pprof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/incprof/incprof/internal/profile"
+)
+
+// Profile message field numbers (profile.proto).
+const (
+	fSampleType = 1
+	fSample     = 2
+	fLocation   = 4
+	fFunction   = 5
+	fStringTab  = 6
+	fTimeNanos  = 9
+	fDurNanos   = 10
+	fPeriodType = 11
+	fPeriod     = 12
+	fComment    = 13
+)
+
+// ValueType fields.
+const (
+	vtType = 1
+	vtUnit = 2
+)
+
+// Sample fields.
+const (
+	sLocationID = 1
+	sValue      = 2
+)
+
+// Location fields.
+const (
+	locID   = 1
+	locLine = 4
+)
+
+// Line fields.
+const lineFunctionID = 1
+
+// Function fields.
+const (
+	fnID   = 1
+	fnName = 2
+)
+
+// DefaultSamplePeriod is assumed when a profile carries no period: the Go
+// runtime's 100 Hz CPU profiling default.
+const DefaultSamplePeriod = 10 * time.Millisecond
+
+// gzipMagic is the two-byte gzip stream header every `go tool pprof` output
+// starts with.
+var gzipMagic = []byte{0x1f, 0x8b}
+
+func init() {
+	profile.Register(&profile.Format{
+		Name:       "pprof",
+		FilePrefix: "pprof.out.",
+		Detect:     func(data []byte) bool { return bytes.HasPrefix(data, gzipMagic) },
+		Decode:     Decode,
+		Encode:     Encode,
+	})
+}
+
+type valueType struct{ typ, unit uint64 }
+
+type rawSample struct {
+	locs   []uint64
+	values []int64
+}
+
+// Decode reads one pprof profile (gzip-compressed or raw proto) into a
+// cumulative Sample.
+func Decode(r io.Reader) (*profile.Sample, error) {
+	data, err := io.ReadAll(io.LimitReader(r, 1<<28))
+	if err != nil {
+		return nil, fmt.Errorf("pprof: reading payload: %w", err)
+	}
+	if bytes.HasPrefix(data, gzipMagic) {
+		gz, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("pprof: opening gzip stream: %w", err)
+		}
+		data, err = io.ReadAll(io.LimitReader(gz, 1<<28))
+		if cerr := gz.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pprof: decompressing: %w", err)
+		}
+	}
+
+	var (
+		strtab      []string
+		sampleTypes []valueType
+		samples     []rawSample
+		locFunc     = map[uint64]uint64{} // location id -> leaf function id
+		funcName    = map[uint64]uint64{} // function id -> name index
+		timeNanos   int64
+		period      int64
+		periodType  valueType
+		comments    []uint64
+	)
+
+	r0 := &wireReader{data: data}
+	for !r0.done() {
+		num, wt, err := r0.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch num {
+		case fStringTab:
+			if wt != wtLen {
+				return nil, fmt.Errorf("pprof: string_table with wire type %d", wt)
+			}
+			b, err := r0.bytes()
+			if err != nil {
+				return nil, err
+			}
+			strtab = append(strtab, string(b))
+		case fSampleType, fPeriodType:
+			b, err := r0.bytes()
+			if err != nil {
+				return nil, err
+			}
+			vt, err := parseValueType(b)
+			if err != nil {
+				return nil, err
+			}
+			if num == fSampleType {
+				sampleTypes = append(sampleTypes, vt)
+			} else {
+				periodType = vt
+			}
+		case fSample:
+			b, err := r0.bytes()
+			if err != nil {
+				return nil, err
+			}
+			s, err := parseSample(b)
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, s)
+		case fLocation:
+			b, err := r0.bytes()
+			if err != nil {
+				return nil, err
+			}
+			id, fn, err := parseLocation(b)
+			if err != nil {
+				return nil, err
+			}
+			locFunc[id] = fn
+		case fFunction:
+			b, err := r0.bytes()
+			if err != nil {
+				return nil, err
+			}
+			id, name, err := parseFunction(b)
+			if err != nil {
+				return nil, err
+			}
+			funcName[id] = name
+		case fTimeNanos:
+			v, err := r0.varint()
+			if err != nil {
+				return nil, err
+			}
+			timeNanos = int64(v)
+		case fPeriod:
+			v, err := r0.varint()
+			if err != nil {
+				return nil, err
+			}
+			period = int64(v)
+		case fComment:
+			if comments, err = r0.uints(wt, comments); err != nil {
+				return nil, err
+			}
+		default:
+			if err := r0.skip(wt); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	str := func(idx uint64) (string, error) {
+		if idx >= uint64(len(strtab)) {
+			return "", fmt.Errorf("pprof: string index %d out of table (len %d)", idx, len(strtab))
+		}
+		return strtab[idx], nil
+	}
+
+	// Resolve the value columns by sample_type name.
+	colSamples, colCPU, colCalls := -1, -1, -1
+	for i, vt := range sampleTypes {
+		name, err := str(vt.typ)
+		if err != nil {
+			return nil, err
+		}
+		switch name {
+		case "samples":
+			colSamples = i
+		case "cpu":
+			colCPU = i
+		case "calls":
+			colCalls = i
+		}
+	}
+	if colSamples < 0 && colCPU < 0 && len(samples) > 0 {
+		return nil, fmt.Errorf("pprof: no samples/count or cpu/nanoseconds sample type (have %d types)", len(sampleTypes))
+	}
+
+	out := &profile.Sample{Seq: profile.SeqUnassigned}
+	if timeNanos < 0 {
+		return nil, fmt.Errorf("pprof: negative time_nanos %d", timeNanos)
+	}
+	out.Timestamp = time.Duration(timeNanos)
+	switch {
+	case period > 0:
+		unit := ""
+		if periodType != (valueType{}) {
+			if unit, err = str(periodType.unit); err != nil {
+				return nil, err
+			}
+		}
+		switch unit {
+		case "", "nanoseconds":
+			out.SamplePeriod = time.Duration(period)
+		case "microseconds":
+			out.SamplePeriod = time.Duration(period) * time.Microsecond
+		case "milliseconds":
+			out.SamplePeriod = time.Duration(period) * time.Millisecond
+		case "seconds":
+			out.SamplePeriod = time.Duration(period) * time.Second
+		default:
+			return nil, fmt.Errorf("pprof: unsupported period unit %q", unit)
+		}
+	case period < 0:
+		return nil, fmt.Errorf("pprof: negative period %d", period)
+	default:
+		out.SamplePeriod = DefaultSamplePeriod
+	}
+
+	// Fold stacks to leaf functions, pprof's flat view.
+	type acc struct{ samples, cpu, calls int64 }
+	byName := map[string]*acc{}
+	for _, s := range samples {
+		if len(s.locs) == 0 {
+			continue
+		}
+		fnID, ok := locFunc[s.locs[0]]
+		if !ok {
+			return nil, fmt.Errorf("pprof: sample references unknown location %d", s.locs[0])
+		}
+		nameIdx, ok := funcName[fnID]
+		if !ok {
+			return nil, fmt.Errorf("pprof: location %d references unknown function %d", s.locs[0], fnID)
+		}
+		name, err := str(nameIdx)
+		if err != nil {
+			return nil, err
+		}
+		if name == "" {
+			return nil, fmt.Errorf("pprof: function %d has an empty name", fnID)
+		}
+		a := byName[name]
+		if a == nil {
+			a = &acc{}
+			byName[name] = a
+		}
+		take := func(col int) (int64, error) {
+			if col < 0 || col >= len(s.values) {
+				return 0, nil
+			}
+			if s.values[col] < 0 {
+				return 0, fmt.Errorf("pprof: negative sample value %d for %q", s.values[col], name)
+			}
+			return s.values[col], nil
+		}
+		var v int64
+		if v, err = take(colSamples); err != nil {
+			return nil, err
+		}
+		a.samples += v
+		if v, err = take(colCPU); err != nil {
+			return nil, err
+		}
+		a.cpu += v
+		if v, err = take(colCalls); err != nil {
+			return nil, err
+		}
+		a.calls += v
+	}
+	for name, a := range byName {
+		if colSamples < 0 && a.cpu > 0 && out.SamplePeriod > 0 {
+			// Profiles lacking a samples/count column carry only cpu time;
+			// recover the histogram count from the period. Never applied
+			// when a samples column exists — a zero there means zero.
+			a.samples = (a.cpu + int64(out.SamplePeriod)/2) / int64(out.SamplePeriod)
+		}
+		if a.samples == 0 && a.cpu == 0 && a.calls == 0 {
+			continue
+		}
+		out.Funcs = append(out.Funcs, profile.FuncRecord{
+			Name:     name,
+			Samples:  a.samples,
+			SelfTime: time.Duration(a.cpu),
+			Calls:    a.calls,
+		})
+	}
+
+	// The sequence number, if the producer recorded one, rides the comment
+	// table as "seq=N".
+	for _, idx := range comments {
+		c, err := str(idx)
+		if err != nil {
+			return nil, err
+		}
+		if v, ok := strings.CutPrefix(c, "seq="); ok {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("pprof: bad seq comment %q", c)
+			}
+			out.Seq = n
+		}
+	}
+
+	out.Normalize()
+	return out, nil
+}
+
+func parseValueType(b []byte) (valueType, error) {
+	var vt valueType
+	r := &wireReader{data: b}
+	for !r.done() {
+		num, wt, err := r.tag()
+		if err != nil {
+			return vt, err
+		}
+		switch num {
+		case vtType:
+			if vt.typ, err = r.varint(); err != nil {
+				return vt, err
+			}
+		case vtUnit:
+			if vt.unit, err = r.varint(); err != nil {
+				return vt, err
+			}
+		default:
+			if err := r.skip(wt); err != nil {
+				return vt, err
+			}
+		}
+	}
+	return vt, nil
+}
+
+func parseSample(b []byte) (rawSample, error) {
+	var s rawSample
+	r := &wireReader{data: b}
+	var vals []uint64
+	for !r.done() {
+		num, wt, err := r.tag()
+		if err != nil {
+			return s, err
+		}
+		switch num {
+		case sLocationID:
+			if s.locs, err = r.uints(wt, s.locs); err != nil {
+				return s, err
+			}
+		case sValue:
+			if vals, err = r.uints(wt, vals[:0]); err != nil {
+				return s, err
+			}
+			for _, v := range vals {
+				s.values = append(s.values, int64(v))
+			}
+		default:
+			if err := r.skip(wt); err != nil {
+				return s, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func parseLocation(b []byte) (id, fn uint64, err error) {
+	r := &wireReader{data: b}
+	for !r.done() {
+		num, wt, err := r.tag()
+		if err != nil {
+			return 0, 0, err
+		}
+		switch num {
+		case locID:
+			if id, err = r.varint(); err != nil {
+				return 0, 0, err
+			}
+		case locLine:
+			lb, err := r.bytes()
+			if err != nil {
+				return 0, 0, err
+			}
+			// The first Line of a location is the leaf (innermost) frame.
+			if fn == 0 {
+				lr := &wireReader{data: lb}
+				for !lr.done() {
+					lnum, lwt, err := lr.tag()
+					if err != nil {
+						return 0, 0, err
+					}
+					if lnum == lineFunctionID {
+						if fn, err = lr.varint(); err != nil {
+							return 0, 0, err
+						}
+					} else if err := lr.skip(lwt); err != nil {
+						return 0, 0, err
+					}
+				}
+			}
+		default:
+			if err := r.skip(wt); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	return id, fn, nil
+}
+
+func parseFunction(b []byte) (id, name uint64, err error) {
+	r := &wireReader{data: b}
+	for !r.done() {
+		num, wt, err := r.tag()
+		if err != nil {
+			return 0, 0, err
+		}
+		switch num {
+		case fnID:
+			if id, err = r.varint(); err != nil {
+				return 0, 0, err
+			}
+		case fnName:
+			if name, err = r.varint(); err != nil {
+				return 0, 0, err
+			}
+		default:
+			if err := r.skip(wt); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	return id, name, nil
+}
+
+// Encode writes the sample as a gzip-compressed pprof profile with the
+// three-column sample_type table [samples/count, cpu/nanoseconds,
+// calls/count], one single-frame stack per function, the period as
+// cpu/nanoseconds, the timestamp as time_nanos, and the sequence number as
+// a "seq=N" comment. Call-graph arcs are not representable and are dropped
+// — decoding the result yields the sample minus its arcs. Output is
+// deterministic for a normalized sample.
+func Encode(w io.Writer, s *profile.Sample) error {
+	// String table: "" first as the spec requires, then fixed labels, then
+	// function names in their (sorted) record order.
+	strtab := []string{"", "samples", "count", "cpu", "nanoseconds", "calls"}
+	idx := map[string]uint64{}
+	for i, str := range strtab {
+		idx[str] = uint64(i)
+	}
+	intern := func(str string) uint64 {
+		if i, ok := idx[str]; ok {
+			return i
+		}
+		idx[str] = uint64(len(strtab))
+		strtab = append(strtab, str)
+		return idx[str]
+	}
+	funcs := append([]profile.FuncRecord(nil), s.Funcs...)
+	sort.Slice(funcs, func(i, j int) bool { return funcs[i].Name < funcs[j].Name })
+
+	var top wireWriter
+	vt := func(typ, unit string) []byte {
+		var w wireWriter
+		w.varintField(vtType, intern(typ))
+		w.varintField(vtUnit, intern(unit))
+		return w.buf
+	}
+	top.bytesField(fSampleType, vt("samples", "count"))
+	top.bytesField(fSampleType, vt("cpu", "nanoseconds"))
+	top.bytesField(fSampleType, vt("calls", "count"))
+
+	for i, f := range funcs {
+		id := uint64(i + 1)
+		var sm wireWriter
+		sm.packedField(sLocationID, []uint64{id})
+		sm.packedField(sValue, []uint64{uint64(f.Samples), uint64(f.SelfTime), uint64(f.Calls)})
+		top.bytesField(fSample, sm.buf)
+	}
+	for i, f := range funcs {
+		id := uint64(i + 1)
+		var line wireWriter
+		line.varintField(lineFunctionID, id)
+		var loc wireWriter
+		loc.varintField(locID, id)
+		loc.bytesField(locLine, line.buf)
+		top.bytesField(fLocation, loc.buf)
+		var fn wireWriter
+		fn.varintField(fnID, id)
+		fn.varintField(fnName, intern(f.Name))
+		top.bytesField(fFunction, fn.buf)
+	}
+	seqIdx := uint64(0)
+	if s.Seq != profile.SeqUnassigned {
+		seqIdx = intern("seq=" + strconv.Itoa(s.Seq))
+	}
+	for _, str := range strtab {
+		top.bytesField(fStringTab, []byte(str))
+	}
+	top.varintField(fTimeNanos, uint64(s.Timestamp))
+	top.bytesField(fPeriodType, vtStatic("cpu", "nanoseconds", idx))
+	top.varintField(fPeriod, uint64(s.SamplePeriod))
+	if seqIdx != 0 {
+		top.packedField(fComment, []uint64{seqIdx})
+	}
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(top.buf); err != nil {
+		gz.Close()
+		return err
+	}
+	return gz.Close()
+}
+
+// vtStatic builds a ValueType from already-interned strings (the encode
+// path writes the string table before the trailer fields, so late interning
+// would corrupt it).
+func vtStatic(typ, unit string, idx map[string]uint64) []byte {
+	var w wireWriter
+	w.varintField(vtType, idx[typ])
+	w.varintField(vtUnit, idx[unit])
+	return w.buf
+}

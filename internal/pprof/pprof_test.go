@@ -1,0 +1,355 @@
+package pprof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/incprof/incprof/internal/profile"
+)
+
+func sample() *profile.Sample {
+	s := &profile.Sample{
+		Seq:          3,
+		Timestamp:    4 * time.Second,
+		SamplePeriod: 10 * time.Millisecond,
+		Funcs: []profile.FuncRecord{
+			{Name: "run_bfs", Samples: 120, SelfTime: 1205 * time.Millisecond, Calls: 7},
+			{Name: "make_one_edge", Samples: 30, SelfTime: 301 * time.Millisecond, Calls: 90000},
+			{Name: "validate_bfs_result", Samples: 250, SelfTime: 2498 * time.Millisecond, Calls: 2},
+		},
+	}
+	s.Normalize()
+	return s
+}
+
+func TestFormatRegistration(t *testing.T) {
+	f, ok := profile.Lookup("pprof")
+	if !ok {
+		t.Fatal("pprof format not registered")
+	}
+	if f.FilePrefix != "pprof.out." {
+		t.Fatalf("prefix = %q", f.FilePrefix)
+	}
+	if !f.Detect(gzipMagic) {
+		t.Fatal("Detect rejects a gzip header")
+	}
+	if f.Detect([]byte(profile.Magic)) {
+		t.Fatal("Detect accepts the canonical IGMN magic")
+	}
+}
+
+// Round trip: arcs aside, a normalized sample survives Encode -> Decode
+// exactly, including the IncProf calls column and the seq comment.
+func TestRoundTrip(t *testing.T) {
+	s := sample()
+	var buf bytes.Buffer
+	if err := Encode(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), gzipMagic) {
+		t.Fatalf("encoded profile is not gzip-compressed: % x", buf.Bytes()[:4])
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, s)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	s := sample()
+	var a, b bytes.Buffer
+	if err := Encode(&a, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("Encode is not deterministic")
+	}
+}
+
+func TestDecodeRawProto(t *testing.T) {
+	// The decoder must accept an uncompressed proto payload too (pprof
+	// tooling does).
+	s := sample()
+	var buf bytes.Buffer
+	if err := Encode(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	gz, err := gzip.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := new(bytes.Buffer)
+	if _, err := raw.ReadFrom(gz); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatal("raw-proto decode differs from gzip decode")
+	}
+}
+
+func TestSeqUnassignedWithoutComment(t *testing.T) {
+	s := sample()
+	s.Seq = profile.SeqUnassigned
+	var buf bytes.Buffer
+	if err := Encode(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != profile.SeqUnassigned {
+		t.Fatalf("seq = %d, want SeqUnassigned (no comment written)", got.Seq)
+	}
+}
+
+// A realistic two-column Go CPU profile ([samples/count, cpu/nanoseconds],
+// multi-frame stacks, no calls column) folds to leaf functions with Calls 0.
+func TestDecodeTwoColumnStacks(t *testing.T) {
+	// Stacks: [matvec solve main] 80 samples / 0.8s, [solve main] 15 / 0.15s,
+	// [io main] 5 / 0.05s. Leaf attribution: matvec 80, solve 15, io 5.
+	var top wireWriter
+	strs := []string{"", "samples", "count", "cpu", "nanoseconds", "matvec", "solve", "main", "io"}
+	vt := func(typ, unit uint64) []byte {
+		var w wireWriter
+		w.varintField(vtType, typ)
+		w.varintField(vtUnit, unit)
+		return w.buf
+	}
+	top.bytesField(fSampleType, vt(1, 2))
+	top.bytesField(fSampleType, vt(3, 4))
+	addSample := func(locs []uint64, samples, cpu uint64) {
+		var sm wireWriter
+		sm.packedField(sLocationID, locs)
+		sm.packedField(sValue, []uint64{samples, cpu})
+		top.bytesField(fSample, sm.buf)
+	}
+	addSample([]uint64{1, 2, 3}, 80, 800_000_000)
+	addSample([]uint64{2, 3}, 15, 150_000_000)
+	addSample([]uint64{4, 3}, 5, 50_000_000)
+	// Locations 1..4 -> functions 1..4 (matvec, solve, main, io).
+	for id := uint64(1); id <= 4; id++ {
+		var line wireWriter
+		line.varintField(lineFunctionID, id)
+		var loc wireWriter
+		loc.varintField(locID, id)
+		loc.bytesField(locLine, line.buf)
+		top.bytesField(fLocation, loc.buf)
+		var fn wireWriter
+		fn.varintField(fnID, id)
+		fn.varintField(fnName, 4+id) // matvec=5, solve=6, main=7, io=8
+		top.bytesField(fFunction, fn.buf)
+	}
+	for _, s := range strs {
+		top.bytesField(fStringTab, []byte(s))
+	}
+	top.varintField(fPeriod, uint64(10*time.Millisecond))
+	top.bytesField(fPeriodType, vt(3, 4))
+
+	got, err := Decode(bytes.NewReader(top.buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != profile.SeqUnassigned {
+		t.Fatalf("seq = %d, want unassigned", got.Seq)
+	}
+	want := map[string]struct {
+		samples int64
+		cpu     time.Duration
+	}{
+		"matvec": {80, 800 * time.Millisecond},
+		"solve":  {15, 150 * time.Millisecond},
+		"io":     {5, 50 * time.Millisecond},
+	}
+	for name, w := range want {
+		rec, ok := got.Func(name)
+		if !ok || rec.Samples != w.samples || rec.SelfTime != w.cpu || rec.Calls != 0 {
+			t.Fatalf("%s = %+v, want samples %d cpu %v calls 0", name, rec, w.samples, w.cpu)
+		}
+	}
+	if rec, ok := got.Func("main"); ok && rec.Samples != 0 {
+		t.Fatalf("main is never a leaf, got %+v", rec)
+	}
+}
+
+// A cpu-only profile (no samples column) recovers histogram counts from the
+// period.
+func TestDecodeCPUOnlyDerivesSamples(t *testing.T) {
+	var top wireWriter
+	strs := []string{"", "cpu", "nanoseconds", "f"}
+	var vtb wireWriter
+	vtb.varintField(vtType, 1)
+	vtb.varintField(vtUnit, 2)
+	top.bytesField(fSampleType, vtb.buf)
+	var sm wireWriter
+	sm.packedField(sLocationID, []uint64{1})
+	sm.packedField(sValue, []uint64{uint64(500 * time.Millisecond)})
+	top.bytesField(fSample, sm.buf)
+	var line wireWriter
+	line.varintField(lineFunctionID, 1)
+	var loc wireWriter
+	loc.varintField(locID, 1)
+	loc.bytesField(locLine, line.buf)
+	top.bytesField(fLocation, loc.buf)
+	var fn wireWriter
+	fn.varintField(fnID, 1)
+	fn.varintField(fnName, 3)
+	top.bytesField(fFunction, fn.buf)
+	for _, s := range strs {
+		top.bytesField(fStringTab, []byte(s))
+	}
+	top.varintField(fPeriod, uint64(10*time.Millisecond))
+
+	got, err := Decode(bytes.NewReader(top.buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := got.Func("f")
+	if !ok || rec.Samples != 50 {
+		t.Fatalf("f = %+v, want 50 derived samples (0.5s / 10ms)", rec)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		[]byte("this is not a protobuf at all............"),
+		{0x1f, 0x8b, 0x00, 0x00}, // gzip magic, broken stream
+	}
+	for _, data := range cases {
+		if _, err := Decode(bytes.NewReader(data)); err == nil {
+			t.Fatalf("decoded garbage % x", data[:8])
+		}
+	}
+}
+
+func TestDecodeRejectsDanglingReferences(t *testing.T) {
+	// A sample pointing at a location that was never defined.
+	var top wireWriter
+	var vtb wireWriter
+	vtb.varintField(vtType, 1)
+	vtb.varintField(vtUnit, 2)
+	top.bytesField(fSampleType, vtb.buf)
+	var sm wireWriter
+	sm.packedField(sLocationID, []uint64{99})
+	sm.packedField(sValue, []uint64{1})
+	top.bytesField(fSample, sm.buf)
+	for _, s := range []string{"", "samples", "count"} {
+		top.bytesField(fStringTab, []byte(s))
+	}
+	if _, err := Decode(bytes.NewReader(top.buf)); err == nil {
+		t.Fatal("accepted a sample referencing an unknown location")
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	s := sample()
+	var buf bytes.Buffer
+	if err := Encode(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{1, 3, len(full) / 2, len(full) - 1} {
+		if _, err := Decode(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("decoded a %d-byte truncation of a %d-byte profile", cut, len(full))
+		}
+	}
+}
+
+func TestDecodeSkipsUnknownFields(t *testing.T) {
+	// Append fields this decoder does not know (mapping = 3, drop_frames = 7,
+	// a fixed64 and a fixed32) — per protobuf rules they must be skipped.
+	s := sample()
+	var buf bytes.Buffer
+	if err := Encode(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	gz, err := gzip.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := new(bytes.Buffer)
+	if _, err := raw.ReadFrom(gz); err != nil {
+		t.Fatal(err)
+	}
+	var extra wireWriter
+	extra.buf = append(extra.buf, raw.Bytes()...)
+	extra.bytesField(3, []byte{0x08, 0x01}) // Mapping{id:1}
+	extra.varintField(7, 5)
+	extra.tag(20, wtI64)
+	extra.buf = append(extra.buf, 1, 2, 3, 4, 5, 6, 7, 8)
+	extra.tag(21, wtI32)
+	extra.buf = append(extra.buf, 1, 2, 3, 4)
+	got, err := Decode(bytes.NewReader(extra.buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatal("unknown fields changed the decoded sample")
+	}
+}
+
+func TestDecodeRejectsBadSeqComment(t *testing.T) {
+	s := sample()
+	var buf bytes.Buffer
+	if err := Encode(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	gz, _ := gzip.NewReader(bytes.NewReader(buf.Bytes()))
+	raw := new(bytes.Buffer)
+	raw.ReadFrom(gz)
+	// Graft a comment "seq=bogus" onto the raw proto: string indices follow
+	// field order, so one more string_table entry gets index n (the current
+	// table length, counted by walking the message).
+	var w wireWriter
+	w.buf = append(w.buf, raw.Bytes()...)
+	n := 0
+	r := &wireReader{data: raw.Bytes()}
+	for !r.done() {
+		num, wt, err := r.tag()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if num == fStringTab {
+			if _, err := r.bytes(); err != nil {
+				t.Fatal(err)
+			}
+			n++
+		} else if err := r.skip(wt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.bytesField(fStringTab, []byte("seq=bogus"))
+	w.packedField(fComment, []uint64{uint64(n)})
+	if _, err := Decode(bytes.NewReader(w.buf)); err == nil {
+		t.Fatal("accepted a non-numeric seq comment")
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	s := sample()
+	var buf bytes.Buffer
+	if err := Encode(&buf, s); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

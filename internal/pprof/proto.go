@@ -1,0 +1,164 @@
+// proto.go is a minimal protobuf wire codec — just the varint/length-
+// delimited framing the pprof Profile message needs, hand-rolled so the
+// frontend has no dependency beyond the standard library. The decoder is
+// tolerant of unknown fields (skipped by wire type, as protobuf requires)
+// and of both packed and unpacked repeated scalars; the encoder always
+// writes packed, matching what the Go runtime's profile writer emits.
+package pprof
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire types from the protobuf encoding spec.
+const (
+	wtVarint = 0
+	wtI64    = 1
+	wtLen    = 2
+	wtI32    = 5
+)
+
+var errTruncated = errors.New("pprof: truncated protobuf payload")
+
+// wireReader walks one serialized message.
+type wireReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *wireReader) done() bool { return r.pos >= len(r.data) }
+
+func (r *wireReader) varint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	r.pos += n
+	return v, nil
+}
+
+// tag reads one field tag, returning the field number and wire type.
+func (r *wireReader) tag() (int, int, error) {
+	v, err := r.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	num := int(v >> 3)
+	if num == 0 {
+		return 0, 0, fmt.Errorf("pprof: invalid field number 0")
+	}
+	return num, int(v & 7), nil
+}
+
+// bytes reads one length-delimited payload.
+func (r *wireReader) bytes() ([]byte, error) {
+	n, err := r.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.data)-r.pos) {
+		return nil, errTruncated
+	}
+	b := r.data[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return b, nil
+}
+
+// skip discards one field value of the given wire type.
+func (r *wireReader) skip(wt int) error {
+	switch wt {
+	case wtVarint:
+		_, err := r.varint()
+		return err
+	case wtI64:
+		if len(r.data)-r.pos < 8 {
+			return errTruncated
+		}
+		r.pos += 8
+		return nil
+	case wtLen:
+		_, err := r.bytes()
+		return err
+	case wtI32:
+		if len(r.data)-r.pos < 4 {
+			return errTruncated
+		}
+		r.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("pprof: unsupported wire type %d", wt)
+	}
+}
+
+// uints reads a repeated unsigned varint field: either one packed
+// length-delimited run or a single value, per the tag's wire type.
+func (r *wireReader) uints(wt int, into []uint64) ([]uint64, error) {
+	if wt == wtVarint {
+		v, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		return append(into, v), nil
+	}
+	if wt != wtLen {
+		return nil, fmt.Errorf("pprof: repeated scalar with wire type %d", wt)
+	}
+	b, err := r.bytes()
+	if err != nil {
+		return nil, err
+	}
+	inner := &wireReader{data: b}
+	for !inner.done() {
+		v, err := inner.varint()
+		if err != nil {
+			return nil, err
+		}
+		into = append(into, v)
+	}
+	return into, nil
+}
+
+// wireWriter builds one serialized message.
+type wireWriter struct {
+	buf []byte
+}
+
+func (w *wireWriter) uvarint(v uint64) {
+	var scratch [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(scratch[:], v)
+	w.buf = append(w.buf, scratch[:n]...)
+}
+
+func (w *wireWriter) tag(num, wt int) {
+	w.uvarint(uint64(num)<<3 | uint64(wt))
+}
+
+// varintField writes a varint-typed field, omitting the proto3 zero default.
+func (w *wireWriter) varintField(num int, v uint64) {
+	if v == 0 {
+		return
+	}
+	w.tag(num, wtVarint)
+	w.uvarint(v)
+}
+
+// bytesField writes a length-delimited field (sub-message or string).
+func (w *wireWriter) bytesField(num int, b []byte) {
+	w.tag(num, wtLen)
+	w.uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// packedField writes a repeated scalar field packed.
+func (w *wireWriter) packedField(num int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	var inner wireWriter
+	for _, v := range vs {
+		inner.uvarint(v)
+	}
+	w.bytesField(num, inner.buf)
+}

@@ -1,0 +1,25 @@
+package profile
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode hardens the canonical binary decoder against corrupted input:
+// it must error or succeed, never panic or over-allocate.
+func FuzzDecode(f *testing.F) {
+	s := sample()
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(Magic))
+	f.Add([]byte("IGMN\x01\x00\x00\x00\xff\xff\xff\xff\x7f"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(bytes.NewReader(data))
+		if err == nil && s == nil {
+			t.Fatal("nil sample with nil error")
+		}
+	})
+}

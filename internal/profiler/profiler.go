@@ -15,7 +15,7 @@
 // the feature-choice ablation (DESIGN.md A3) and for tests that need ground
 // truth to compare the sampled histogram against.
 //
-// Snapshot produces a cumulative gmon.Snapshot, which is what the IncProf
+// Snapshot produces a cumulative profile.Sample, which is what the IncProf
 // collector dumps once per interval.
 package profiler
 
@@ -23,7 +23,7 @@ import (
 	"time"
 
 	"github.com/incprof/incprof/internal/exec"
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/vclock"
 )
 
@@ -172,26 +172,26 @@ func (p *Profiler) SelfTime(fn exec.FuncID) time.Duration {
 // Sequence numbers increment per call, mirroring IncProf's per-interval file
 // naming. The result is normalized (sorted) and independent of the
 // profiler's internal state.
-func (p *Profiler) Snapshot() *gmon.Snapshot {
-	s := &gmon.Snapshot{
+func (p *Profiler) Snapshot() *profile.Sample {
+	s := &profile.Sample{
 		Seq:          p.dumps,
 		Timestamp:    p.rt.Now().Duration(),
 		SamplePeriod: p.period,
 	}
 	p.dumps++
 	funcs := p.rt.Funcs()
-	s.Funcs = make([]gmon.FuncRecord, 0, len(funcs))
+	s.Funcs = make([]profile.FuncRecord, 0, len(funcs))
 	for _, fi := range funcs {
-		s.Funcs = append(s.Funcs, gmon.FuncRecord{
+		s.Funcs = append(s.Funcs, profile.FuncRecord{
 			Name:     fi.Name,
 			Samples:  p.Samples(fi.ID),
 			SelfTime: p.SelfTime(fi.ID),
 			Calls:    p.Calls(fi.ID),
 		})
 	}
-	s.Arcs = make([]gmon.Arc, 0, len(p.arcs))
+	s.Arcs = make([]profile.Arc, 0, len(p.arcs))
 	for k, n := range p.arcs {
-		s.Arcs = append(s.Arcs, gmon.Arc{
+		s.Arcs = append(s.Arcs, profile.Arc{
 			Caller: p.rt.FuncName(k.caller),
 			Callee: p.rt.FuncName(k.callee),
 			Count:  n,

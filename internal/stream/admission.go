@@ -28,7 +28,7 @@ import (
 	"sync"
 	"time"
 
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/obs"
 )
 
@@ -73,7 +73,7 @@ type AdmissionOptions struct {
 	// OnShed, when non-nil, receives every snapshot discarded by
 	// ShedDropOldest, in shed order. It is called without internal locks
 	// held and must not call back into the Admission.
-	OnShed func(*gmon.Snapshot)
+	OnShed func(*profile.Sample)
 }
 
 // Admission is the bounded queue stage. The producer side (Emit/Flush) may
@@ -82,12 +82,12 @@ type AdmissionOptions struct {
 // admitted snapshots.
 type Admission struct {
 	opts AdmissionOptions
-	down Sink[*gmon.Snapshot]
+	down Sink[*profile.Sample]
 
 	mu      sync.Mutex
 	notFull *sync.Cond
 	hasWork *sync.Cond
-	queue   []*gmon.Snapshot
+	queue   []*profile.Sample
 	closed  bool
 	halted  bool
 	err     error
@@ -103,7 +103,7 @@ type Admission struct {
 
 // NewAdmission starts the consumer (and, when configured, the watchdog) and
 // returns the producer-facing sink.
-func NewAdmission(down Sink[*gmon.Snapshot], opts AdmissionOptions) *Admission {
+func NewAdmission(down Sink[*profile.Sample], opts AdmissionOptions) *Admission {
 	if opts.MaxPending <= 0 {
 		opts.MaxPending = 64
 	}
@@ -126,8 +126,8 @@ func NewAdmission(down Sink[*gmon.Snapshot], opts AdmissionOptions) *Admission {
 // Emit admits one snapshot, applying the shed policy when the queue is
 // full. It returns ErrStalled after a watchdog halt and the downstream
 // error once the consumer has hit one.
-func (a *Admission) Emit(s *gmon.Snapshot) error {
-	var shed *gmon.Snapshot
+func (a *Admission) Emit(s *profile.Sample) error {
+	var shed *profile.Sample
 	a.mu.Lock()
 	for {
 		switch {

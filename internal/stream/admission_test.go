@@ -6,7 +6,7 @@ import (
 	"testing"
 	"time"
 
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/stream"
 )
 
@@ -20,7 +20,7 @@ type recordingSink struct {
 	block   chan struct{} // non-nil: Emit blocks until closed (stall tests)
 }
 
-func (r *recordingSink) Emit(s *gmon.Snapshot) error {
+func (r *recordingSink) Emit(s *profile.Sample) error {
 	if r.block != nil {
 		<-r.block
 	}
@@ -46,7 +46,7 @@ func (r *recordingSink) snapshot() ([]int, bool) {
 	return append([]int(nil), r.seqs...), r.flushed
 }
 
-func admSnap(seq int) *gmon.Snapshot {
+func admSnap(seq int) *profile.Sample {
 	return snap(seq, time.Duration(seq+1)*time.Second, 10*time.Millisecond,
 		map[string][2]int64{"a": {int64(100 * (seq + 1)), int64(seq + 1)}})
 }
@@ -92,7 +92,7 @@ func TestAdmissionDropOldestConservesAndStaysOrdered(t *testing.T) {
 	adm := stream.NewAdmission(sink, stream.AdmissionOptions{
 		MaxPending: 8,
 		Policy:     stream.ShedDropOldest,
-		OnShed: func(s *gmon.Snapshot) {
+		OnShed: func(s *profile.Sample) {
 			shedMu.Lock()
 			shed = append(shed, s.Seq)
 			shedMu.Unlock()

@@ -1,5 +1,5 @@
 // differencer.go is the ingest stage of the streaming engine: cumulative
-// gmon snapshots in, per-interval profiles out, retaining only the previous
+// profile samples in, per-interval profiles out, retaining only the previous
 // kept snapshot (plus an optional bounded reorder window) instead of the
 // whole dump list — O(1) memory in the run length where the batch
 // differencers are O(n).
@@ -9,7 +9,7 @@ import (
 	"container/heap"
 	"fmt"
 
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/interval"
 	"github.com/incprof/incprof/internal/obs"
 )
@@ -45,7 +45,7 @@ type Differencer struct {
 
 	// Strict-mode state: the previous snapshot and the count of profiles
 	// emitted (their Index values).
-	prev *gmon.Snapshot
+	prev *profile.Sample
 	n    int
 
 	// Robust-mode state.
@@ -84,7 +84,7 @@ func (d *Differencer) Start(down Sink[interval.Profile]) { d.down = down }
 // completes downstream. In robust mode one snapshot may complete several
 // profiles (a split gap repair) or none (a duplicate); in strict mode any
 // discontinuity is an error, matching interval.Difference.
-func (d *Differencer) Emit(s *gmon.Snapshot) error {
+func (d *Differencer) Emit(s *profile.Sample) error {
 	if d.opts.Reorder <= 0 {
 		return d.ingest(s)
 	}
@@ -98,11 +98,11 @@ func (d *Differencer) Emit(s *gmon.Snapshot) error {
 	if d.window.Len() <= d.opts.Reorder {
 		return nil
 	}
-	return d.ingest(heap.Pop(&d.window).(*gmon.Snapshot))
+	return d.ingest(heap.Pop(&d.window).(*profile.Sample))
 }
 
 // ingest feeds one snapshot to the differencing kernel.
-func (d *Differencer) ingest(s *gmon.Snapshot) error {
+func (d *Differencer) ingest(s *profile.Sample) error {
 	if s != nil && s.Seq > d.released {
 		d.released = s.Seq
 	}
@@ -164,7 +164,7 @@ func (d *Differencer) ingest(s *gmon.Snapshot) error {
 // snapshots unusable), then flushes downstream.
 func (d *Differencer) Flush() error {
 	for d.window.Len() > 0 {
-		if err := d.ingest(heap.Pop(&d.window).(*gmon.Snapshot)); err != nil {
+		if err := d.ingest(heap.Pop(&d.window).(*profile.Sample)); err != nil {
 			return err
 		}
 	}
@@ -202,7 +202,7 @@ type snapHeap struct {
 }
 
 type snapEntry struct {
-	s      *gmon.Snapshot
+	s      *profile.Sample
 	serial int
 }
 
@@ -216,7 +216,7 @@ func (h *snapHeap) Less(i, j int) bool {
 }
 func (h *snapHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
 func (h *snapHeap) Push(x any) {
-	h.items = append(h.items, snapEntry{s: x.(*gmon.Snapshot), serial: h.serial})
+	h.items = append(h.items, snapEntry{s: x.(*profile.Sample), serial: h.serial})
 	h.serial++
 }
 func (h *snapHeap) Pop() any {

@@ -7,7 +7,7 @@ import (
 	"testing"
 	"time"
 
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/interval"
 	"github.com/incprof/incprof/internal/stream"
 )
@@ -15,10 +15,10 @@ import (
 // snap builds a cumulative snapshot; funcs maps name -> {samples, calls}.
 // Funcs are name-sorted: Snapshot.Func looks records up by binary search,
 // so the invariant every real producer maintains must hold here too.
-func snap(seq int, ts time.Duration, period time.Duration, funcs map[string][2]int64) *gmon.Snapshot {
-	s := &gmon.Snapshot{Seq: seq, Timestamp: ts, SamplePeriod: period}
+func snap(seq int, ts time.Duration, period time.Duration, funcs map[string][2]int64) *profile.Sample {
+	s := &profile.Sample{Seq: seq, Timestamp: ts, SamplePeriod: period}
 	for name, v := range funcs {
-		s.Funcs = append(s.Funcs, gmon.FuncRecord{
+		s.Funcs = append(s.Funcs, profile.FuncRecord{
 			Name:     name,
 			Samples:  v[0],
 			SelfTime: time.Duration(v[0]) * period,
@@ -31,18 +31,18 @@ func snap(seq int, ts time.Duration, period time.Duration, funcs map[string][2]i
 
 // runDifferencer feeds snaps through a Differencer stage and returns the
 // collected profiles.
-func runDifferencer(t *testing.T, opts stream.DifferencerOptions, snaps []*gmon.Snapshot) ([]interval.Profile, []interval.Gap, error) {
+func runDifferencer(t *testing.T, opts stream.DifferencerOptions, snaps []*profile.Sample) ([]interval.Profile, []interval.Gap, error) {
 	t.Helper()
 	d := stream.NewDifferencer(opts)
 	var got collector[interval.Profile]
-	head := stream.Pipe[*gmon.Snapshot, interval.Profile](d, &got)
-	err := (stream.SliceSource[*gmon.Snapshot]{Items: snaps}).Run(head)
+	head := stream.Pipe[*profile.Sample, interval.Profile](d, &got)
+	err := (stream.SliceSource[*profile.Sample]{Items: snaps}).Run(head)
 	return got.items, d.Gaps(), err
 }
 
-func cleanSnaps() []*gmon.Snapshot {
+func cleanSnaps() []*profile.Sample {
 	period := 10 * time.Millisecond
-	return []*gmon.Snapshot{
+	return []*profile.Sample{
 		snap(0, time.Second, period, map[string][2]int64{"a": {50, 5}}),
 		snap(1, 2*time.Second, period, map[string][2]int64{"a": {120, 12}, "b": {10, 1}}),
 		snap(2, 3*time.Second, period, map[string][2]int64{"a": {130, 13}, "b": {40, 2}}),
@@ -70,7 +70,7 @@ func TestStrictDifferencerMatchesBatch(t *testing.T) {
 
 func TestStrictDifferencerErrorMatchesBatch(t *testing.T) {
 	period := 10 * time.Millisecond
-	snaps := []*gmon.Snapshot{
+	snaps := []*profile.Sample{
 		snap(0, time.Second, period, map[string][2]int64{"a": {50, 5}}),
 		snap(1, 2*time.Second, period, map[string][2]int64{"a": {40, 6}}), // counter regression
 	}
@@ -85,7 +85,7 @@ func TestStrictDifferencerErrorMatchesBatch(t *testing.T) {
 }
 
 func TestStrictDifferencerRejectsNil(t *testing.T) {
-	_, _, err := runDifferencer(t, stream.DifferencerOptions{}, []*gmon.Snapshot{nil})
+	_, _, err := runDifferencer(t, stream.DifferencerOptions{}, []*profile.Sample{nil})
 	if err == nil {
 		t.Fatal("nil snapshot accepted in strict mode")
 	}
@@ -94,12 +94,12 @@ func TestStrictDifferencerRejectsNil(t *testing.T) {
 // faultySnaps builds a deterministic pseudo-random snapshot stream with
 // every discontinuity class the robust path repairs: nils, duplicates, late
 // arrivals, missing seqs, counter/clock restarts, and period changes.
-func faultySnaps(seed int64, n int) []*gmon.Snapshot {
+func faultySnaps(seed int64, n int) []*profile.Sample {
 	rng := rand.New(rand.NewSource(seed))
 	names := []string{"alpha", "beta", "gamma", "delta"}
 	period := 10 * time.Millisecond
 	cum := map[string][2]int64{}
-	var out []*gmon.Snapshot
+	var out []*profile.Sample
 	seq := 0
 	ts := time.Duration(0)
 	for len(out) < n {
@@ -182,7 +182,7 @@ func TestRobustDifferencerMatchesBatchOnFaultyStreams(t *testing.T) {
 }
 
 func TestRobustDifferencerAllUnusableErrorsLikeBatch(t *testing.T) {
-	snaps := []*gmon.Snapshot{nil, nil}
+	snaps := []*profile.Sample{nil, nil}
 	wantRes, wantErr := interval.DifferenceRobust(snaps, interval.RobustOptions{})
 	if wantErr == nil {
 		t.Fatalf("batch accepted all-nil stream: %+v", wantRes)
@@ -198,7 +198,7 @@ func TestRobustDifferencerAllUnusableErrorsLikeBatch(t *testing.T) {
 // stream, with no Late/Missing gaps fabricated.
 func TestReorderWindowRepairsShuffledDelivery(t *testing.T) {
 	period := 10 * time.Millisecond
-	var ordered []*gmon.Snapshot
+	var ordered []*profile.Sample
 	cum := int64(0)
 	for i := 0; i < 20; i++ {
 		cum += int64(10 + i)
@@ -211,7 +211,7 @@ func TestReorderWindowRepairsShuffledDelivery(t *testing.T) {
 
 	// Shuffle within a bounded horizon: swap adjacent pairs, displacing
 	// every snapshot by at most 1.
-	shuffled := append([]*gmon.Snapshot(nil), ordered...)
+	shuffled := append([]*profile.Sample(nil), ordered...)
 	for i := 0; i+1 < len(shuffled); i += 2 {
 		shuffled[i], shuffled[i+1] = shuffled[i+1], shuffled[i]
 	}
@@ -244,7 +244,7 @@ func TestReorderWindowWorksInStrictMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	shuffled := []*gmon.Snapshot{snaps[1], snaps[0], snaps[3], snaps[2]}
+	shuffled := []*profile.Sample{snaps[1], snaps[0], snaps[3], snaps[2]}
 	got, _, err := runDifferencer(t, stream.DifferencerOptions{Reorder: 3}, shuffled)
 	if err != nil {
 		t.Fatal(err)

@@ -15,7 +15,7 @@ import (
 	"fmt"
 
 	"github.com/incprof/incprof/internal/cluster"
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/interval"
 	"github.com/incprof/incprof/internal/obs"
 	"github.com/incprof/incprof/internal/online"
@@ -76,13 +76,13 @@ type Refresh struct {
 }
 
 // Engine is the streaming analysis pipeline. It implements the
-// Sink[*gmon.Snapshot] shape, so a collector (or any snapshot source) can
+// Sink[*profile.Sample] shape, so a collector (or any snapshot source) can
 // feed it directly. It is not safe for concurrent use.
 type Engine struct {
 	opts  Options
 	popts phase.Options // Phase with defaults resolved
 
-	head Sink[*gmon.Snapshot]
+	head Sink[*profile.Sample]
 	diff *Differencer
 
 	builder  *interval.MatrixBuilder
@@ -127,7 +127,7 @@ func New(opts Options) *Engine {
 		Reorder: opts.Reorder,
 		OnGap:   opts.OnGap,
 	})
-	e.head = Instrument("snapshots", Pipe[*gmon.Snapshot, interval.Profile](
+	e.head = Instrument("snapshots", Pipe[*profile.Sample, interval.Profile](
 		e.diff,
 		Instrument("intervals", SinkFunc[interval.Profile]{OnEmit: e.consume}),
 	))
@@ -135,7 +135,7 @@ func New(opts Options) *Engine {
 }
 
 // Emit ingests the next cumulative snapshot.
-func (e *Engine) Emit(s *gmon.Snapshot) error {
+func (e *Engine) Emit(s *profile.Sample) error {
 	e.snaps++
 	return e.head.Emit(s)
 }

@@ -14,7 +14,7 @@ import (
 	_ "github.com/incprof/incprof/internal/apps/miniamr"
 	_ "github.com/incprof/incprof/internal/apps/minife"
 	"github.com/incprof/incprof/internal/cluster"
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/interval"
 	"github.com/incprof/incprof/internal/mpi"
 	"github.com/incprof/incprof/internal/online"
@@ -42,7 +42,7 @@ func flatten(t *testing.T, det *phase.Detection, gaps []interval.Gap) []byte {
 	return b
 }
 
-func collect(t *testing.T, name string) []*gmon.Snapshot {
+func collect(t *testing.T, name string) []*profile.Sample {
 	t.Helper()
 	app, err := apps.New(name, 0.12)
 	if err != nil {
@@ -173,7 +173,7 @@ func TestEngineParallelismInvariance(t *testing.T) {
 // repaired intervals, the PR 2 contract surfaced through the stream stage.
 func TestEngineLabelsMatchTrackerIncludingLowConfidence(t *testing.T) {
 	period := 10 * time.Millisecond
-	snaps := []*gmon.Snapshot{
+	snaps := []*profile.Sample{
 		snap(0, time.Second, period, map[string][2]int64{"a": {100, 10}}),
 		// Seqs 1-2 lost: split repair synthesizes low-confidence intervals.
 		snap(3, 4*time.Second, period, map[string][2]int64{"a": {400, 40}}),
@@ -218,9 +218,9 @@ func TestEngineLabelsMatchTrackerIncludingLowConfidence(t *testing.T) {
 
 // phaseSnaps synthesizes a run with two cleanly-separated phases: "init"
 // dominates the first 10 intervals, "solve" the rest.
-func phaseSnaps(n int) []*gmon.Snapshot {
+func phaseSnaps(n int) []*profile.Sample {
 	period := 10 * time.Millisecond
-	var out []*gmon.Snapshot
+	var out []*profile.Sample
 	initS, solveS := int64(0), int64(0)
 	for i := 0; i < n; i++ {
 		if i < 10 {

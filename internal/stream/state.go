@@ -24,7 +24,7 @@ import (
 	"fmt"
 	"sort"
 
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/interval"
 	"github.com/incprof/incprof/internal/online"
 	"github.com/incprof/incprof/internal/phase"
@@ -62,14 +62,14 @@ type DifferencerState struct {
 	// N and Prev are the strict kernel's state (profiles emitted, last
 	// snapshot); Robust replaces them in robust mode.
 	N      int
-	Prev   *gmon.Snapshot
+	Prev   *profile.Sample
 	Robust *interval.RobustStreamState
 	// Gaps is every discontinuity repaired so far, in stream order.
 	Gaps []interval.Gap
 	// Window holds the bounded reorder window's pending snapshots in
 	// arrival order; re-pushing them in this order reproduces the heap's
 	// release order exactly (ties release in arrival order).
-	Window []*gmon.Snapshot
+	Window []*profile.Sample
 	// Released is the highest Seq already handed to the kernel (-1 before
 	// the first); LateDrops counts dumps discarded past the window bound.
 	Released  int

@@ -7,14 +7,14 @@ import (
 	"testing"
 	"time"
 
-	"github.com/incprof/incprof/internal/gmon"
+	"github.com/incprof/incprof/internal/profile"
 	"github.com/incprof/incprof/internal/online"
 	"github.com/incprof/incprof/internal/stream"
 )
 
 // feedRest drives both engines through the same tail of a stream and
 // compares their terminal flattenings.
-func finishBoth(t *testing.T, a, b *stream.Engine, tail []*gmon.Snapshot) {
+func finishBoth(t *testing.T, a, b *stream.Engine, tail []*profile.Sample) {
 	t.Helper()
 	for _, s := range tail {
 		if err := a.Emit(s); err != nil {
@@ -115,12 +115,12 @@ func TestEngineStateRestoreRobustWithGaps(t *testing.T) {
 // arrival-order tie-break between equal Seqs.
 func TestEngineStateRestorePendingReorderWindow(t *testing.T) {
 	period := 10 * time.Millisecond
-	mk := func(seq int, samples int64) *gmon.Snapshot {
+	mk := func(seq int, samples int64) *profile.Sample {
 		return snap(seq, time.Duration(seq+1)*time.Second, period, map[string][2]int64{"a": {samples, samples / 10}})
 	}
 	// Out-of-order arrivals that leave seqs 3 and 2 pending in the window.
-	feedA := []*gmon.Snapshot{mk(0, 100), mk(1, 200), mk(3, 400), mk(2, 300)}
-	tail := []*gmon.Snapshot{mk(4, 500), mk(5, 600)}
+	feedA := []*profile.Sample{mk(0, 100), mk(1, 200), mk(3, 400), mk(2, 300)}
+	tail := []*profile.Sample{mk(4, 500), mk(5, 600)}
 
 	opts := stream.Options{Robust: true, Reorder: 4, Phase: baseOpts()}
 	a := stream.New(opts)
@@ -183,13 +183,13 @@ func TestEngineStateRestoreModeMismatch(t *testing.T) {
 // GapLate and counts it.
 func TestLateDropSurfacing(t *testing.T) {
 	period := 10 * time.Millisecond
-	mk := func(seq int, samples int64) *gmon.Snapshot {
+	mk := func(seq int, samples int64) *profile.Sample {
 		return snap(seq, time.Duration(seq+1)*time.Second, period, map[string][2]int64{"a": {samples, 1}})
 	}
 
 	t.Run("strict", func(t *testing.T) {
 		eng := stream.New(stream.Options{Reorder: 1, Phase: baseOpts()})
-		for _, s := range []*gmon.Snapshot{mk(0, 100), mk(1, 200), mk(2, 300), mk(3, 400)} {
+		for _, s := range []*profile.Sample{mk(0, 100), mk(1, 200), mk(2, 300), mk(3, 400)} {
 			if err := eng.Emit(s); err != nil {
 				t.Fatal(err)
 			}
@@ -206,7 +206,7 @@ func TestLateDropSurfacing(t *testing.T) {
 
 	t.Run("robust", func(t *testing.T) {
 		eng := stream.New(stream.Options{Robust: true, Reorder: 1, Phase: baseOpts()})
-		for _, s := range []*gmon.Snapshot{mk(0, 100), mk(1, 200), mk(2, 300), mk(3, 400), mk(0, 100), mk(4, 500)} {
+		for _, s := range []*profile.Sample{mk(0, 100), mk(1, 200), mk(2, 300), mk(3, 400), mk(0, 100), mk(4, 500)} {
 			if err := eng.Emit(s); err != nil {
 				t.Fatal(err)
 			}
