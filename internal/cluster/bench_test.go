@@ -68,6 +68,7 @@ func BenchmarkSweep(b *testing.B) {
 	pts := benchSweepMatrix()
 	for _, p := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("parallelism=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := Sweep(pts, 8, Options{Seed: 1, Parallelism: p}); err != nil {
 					b.Fatal(err)
@@ -81,6 +82,7 @@ func BenchmarkSweepDense(b *testing.B) {
 	pts := benchSweepDenseMatrix()
 	for _, p := range []int{1, 8} {
 		b.Run(fmt.Sprintf("parallelism=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := Sweep(pts, 8, Options{Seed: 1, Parallelism: p}); err != nil {
 					b.Fatal(err)
@@ -98,6 +100,7 @@ func BenchmarkSilhouetteP(b *testing.B) {
 	}
 	for _, p := range []int{1, 8} {
 		b.Run(fmt.Sprintf("parallelism=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_ = SilhouetteP(pts, res.Assign, res.K, p)
 			}
@@ -114,6 +117,7 @@ func BenchmarkSelectSilhouetteP(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = SelectSilhouetteP(pts, results, 1)

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/incprof/incprof/internal/xmath"
 )
@@ -14,16 +15,42 @@ const Noise = -1
 // included, lie within eps). It returns per-point labels: 0..k-1 for
 // clusters, Noise for outliers, plus the number of clusters found.
 //
+// Distances run on the shared xmath packed/dense kernel pair the k-means path
+// uses (chosen by the pointSet density rule), not a private loop — both
+// kernels return identical bits, so the labels match the historical dense
+// implementation exactly (dbscan_test.go proves it against a naive
+// reference).
+//
 // The paper experimented with DBSCAN and found no improvement over k-means
 // for interval data (§V-A); it is retained here as the A2 ablation baseline.
 func DBSCAN(points [][]float64, eps float64, minPts int) ([]int, int, error) {
+	if err := validateDBSCAN(eps, minPts); err != nil {
+		return nil, 0, err
+	}
+	return dbscanValidated(newPointSet(points), eps, minPts)
+}
+
+// DBSCANCSR is DBSCAN on a flat CSR matrix — no densification below the
+// pointSet density threshold; bit-identical to DBSCAN on m.Dense().
+func DBSCANCSR(m *xmath.CSR, eps float64, minPts int) ([]int, int, error) {
+	if err := validateDBSCAN(eps, minPts); err != nil {
+		return nil, 0, err
+	}
+	return dbscanValidated(newPointSetCSR(m), eps, minPts)
+}
+
+func validateDBSCAN(eps float64, minPts int) error {
 	if eps <= 0 {
-		return nil, 0, fmt.Errorf("cluster: DBSCAN eps=%v must be positive", eps)
+		return fmt.Errorf("cluster: DBSCAN eps=%v must be positive", eps)
 	}
 	if minPts < 1 {
-		return nil, 0, fmt.Errorf("cluster: DBSCAN minPts=%d must be >= 1", minPts)
+		return fmt.Errorf("cluster: DBSCAN minPts=%d must be >= 1", minPts)
 	}
-	n := len(points)
+	return nil
+}
+
+func dbscanValidated(ps *pointSet, eps float64, minPts int) ([]int, int, error) {
+	n := ps.n
 	labels := make([]int, n)
 	for i := range labels {
 		labels[i] = Noise
@@ -33,7 +60,7 @@ func DBSCAN(points [][]float64, eps float64, minPts int) ([]int, int, error) {
 	neighbors := func(i int) []int {
 		var out []int
 		for j := 0; j < n; j++ {
-			if xmath.SquaredEuclidean(points[i], points[j]) <= eps2 {
+			if ps.sq(i, j) <= eps2 {
 				out = append(out, j)
 			}
 		}
@@ -75,7 +102,17 @@ func DBSCAN(points [][]float64, eps float64, minPts int) ([]int, int, error) {
 // data: the p-quantile (typically 0.9) of each point's distance to its
 // k-th nearest neighbor, with k = minPts-1.
 func EstimateEps(points [][]float64, minPts int, p float64) float64 {
-	n := len(points)
+	return estimateEps(newPointSet(points), minPts, p)
+}
+
+// EstimateEpsCSR is EstimateEps on a flat CSR matrix, bit-identical to
+// EstimateEps on m.Dense().
+func EstimateEpsCSR(m *xmath.CSR, minPts int, p float64) float64 {
+	return estimateEps(newPointSetCSR(m), minPts, p)
+}
+
+func estimateEps(ps *pointSet, minPts int, p float64) float64 {
+	n := ps.n
 	if n < 2 || minPts < 2 {
 		return 1
 	}
@@ -90,7 +127,7 @@ func EstimateEps(points [][]float64, minPts int, p float64) float64 {
 		d = d[:0]
 		for j := 0; j < n; j++ {
 			if i != j {
-				dist := xmath.Euclidean(points[i], points[j])
+				dist := math.Sqrt(ps.sq(i, j))
 				d = append(d, dist)
 				if dist > maxDist {
 					maxDist = dist

@@ -4,11 +4,14 @@
 // paper also experimented with, and DBSCAN as the density-based baseline the
 // paper evaluated and rejected (§V-A).
 //
-// The k-means hot path is exact-optimized (DESIGN.md §10): feature rows are
-// mostly zeros, so seeding and centroid updates run on the sparse non-zero
-// structure with xmath's bit-identical sparse kernels, and Lloyd assignment
-// keeps Hamerly triangle-inequality bounds that skip provably-unchanged
-// points. None of it changes a single output bit relative to the naive
+// The k-means hot path is exact-optimized (DESIGN.md §10, §14): feature rows
+// are mostly zeros, so the whole path runs on a flat CSR point set — packed
+// values, column indices, and row offsets in three shared backing arrays —
+// with xmath's bit-identical packed kernels, and Lloyd assignment keeps
+// Hamerly triangle-inequality bounds that skip provably-unchanged points.
+// The KMeansCSR/SweepCSR/WarmStartCSR entries consume a CSR matrix directly
+// with no densification at all; the [][]float64 entries pack once at the
+// boundary. None of it changes a single output bit relative to the naive
 // full-scan path — the determinism goldens and the exactness property tests
 // in prune_test.go enforce that.
 package cluster
@@ -70,45 +73,123 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// pointSet bundles the dense point rows with their cached non-zero column
-// indices. The sparse structure is derived once per public entry (KMeans,
-// WarmStart, or a whole Sweep) and shared read-only by every restart and k.
+// pointSet is the clusterer's view of the data: a flat CSR form (always
+// present) plus, on the dense path, the materialized rows. The packed
+// structure is derived once per public entry (KMeans, WarmStart, or a whole
+// Sweep) and shared read-only by every restart and k.
 //
-// Both representations compute identical bits (xmath sparse.go), so the
-// kernels are chosen purely on cost: when more than half the cells are
-// non-zero the branchy sparse merge loses to the dense loop, and the set
-// reports itself dense. The choice depends only on the data, never on
-// scheduling, so it cannot perturb determinism.
+// Both representations compute identical bits (xmath csr.go), so the kernels
+// are chosen purely on cost: when more than half the cells are non-zero the
+// branchy packed merge loses to the dense loop, the set reports itself dense,
+// and every distance runs on materialized rows (a CSR input is densified
+// once). The choice depends only on the data, never on scheduling, so it
+// cannot perturb determinism.
 type pointSet struct {
-	rows   [][]float64
-	nz     [][]int32
-	sparse bool // non-zero cells <= half of all cells
+	n, dim int
+	csr    *xmath.CSR  // flat packed rows; nil on the dense path
+	rows   [][]float64 // dense rows; nil on the pure-CSR sparse path
+	sparse bool        // non-zero cells <= half of all cells
 }
 
 func newPointSet(rows [][]float64) *pointSet {
-	ps := &pointSet{rows: rows, nz: make([][]int32, len(rows))}
-	var flat []int32 // one backing array for all rows' index lists
-	offs := make([]int, len(rows)+1)
+	ps := &pointSet{n: len(rows), rows: rows}
+	if ps.n > 0 {
+		ps.dim = len(rows[0])
+	}
+	nnz := 0
+	for _, r := range rows {
+		for _, v := range r {
+			if v != 0 {
+				nnz++
+			}
+		}
+	}
+	ps.sparse = 2*nnz <= ps.n*ps.dim
+	if !ps.sparse {
+		// Dense data never pays for the packed copy; every kernel below
+		// dispatches on ps.sparse and reads ps.rows directly.
+		return ps
+	}
+	m := &xmath.CSR{
+		NumCols: ps.dim,
+		Vals:    make([]float64, 0, nnz),
+		Cols:    make([]int32, 0, nnz),
+		RowPtr:  make([]int, ps.n+1),
+	}
 	for i, r := range rows {
-		offs[i] = len(flat)
-		flat = xmath.NonZeroIndices(r, flat)
+		for d, v := range r {
+			if v != 0 {
+				m.Vals = append(m.Vals, v)
+				m.Cols = append(m.Cols, int32(d))
+			}
+		}
+		m.RowPtr[i+1] = len(m.Vals)
 	}
-	offs[len(rows)] = len(flat)
-	cells := 0
-	for i := range rows {
-		ps.nz[i] = flat[offs[i]:offs[i+1]:offs[i+1]]
-		cells += len(rows[i])
-	}
-	ps.sparse = 2*len(flat) <= cells
+	ps.csr = m
 	return ps
 }
+
+// newPointSetCSR wraps a CSR matrix with zero copying on the sparse path;
+// only a denser-than-half matrix is materialized (the documented fallback).
+func newPointSetCSR(m *xmath.CSR) *pointSet {
+	ps := &pointSet{n: m.NumRows(), dim: m.NumCols, csr: m}
+	ps.sparse = 2*m.NNZ() <= ps.n*ps.dim
+	if !ps.sparse {
+		ps.rows = m.Dense()
+	}
+	return ps
+}
+
+// row returns point i's packed values and column indices.
+func (ps *pointSet) row(i int) ([]float64, []int32) { return ps.csr.Row(i) }
 
 // sq is the point-to-point squared distance on the cheaper representation.
 func (ps *pointSet) sq(i, j int) float64 {
 	if ps.sparse {
-		return xmath.SquaredEuclideanSparse(ps.rows[i], ps.nz[i], ps.rows[j], ps.nz[j])
+		av, ac := ps.csr.Row(i)
+		bv, bc := ps.csr.Row(j)
+		return xmath.SquaredEuclideanPacked(av, ac, bv, bc)
 	}
 	return xmath.SquaredEuclidean(ps.rows[i], ps.rows[j])
+}
+
+// sqBounded is sq with the exact partial-sum early exit: once the running
+// sum reaches limit the scan aborts with (partial, false). Callers that keep
+// a running minimum treat an abort as "provably >= limit" — the minimum they
+// hold cannot be beaten — so the early exit never changes a kept value.
+func (ps *pointSet) sqBounded(i, j int, limit float64) (float64, bool) {
+	if ps.sparse {
+		av, ac := ps.csr.Row(i)
+		bv, bc := ps.csr.Row(j)
+		return xmath.SquaredEuclideanPackedBounded(av, ac, bv, bc, limit)
+	}
+	return xmath.SquaredEuclideanBounded(ps.rows[i], ps.rows[j], limit)
+}
+
+// sqToDense is the squared distance from point i to a dense vector of length
+// dim (a centroid).
+func (ps *pointSet) sqToDense(i int, v []float64) float64 {
+	if ps.sparse {
+		av, ac := ps.csr.Row(i)
+		return xmath.SquaredEuclideanPackedDense(av, ac, v)
+	}
+	return xmath.SquaredEuclidean(ps.rows[i], v)
+}
+
+// scatter writes point i densely into dst (length dim).
+func (ps *pointSet) scatter(i int, dst []float64) {
+	if ps.rows != nil {
+		copy(dst, ps.rows[i])
+		return
+	}
+	ps.csr.ScatterRow(i, dst)
+}
+
+// copyRow returns a fresh dense copy of point i.
+func (ps *pointSet) copyRow(i int) []float64 {
+	out := make([]float64, ps.dim)
+	ps.scatter(i, out)
+	return out
 }
 
 // validatePoints checks the non-empty, single-dimensionality contract once.
@@ -127,6 +208,15 @@ func validatePoints(points [][]float64) error {
 	return nil
 }
 
+// validateCSR is validatePoints for the flat form; row uniformity holds by
+// construction, so only emptiness needs checking.
+func validateCSR(m *xmath.CSR) error {
+	if m == nil || m.NumRows() == 0 {
+		return fmt.Errorf("cluster: no points")
+	}
+	return nil
+}
+
 // KMeans clusters points into k groups. Points must be non-empty and share
 // one dimensionality; k must satisfy 1 <= k <= len(points).
 func KMeans(points [][]float64, k int, opts Options) (*Result, error) {
@@ -139,8 +229,21 @@ func KMeans(points [][]float64, k int, opts Options) (*Result, error) {
 	return kmeansValidated(newPointSet(points), k, opts), nil
 }
 
+// KMeansCSR is KMeans on a flat CSR matrix — the zero-densify entry the
+// interval builder feeds directly. Output is bit-identical to KMeans on
+// m.Dense().
+func KMeansCSR(m *xmath.CSR, k int, opts Options) (*Result, error) {
+	if err := validateCSR(m); err != nil {
+		return nil, err
+	}
+	if k < 1 || k > m.NumRows() {
+		return nil, fmt.Errorf("cluster: k=%d out of range [1, %d]", k, m.NumRows())
+	}
+	return kmeansValidated(newPointSetCSR(m), k, opts), nil
+}
+
 // kmeansValidated is KMeans after validation: the restart fan-out over an
-// already-checked, already-sparsified point set.
+// already-checked, already-packed point set.
 func kmeansValidated(ps *pointSet, k int, opts Options) *Result {
 	opts = opts.withDefaults()
 	// Derive one seed per restart from the master stream up front, so each
@@ -174,16 +277,30 @@ func kmeansOnce(ps *pointSet, k, maxIter int, rng *xmath.RNG) *Result {
 }
 
 // lloydScratch pools the per-run transient state — Hamerly bounds, previous
-// centroids, drifts, and the seeding distance cache — so a sweep's
-// restarts × k fan-out does not churn the allocator. Every field is fully
-// overwritten before it is read, so reuse cannot leak state between runs (the
-// parallelism-invariance goldens would catch it if it did).
+// centroids, drifts, the seeding distance cache, the packed-centroid cache,
+// and the reseat claim bitmap — so a sweep's restarts × k fan-out does not
+// churn the allocator, and no Lloyd iteration allocates at all (the batch
+// alloc test in alloc_test.go enforces iteration-independence). Every field
+// is fully overwritten before it is read, so reuse cannot leak state between
+// runs (the parallelism-invariance goldens would catch it if it did).
 type lloydScratch struct {
 	u, l  []float64 // Hamerly upper/lower bounds per point
 	drift []float64 // per-centroid movement this iteration
 	half  []float64 // half the distance to each centroid's nearest peer
 	dist  []float64 // k-means++ running min-distance cache
 	prev  []float64 // previous centroids, k×dim flat
+	taken []bool    // reseat claim bitmap, one per point
+
+	// Packed form of the current centroids, rebuilt at the top of every
+	// assignment pass on the sparse path: centroid c's non-zeros are
+	// cv[cp[c]:cp[c+1]] at columns cc[cp[c]:cp[c+1]]; cdense[c] records
+	// that c is majority-non-zero, so the packed-vs-dense point-centroid
+	// kernel choice is per centroid (both are bit-identical, see xmath
+	// csr.go — the choice is pure cost).
+	cv     []float64
+	cc     []int32
+	cp     []int
+	cdense []bool
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(lloydScratch) }}
@@ -193,6 +310,69 @@ func grow(buf []float64, n int) []float64 {
 		return make([]float64, n)
 	}
 	return buf[:n]
+}
+
+func growInt32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+func growInt(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func growBool(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	return buf[:n]
+}
+
+// packCentroids refreshes the scratch's packed-centroid cache. Capacity for
+// the worst case (k fully-dense centroids) is reserved up front by
+// lloydScratched, so repacking never allocates mid-run.
+func packCentroids(centroids [][]float64, dim int, sc *lloydScratch) {
+	sc.cv = sc.cv[:0]
+	sc.cc = sc.cc[:0]
+	for c, cent := range centroids {
+		sc.cp[c] = len(sc.cv)
+		for d, v := range cent {
+			if v != 0 {
+				sc.cv = append(sc.cv, v)
+				sc.cc = append(sc.cc, int32(d))
+			}
+		}
+		sc.cdense[c] = 2*(len(sc.cv)-sc.cp[c]) > dim
+	}
+	sc.cp[len(centroids)] = len(sc.cv)
+}
+
+// centSq is the bounded point-to-centroid squared distance on the sparse
+// path, choosing the packed-packed or packed-dense kernel per centroid. Both
+// kernels are bit-identical to the dense one and abandonment is exact, so the
+// choice never affects an output bit.
+func (sc *lloydScratch) centSq(av []float64, ac []int32, centroids [][]float64, c int, limit float64) (float64, bool) {
+	if sc.cdense[c] {
+		return xmath.SquaredEuclideanPackedDenseBounded(av, ac, centroids[c], limit)
+	}
+	lo, hi := sc.cp[c], sc.cp[c+1]
+	return xmath.SquaredEuclideanPackedBounded(av, ac, sc.cv[lo:hi], sc.cc[lo:hi], limit)
+}
+
+// centSqFull is the exact (unbounded) point-to-centroid squared distance on
+// the packed-centroid cache. Only valid while the cache matches centroids —
+// i.e. after an assignPass whose packCentroids saw the current values.
+func (sc *lloydScratch) centSqFull(av []float64, ac []int32, centroids [][]float64, c int) float64 {
+	if sc.cdense[c] {
+		return xmath.SquaredEuclideanPackedDense(av, ac, centroids[c])
+	}
+	lo, hi := sc.cp[c], sc.cp[c+1]
+	return xmath.SquaredEuclideanPacked(av, ac, sc.cv[lo:hi], sc.cc[lo:hi])
 }
 
 // lloyd iterates assignment and centroid updates to convergence from the
@@ -216,9 +396,8 @@ func lloyd(ps *pointSet, centroids [][]float64, maxIter int) *Result {
 func pruneEps(scale float64) float64 { return 1e-9 * scale }
 
 func lloydScratched(ps *pointSet, centroids [][]float64, maxIter int, sc *lloydScratch) *Result {
-	points := ps.rows
-	n := len(points)
-	dim := len(points[0])
+	n := ps.n
+	dim := ps.dim
 	k := len(centroids)
 	assign := make([]int, n)
 	sizes := make([]int, k)
@@ -227,6 +406,15 @@ func lloydScratched(ps *pointSet, centroids [][]float64, maxIter int, sc *lloydS
 	sc.drift = grow(sc.drift, k)
 	sc.half = grow(sc.half, k)
 	sc.prev = grow(sc.prev, k*dim)
+	sc.taken = growBool(sc.taken, n)
+	if ps.sparse {
+		// Reserve worst-case packed-centroid capacity once, so per-pass
+		// repacking is allocation-free.
+		sc.cv = grow(sc.cv, k*dim)[:0]
+		sc.cc = growInt32(sc.cc, k*dim)[:0]
+		sc.cp = growInt(sc.cp, k+1)
+		sc.cdense = growBool(sc.cdense, k)
+	}
 	u, l := sc.u, sc.l
 
 	// scale tracks the largest sqrt-domain magnitude seen (distances and
@@ -240,10 +428,13 @@ func lloydScratched(ps *pointSet, centroids [][]float64, maxIter int, sc *lloydS
 	// and only fall back to the exact full scan when both tests fail.
 	assignPass := func() bool {
 		changed := false
+		if ps.sparse {
+			packCentroids(centroids, dim, sc)
+		}
 		if !initialized {
 			initialized = true
-			for i, p := range points {
-				best, bd, sd := assignFull(p, centroids)
+			for i := 0; i < n; i++ {
+				best, bd, sd := assignScan(ps, i, centroids, sc)
 				assign[i] = best
 				u[i] = math.Sqrt(bd)
 				l[i] = math.Sqrt(sd)
@@ -257,7 +448,7 @@ func lloydScratched(ps *pointSet, centroids [][]float64, maxIter int, sc *lloydS
 		}
 		halfDistances(centroids, sc.half)
 		eps := pruneEps(scale)
-		for i, p := range points {
+		for i := 0; i < n; i++ {
 			m := sc.half[assign[i]]
 			if l[i] > m {
 				m = l[i]
@@ -270,7 +461,14 @@ func lloydScratched(ps *pointSet, centroids [][]float64, maxIter int, sc *lloydS
 			// bound cannot prune either (dsq >= m² ⇒ du >= m up to an ulp,
 			// far inside the eps margin). Abandoning just falls through to
 			// the exact full scan, so it cannot change any output.
-			dsq, full := xmath.SquaredEuclideanBounded(p, centroids[assign[i]], m*m)
+			var dsq float64
+			var full bool
+			if ps.sparse {
+				av, ac := ps.row(i)
+				dsq, full = sc.centSq(av, ac, centroids, assign[i], m*m)
+			} else {
+				dsq, full = xmath.SquaredEuclideanBounded(ps.rows[i], centroids[assign[i]], m*m)
+			}
 			if full {
 				du := math.Sqrt(dsq)
 				u[i] = du
@@ -278,7 +476,7 @@ func lloydScratched(ps *pointSet, centroids [][]float64, maxIter int, sc *lloydS
 					continue
 				}
 			}
-			best, bd, sd := assignFull(p, centroids)
+			best, bd, sd := assignScan(ps, i, centroids, sc)
 			u[i] = math.Sqrt(bd)
 			l[i] = math.Sqrt(sd)
 			if best != assign[i] {
@@ -307,17 +505,17 @@ func lloydScratched(ps *pointSet, centroids [][]float64, maxIter int, sc *lloydS
 			sizes[c] = 0
 		}
 		if ps.sparse {
-			for i := range points {
+			for i := 0; i < n; i++ {
 				c := assign[i]
 				sizes[c]++
-				row := points[i]
+				vals, cols := ps.row(i)
 				cent := centroids[c]
-				for _, d := range ps.nz[i] {
-					cent[d] += row[d]
+				for t, d := range cols {
+					cent[d] += vals[t]
 				}
 			}
 		} else {
-			for i, p := range points {
+			for i, p := range ps.rows {
 				c := assign[i]
 				sizes[c]++
 				for d, v := range p {
@@ -337,7 +535,7 @@ func lloydScratched(ps *pointSet, centroids [][]float64, maxIter int, sc *lloydS
 				centroids[c][d] *= inv
 			}
 		}
-		var taken map[int]bool
+		takenReset := false
 		for c := range centroids {
 			if sizes[c] != 0 {
 				continue
@@ -345,13 +543,22 @@ func lloydScratched(ps *pointSet, centroids [][]float64, maxIter int, sc *lloydS
 			// Empty cluster: reseat on the point farthest from its
 			// (normalized) centroid to keep k live clusters. Points
 			// already claimed by another empty cluster this iteration
-			// are skipped so two empties never collapse onto one.
+			// are skipped so two empties never collapse onto one. The
+			// claim bitmap lives in the pooled scratch and is cleared
+			// lazily — only iterations that actually reseat pay for it,
+			// and none of them allocate.
+			if !takenReset {
+				takenReset = true
+				for i := range sc.taken[:n] {
+					sc.taken[i] = false
+				}
+			}
 			far, dist := -1, -1.0
-			for i, p := range points {
-				if taken[i] {
+			for i := 0; i < n; i++ {
+				if sc.taken[i] {
 					continue
 				}
-				d := xmath.SquaredEuclidean(p, centroids[assign[i]])
+				d := ps.sqToDense(i, centroids[assign[i]])
 				if d > dist {
 					far, dist = i, d
 				}
@@ -366,11 +573,8 @@ func lloydScratched(ps *pointSet, centroids [][]float64, maxIter int, sc *lloydS
 				copy(centroids[c], sc.prev[c*dim:(c+1)*dim])
 				continue
 			}
-			copy(centroids[c], points[far])
-			if taken == nil {
-				taken = make(map[int]bool)
-			}
-			taken[far] = true
+			ps.scatter(far, centroids[c])
+			sc.taken[far] = true
 		}
 		// Drift-adjust the bounds: each point's upper bound loosens by its
 		// own centroid's movement, the lower bound by the largest movement
@@ -389,7 +593,7 @@ func lloydScratched(ps *pointSet, centroids [][]float64, maxIter int, sc *lloydS
 				max2 = d
 			}
 		}
-		for i := range points {
+		for i := 0; i < n; i++ {
 			u[i] += sc.drift[assign[i]]
 			if assign[i] == arg1 {
 				l[i] -= max2
@@ -407,22 +611,49 @@ func lloydScratched(ps *pointSet, centroids [][]float64, maxIter int, sc *lloydS
 	for c := range sizes {
 		sizes[c] = 0
 	}
-	for i, p := range points {
+	// The packed-centroid cache is fresh here — the final assignPass packed
+	// the current centroids and nothing moved them since — so the WCSS sum
+	// can run on the per-centroid packed kernels (identical bits to the
+	// dense scatter form).
+	for i := 0; i < n; i++ {
 		c := assign[i]
 		sizes[c]++
-		wcss += xmath.SquaredEuclidean(p, centroids[c])
+		if ps.sparse {
+			av, ac := ps.row(i)
+			wcss += sc.centSqFull(av, ac, centroids, c)
+		} else {
+			wcss += xmath.SquaredEuclidean(ps.rows[i], centroids[c])
+		}
 	}
 	return &Result{K: k, Assign: assign, Centroids: centroids, WCSS: wcss, Iterations: iter, Sizes: sizes}
 }
 
-// assignFull scans every centroid exactly as the naive path does — ascending
+// assignScan scans every centroid exactly as the naive path does — ascending
 // index, strict < — returning the winner plus the exact smallest and
 // second-smallest squared distances. Centroids are abandoned mid-scan once
-// their partial sum reaches the current second-best (see
-// xmath.SquaredEuclideanBounded): an abandoned centroid is proven to beat
-// neither bound, so the winner and both bounds are exact.
-func assignFull(p []float64, centroids [][]float64) (best int, bestD, secondD float64) {
+// their partial sum reaches the current second-best (see the bounded kernels
+// in xmath): an abandoned centroid is proven to beat neither bound, so the
+// winner and both bounds are exact. On the sparse path the kernel is chosen
+// per centroid (packed-packed vs packed-dense); every kernel returns the same
+// bits, so the choice is invisible in the output.
+func assignScan(ps *pointSet, i int, centroids [][]float64, sc *lloydScratch) (best int, bestD, secondD float64) {
 	best, bestD, secondD = 0, math.Inf(1), math.Inf(1)
+	if ps.sparse {
+		av, ac := ps.row(i)
+		for c := range centroids {
+			d, full := sc.centSq(av, ac, centroids, c, secondD)
+			if !full {
+				continue
+			}
+			if d < bestD {
+				best, bestD, secondD = c, d, bestD
+			} else if d < secondD {
+				secondD = d
+			}
+		}
+		return best, bestD, secondD
+	}
+	p := ps.rows[i]
 	for c, cent := range centroids {
 		d, full := xmath.SquaredEuclideanBounded(p, cent, secondD)
 		if !full {
@@ -459,39 +690,48 @@ func halfDistances(centroids [][]float64, half []float64) {
 
 // seedPlusPlus picks k initial centroids with k-means++ weighting. Every
 // centroid it returns is a copy of some point, so the min-distance weights
-// are point-to-point distances and run on the sparse kernel; the running
+// are point-to-point distances and run on the packed kernel; the running
 // minimum is folded incrementally (only the newest centroid is measured per
 // round), which is bit-identical to the naive full re-scan because min over
 // the same computed values is order-insensitive with first-index ties.
 func seedPlusPlus(ps *pointSet, k int, rng *xmath.RNG, sc *lloydScratch) [][]float64 {
-	points := ps.rows
+	n := ps.n
 	centroids := make([][]float64, 0, k)
 	src := make([]int, 0, k) // which point each centroid copies
-	first := rng.Intn(len(points))
-	centroids = append(centroids, append([]float64(nil), points[first]...))
+	first := rng.Intn(n)
+	centroids = append(centroids, ps.copyRow(first))
 	src = append(src, first)
-	sc.dist = grow(sc.dist, len(points))
+	sc.dist = grow(sc.dist, n)
 	dist := sc.dist
 	for len(centroids) < k {
 		newest := len(centroids) - 1
 		s := src[newest]
 		var total float64
-		for i := range points {
-			d := ps.sq(i, s)
-			if newest == 0 || d < dist[i] {
-				dist[i] = d
+		if newest == 0 {
+			for i := 0; i < n; i++ {
+				dist[i] = ps.sq(i, s)
+				total += dist[i]
 			}
-			total += dist[i]
+		} else {
+			// Bounded fold: a scan abandoned at dist[i] proves the new
+			// distance cannot lower the running minimum, so the kept
+			// weight — and every output bit downstream — is unchanged.
+			for i := 0; i < n; i++ {
+				if d, full := ps.sqBounded(i, s, dist[i]); full && d < dist[i] {
+					dist[i] = d
+				}
+				total += dist[i]
+			}
 		}
 		var idx int
 		if total == 0 {
 			// All points coincide with centroids; any choice works.
-			idx = rng.Intn(len(points))
+			idx = rng.Intn(n)
 		} else {
 			target := rng.Float64() * total
 			var acc float64
-			idx = len(points) - 1
-			for i, d := range dist {
+			idx = n - 1
+			for i, d := range dist[:n] {
 				acc += d
 				if acc >= target {
 					idx = i
@@ -499,7 +739,7 @@ func seedPlusPlus(ps *pointSet, k int, rng *xmath.RNG, sc *lloydScratch) [][]flo
 				}
 			}
 		}
-		centroids = append(centroids, append([]float64(nil), points[idx]...))
+		centroids = append(centroids, ps.copyRow(idx))
 		src = append(src, idx)
 	}
 	return centroids
@@ -575,10 +815,23 @@ func WarmStart(points [][]float64, centroids [][]float64, opts Options) (*Result
 	if err := validatePoints(points); err != nil {
 		return nil, err
 	}
+	return warmStartValidated(newPointSet(points), centroids, opts)
+}
+
+// WarmStartCSR is WarmStart on a flat CSR matrix, bit-identical to WarmStart
+// on m.Dense().
+func WarmStartCSR(m *xmath.CSR, centroids [][]float64, opts Options) (*Result, error) {
+	if err := validateCSR(m); err != nil {
+		return nil, err
+	}
+	return warmStartValidated(newPointSetCSR(m), centroids, opts)
+}
+
+func warmStartValidated(ps *pointSet, centroids [][]float64, opts Options) (*Result, error) {
 	if len(centroids) == 0 {
 		return nil, fmt.Errorf("cluster: no warm-start centroids")
 	}
-	dim := len(points[0])
+	dim := ps.dim
 	opts = opts.withDefaults()
 	seed := make([][]float64, len(centroids))
 	for i, c := range centroids {
@@ -589,7 +842,7 @@ func WarmStart(points [][]float64, centroids [][]float64, opts Options) (*Result
 		copy(v, c)
 		seed[i] = v
 	}
-	return lloyd(newPointSet(points), seed, opts.MaxIterations), nil
+	return lloyd(ps, seed, opts.MaxIterations), nil
 }
 
 // Sweep runs KMeans for every k in [1, kmax] (clamped to the number of
@@ -601,8 +854,8 @@ func WarmStart(points [][]float64, centroids [][]float64, opts Options) (*Result
 // a seed-derived RNG and writes only its own slot, the output is identical
 // to the serial sweep for any Parallelism value.
 //
-// Validation and sparsification happen once here, at the sweep boundary —
-// not once per k times once per restart.
+// Validation and packing happen once here, at the sweep boundary — not once
+// per k times once per restart.
 func Sweep(points [][]float64, kmax int, opts Options) ([]*Result, error) {
 	if kmax < 1 {
 		return nil, fmt.Errorf("cluster: kmax=%d", kmax)
@@ -613,9 +866,27 @@ func Sweep(points [][]float64, kmax int, opts Options) ([]*Result, error) {
 	if kmax > len(points) {
 		kmax = len(points)
 	}
-	ps := newPointSet(points)
+	return sweepValidated(newPointSet(points), kmax, opts)
+}
+
+// SweepCSR is Sweep on a flat CSR matrix — the zero-densify sweep the batch
+// and live pipelines feed directly. Bit-identical to Sweep on m.Dense().
+func SweepCSR(m *xmath.CSR, kmax int, opts Options) ([]*Result, error) {
+	if kmax < 1 {
+		return nil, fmt.Errorf("cluster: kmax=%d", kmax)
+	}
+	if err := validateCSR(m); err != nil {
+		return nil, err
+	}
+	if kmax > m.NumRows() {
+		kmax = m.NumRows()
+	}
+	return sweepValidated(newPointSetCSR(m), kmax, opts)
+}
+
+func sweepValidated(ps *pointSet, kmax int, opts Options) ([]*Result, error) {
 	sweep := obs.Under(opts.Span, "cluster.sweep", 0)
-	sweep.SetInt("kmax", int64(kmax)).SetInt("points", int64(len(points)))
+	sweep.SetInt("kmax", int64(kmax)).SetInt("points", int64(ps.n))
 	defer sweep.End()
 	hist := obs.H("cluster.sweep.k")
 	out := make([]*Result, kmax)

@@ -272,6 +272,72 @@ func TestWarmStartEmptyClusterKeepsPreviousMean(t *testing.T) {
 	}
 }
 
+// TestCSREntriesMatchDenseBitForBit: the zero-densify entries (KMeansCSR,
+// SweepCSR, WarmStartCSR, SilhouetteCSR, SelectSilhouetteCSR) must reproduce
+// their [][]float64 counterparts — and hence, transitively, the naive
+// reference — bit for bit on every fixture at both worker-pool bounds. The
+// fixtures cover both sides of the pointSet density rule: the dense-uniform
+// matrix makes newPointSetCSR densify, the others run pure-packed.
+func TestCSREntriesMatchDenseBitForBit(t *testing.T) {
+	for name, pts := range pruneFixtures() {
+		m := xmath.NewCSRFromDense(pts)
+		for _, parallelism := range []int{1, 8} {
+			opts := Options{Seed: 42, Parallelism: parallelism}
+			label := fmt.Sprintf("%s p=%d", name, parallelism)
+
+			k := 4
+			if k > len(pts) {
+				k = len(pts)
+			}
+			denseK, err := KMeans(pts, k, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			csrK, err := KMeansCSR(m, k, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, label+" kmeans", denseK, csrK)
+
+			w1, err := WarmStart(pts, CloneCentroids(denseK.Centroids), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w2, err := WarmStartCSR(m, CloneCentroids(denseK.Centroids), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, label+" warmstart", w1, w2)
+
+			denseSweep, err := Sweep(pts, 8, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			csrSweep, err := SweepCSR(m, 8, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(denseSweep) != len(csrSweep) {
+				t.Fatalf("%s: sweep lengths %d vs %d", label, len(denseSweep), len(csrSweep))
+			}
+			for i := range denseSweep {
+				sameResult(t, fmt.Sprintf("%s sweep k=%d", label, i+1), denseSweep[i], csrSweep[i])
+			}
+
+			for _, r := range denseSweep {
+				s1 := SilhouetteP(pts, r.Assign, r.K, parallelism)
+				s2 := SilhouetteCSR(m, r.Assign, r.K, parallelism)
+				if s1 != s2 {
+					t.Fatalf("%s k=%d: SilhouetteP = %v, SilhouetteCSR = %v", label, r.K, s1, s2)
+				}
+			}
+			if p1, p2 := SelectSilhouetteP(pts, denseSweep, parallelism), SelectSilhouetteCSR(m, denseSweep, parallelism); p1 != p2 {
+				t.Fatalf("%s: silhouette selection picked k=%d (dense) vs k=%d (csr)", label, p1.K, p2.K)
+			}
+		}
+	}
+}
+
 // TestSweepValidatesOnce: validation is hoisted to the sweep boundary — a
 // ragged matrix must fail the whole sweep up front with the same error the
 // public KMeans entry reports.

@@ -1,0 +1,7 @@
+//go:build race
+
+package cluster
+
+// raceEnabled reports whether the race detector is compiled in; its shadow
+// state allocates, so allocation-count assertions are skipped under -race.
+const raceEnabled = true

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"math"
+	"sync"
 
 	"github.com/incprof/incprof/internal/obs"
 	"github.com/incprof/incprof/internal/par"
@@ -117,60 +118,133 @@ func Silhouette(points [][]float64, assign []int, k int) float64 {
 }
 
 // SilhouetteP is Silhouette on a worker pool bounded by parallelism (0 means
-// GOMAXPROCS, 1 forces serial). The O(n²) pairwise-distance matrix is
-// computed once and its rows are split across the workers; every point's
-// contribution is stored by index and reduced in index order, so the score
-// is bit-identical for every parallelism value.
+// GOMAXPROCS, 1 forces serial). The O(n²) pairwise distances are computed
+// once into a pooled triangular matrix and its rows are split across the
+// workers; every point's contribution is stored by index and reduced in
+// index order, so the score is bit-identical for every parallelism value.
 func SilhouetteP(points [][]float64, assign []int, k, parallelism int) float64 {
 	obs.C("cluster.silhouette").Inc()
 	if k <= 1 || len(points) < 2 {
 		return 0
 	}
-	return silhouetteFromMatrix(pairwiseDistances(points, parallelism), points, assign, k, parallelism)
+	pm := pairwiseDistances(newPointSet(points), parallelism)
+	defer putPairMatrix(pm)
+	return silhouetteFromPairs(pm, assign, k, parallelism)
 }
 
-// pairwiseDistances computes the full n×n Euclidean distance matrix,
-// row-major. Row i fills j > i and mirrors into column i of the later rows; a
-// later row j only ever writes cells j*n+l with l > j, so the mirrored writes
-// never overlap. Distances run on the sparse kernel over each row's non-zero
-// indices — bit-identical to the dense kernel (see xmath sparse.go), just
-// skipping the zero-zero dimensions that dominate interval feature matrices.
-func pairwiseDistances(points [][]float64, parallelism int) []float64 {
-	n := len(points)
-	ps := newPointSet(points)
-	dm := make([]float64, n*n)
-	par.For(n, parallelism, func(i int) {
-		for j := i + 1; j < n; j++ {
-			var d float64
+// SilhouetteCSR is SilhouetteP on a flat CSR matrix — no densification;
+// bit-identical to SilhouetteP on m.Dense().
+func SilhouetteCSR(m *xmath.CSR, assign []int, k, parallelism int) float64 {
+	obs.C("cluster.silhouette").Inc()
+	if k <= 1 || m.NumRows() < 2 {
+		return 0
+	}
+	pm := pairwiseDistances(newPointSetCSR(m), parallelism)
+	defer putPairMatrix(pm)
+	return silhouetteFromPairs(pm, assign, k, parallelism)
+}
+
+// pairMatrix is a triangular-packed pairwise distance matrix: only the n(n-1)/2
+// cells above the diagonal are stored, halving the silhouette stage's peak
+// memory versus the square form. Cell (i, j) with i < j lives at
+// i*(2n-i-1)/2 + (j-i-1) — row i's upper triangle is contiguous, so filling
+// and the dominant j > i read pattern both stream linearly.
+type pairMatrix struct {
+	n int
+	d []float64
+}
+
+// at returns the distance between points i and j (i != j, either order).
+func (pm *pairMatrix) at(i, j int) float64 {
+	if i > j {
+		i, j = j, i
+	}
+	return pm.d[i*(2*pm.n-i-1)/2+(j-i-1)]
+}
+
+// rowOff returns the offset of cell (i, i+1), the start of row i's packed
+// upper triangle.
+func (pm *pairMatrix) rowOff(i int) int { return i * (2*pm.n - i - 1) / 2 }
+
+// pairPool recycles triangular matrices across sweep invocations and live
+// refreshes: steady-state silhouette scoring costs zero large allocations.
+var pairPool = sync.Pool{New: func() any { return new(pairMatrix) }}
+
+func getPairMatrix(n int) *pairMatrix {
+	pm := pairPool.Get().(*pairMatrix)
+	pm.n = n
+	need := n * (n - 1) / 2
+	if cap(pm.d) < need {
+		pm.d = make([]float64, need)
+	}
+	// No zeroing: every cell is written by pairwiseDistances before any read.
+	pm.d = pm.d[:need]
+	return pm
+}
+
+func putPairMatrix(pm *pairMatrix) { pairPool.Put(pm) }
+
+// pairBlock is the row-block granularity the fill fans out on: workers claim
+// contiguous row tiles instead of single rows, so each writes one long
+// contiguous run of the packed triangle and scheduling overhead stays off the
+// O(n²) loop.
+const pairBlock = 32
+
+// pairwiseDistances fills a pooled triangular matrix with all pairwise
+// Euclidean distances. Distances run on the packed kernel over each row's
+// non-zero structure — bit-identical to the dense kernel (see xmath csr.go),
+// just skipping the zero-zero dimensions that dominate interval feature
+// matrices. Each row tile is written by exactly one worker, so the fill is
+// race-free and the contents are independent of parallelism.
+func pairwiseDistances(ps *pointSet, parallelism int) *pairMatrix {
+	n := ps.n
+	pm := getPairMatrix(n)
+	blocks := (n + pairBlock - 1) / pairBlock
+	par.For(blocks, parallelism, func(b int) {
+		lo, hi := b*pairBlock, (b+1)*pairBlock
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			row := pm.d[pm.rowOff(i):pm.rowOff(i+1)]
 			if ps.sparse {
-				d = xmath.EuclideanSparse(points[i], ps.nz[i], points[j], ps.nz[j])
+				av, ac := ps.row(i)
+				for j := i + 1; j < n; j++ {
+					bv, bc := ps.row(j)
+					row[j-i-1] = xmath.EuclideanPacked(av, ac, bv, bc)
+				}
 			} else {
-				d = xmath.Euclidean(points[i], points[j])
+				for j := i + 1; j < n; j++ {
+					row[j-i-1] = xmath.Euclidean(ps.rows[i], ps.rows[j])
+				}
 			}
-			dm[i*n+j] = d
-			dm[j*n+i] = d
 		}
 	})
-	return dm
+	return pm
 }
 
-// silhouetteFromMatrix scores one clustering over a precomputed pairwise
+// silhouetteFromPairs scores one clustering over a precomputed triangular
 // distance matrix. Splitting this from SilhouetteP lets a sweep-wide caller
 // (SelectSilhouetteP) pay the O(n²·dim) matrix once and score every k against
-// it; the per-point contributions depend only on dm and assign, so the score
-// is bit-identical to a standalone SilhouetteP call.
-func silhouetteFromMatrix(dm []float64, points [][]float64, assign []int, k, parallelism int) float64 {
-	n := len(points)
+// it; the per-point contributions depend only on the distances and assign, so
+// the score is bit-identical to a standalone SilhouetteP call. Each point's
+// neighbors are accumulated in ascending j — the j < i cells read down the
+// packed columns, the j > i cells stream row i — preserving the square-matrix
+// summation order bit for bit.
+func silhouetteFromPairs(pm *pairMatrix, assign []int, k, parallelism int) float64 {
+	n := pm.n
 	contrib := make([]float64, n)
 	par.For(n, parallelism, func(i int) {
 		sums := make([]float64, k)
 		counts := make([]int, k)
-		row := dm[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
-			}
-			sums[assign[j]] += row[j]
+		for j := 0; j < i; j++ {
+			d := pm.d[j*(2*n-j-1)/2+(i-j-1)]
+			sums[assign[j]] += d
+			counts[assign[j]]++
+		}
+		row := pm.d[pm.rowOff(i):]
+		for j := i + 1; j < n; j++ {
+			sums[assign[j]] += row[j-i-1]
 			counts[assign[j]]++
 		}
 		own := assign[i]
@@ -214,26 +288,43 @@ func SelectSilhouette(points [][]float64, results []*Result) *Result {
 // SelectSilhouetteP is SelectSilhouette with an explicit worker-pool bound
 // for the per-k silhouette scoring (0 means GOMAXPROCS).
 //
-// The O(n²) pairwise-distance matrix is computed once and shared by every k
+// The O(n²) triangular pairwise matrix is computed once and shared by every k
 // in the sweep — it depends only on the points, not the clustering — instead
-// of being rebuilt from scratch per k. Scores are bit-identical to per-k
-// SilhouetteP calls.
+// of being rebuilt from scratch per k, and is returned to the shared pool on
+// exit. Scores are bit-identical to per-k SilhouetteP calls.
 func SelectSilhouetteP(points [][]float64, results []*Result, parallelism int) *Result {
+	return selectSilhouette(len(points), func() *pointSet { return newPointSet(points) }, results, parallelism)
+}
+
+// SelectSilhouetteCSR is SelectSilhouetteP on a flat CSR matrix — the
+// zero-densify selection entry; bit-identical to SelectSilhouetteP on
+// m.Dense().
+func SelectSilhouetteCSR(m *xmath.CSR, results []*Result, parallelism int) *Result {
+	return selectSilhouette(m.NumRows(), func() *pointSet { return newPointSetCSR(m) }, results, parallelism)
+}
+
+// selectSilhouette is the shared selection core. The point set (and the
+// pooled distance matrix derived from it) is built lazily on the first
+// scorable k — a kmax=1 sweep never pays for either — and every later k,
+// including ones reached through the fallback path, reuses the same pooled
+// buffer.
+func selectSilhouette(n int, mkps func() *pointSet, results []*Result, parallelism int) *Result {
 	if len(results) == 0 {
 		return nil
 	}
 	best := results[0]
 	bestScore := 0.0
-	var dm []float64 // built lazily: a kmax=1 sweep never needs it
+	var pm *pairMatrix
 	for _, r := range results {
-		if r.K < 2 || len(points) < 2 {
+		if r.K < 2 || n < 2 {
 			continue
 		}
 		obs.C("cluster.silhouette").Inc()
-		if dm == nil {
-			dm = pairwiseDistances(points, parallelism)
+		if pm == nil {
+			pm = pairwiseDistances(mkps(), parallelism)
+			defer putPairMatrix(pm)
 		}
-		if s := silhouetteFromMatrix(dm, points, r.Assign, r.K, parallelism); s > bestScore {
+		if s := silhouetteFromPairs(pm, r.Assign, r.K, parallelism); s > bestScore {
 			best, bestScore = r, s
 		}
 	}

@@ -94,12 +94,53 @@ func Gate(prev, cur Figure, thresholdPct float64) (Verdict, error) {
 	return v, nil
 }
 
-// ParseBench reads `go test -bench` output and returns every ns/op sample
-// seen for each benchmark name. The -cpu/GOMAXPROCS suffix is kept: it is
-// part of the benchmark's identity. Multiple appended runs of the same
-// benchmark accumulate, which is how interleaved rounds are collected.
-func ParseBench(r io.Reader) (map[string][]float64, error) {
-	out := make(map[string][]float64)
+// SummarizeAllocs reduces repeated allocation counts to a Figure. It differs
+// from Summarize in exactly one way: an allocation count may legitimately be
+// zero (a zero-alloc hot path is the desired end state, not a broken
+// measurement), so zero samples are accepted and the min-to-max spread is
+// taken relative to max(min, 1) allocation to keep the noise figure finite.
+// Negative and non-finite samples are still rejected.
+func SummarizeAllocs(samples []float64) (Figure, error) {
+	if len(samples) == 0 {
+		return Figure{}, fmt.Errorf("stat: no samples")
+	}
+	lo, hi := samples[0], samples[0]
+	for _, s := range samples {
+		if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
+			return Figure{}, fmt.Errorf("stat: sample %v is not a non-negative finite number", s)
+		}
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	ref := lo
+	if ref < 1 {
+		ref = 1
+	}
+	return Figure{Min: lo, NoisePct: (hi - lo) / ref * 100, Rounds: len(samples)}, nil
+}
+
+// Samples holds every measurement ParseBench saw for one benchmark across
+// all appended rounds.
+type Samples struct {
+	// NsPerOp has one entry per benchmark line — the ns/op column.
+	NsPerOp []float64
+	// AllocsPerOp has one entry per benchmark line that reported an
+	// allocs/op column (runs under -benchmem or with b.ReportAllocs()).
+	// It is empty when the run measured time only.
+	AllocsPerOp []float64
+}
+
+// ParseBench reads `go test -bench` output and returns every ns/op — and,
+// when present, allocs/op — sample seen for each benchmark name. The
+// -cpu/GOMAXPROCS suffix is kept: it is part of the benchmark's identity.
+// Multiple appended runs of the same benchmark accumulate, which is how
+// interleaved rounds are collected.
+func ParseBench(r io.Reader) (map[string]Samples, error) {
+	out := make(map[string]Samples)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -107,16 +148,27 @@ func ParseBench(r io.Reader) (map[string][]float64, error) {
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
+		s := out[fields[0]]
+		seen := false
 		for i := 2; i < len(fields); i++ {
-			if fields[i] != "ns/op" {
-				continue
+			switch fields[i] {
+			case "ns/op":
+				ns, err := strconv.ParseFloat(fields[i-1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("stat: bad ns/op in %q: %v", sc.Text(), err)
+				}
+				s.NsPerOp = append(s.NsPerOp, ns)
+				seen = true
+			case "allocs/op":
+				a, err := strconv.ParseFloat(fields[i-1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("stat: bad allocs/op in %q: %v", sc.Text(), err)
+				}
+				s.AllocsPerOp = append(s.AllocsPerOp, a)
 			}
-			ns, err := strconv.ParseFloat(fields[i-1], 64)
-			if err != nil {
-				return nil, fmt.Errorf("stat: bad ns/op in %q: %v", sc.Text(), err)
-			}
-			out[fields[0]] = append(out[fields[0]], ns)
-			break
+		}
+		if seen {
+			out[fields[0]] = s
 		}
 	}
 	return out, sc.Err()

@@ -8,11 +8,11 @@ import (
 
 func TestSummarize(t *testing.T) {
 	cases := []struct {
-		name     string
-		samples  []float64
-		wantMin  float64
+		name      string
+		samples   []float64
+		wantMin   float64
 		wantNoise float64
-		wantErr  bool
+		wantErr   bool
 	}{
 		{name: "typical rounds", samples: []float64{120, 100, 110}, wantMin: 100, wantNoise: 20},
 		{name: "single round has zero noise", samples: []float64{42}, wantMin: 42, wantNoise: 0},
@@ -158,16 +158,66 @@ PASS
 		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
 	}
 	p1 := got["BenchmarkSweep/parallelism=1-8"]
-	if len(p1) != 2 || p1[0] != 28533404 || p1[1] != 29100000 {
-		t.Errorf("parallelism=1 samples = %v", p1)
+	if len(p1.NsPerOp) != 2 || p1.NsPerOp[0] != 28533404 || p1.NsPerOp[1] != 29100000 {
+		t.Errorf("parallelism=1 ns/op samples = %v", p1.NsPerOp)
 	}
-	if n := len(got["BenchmarkSweep/parallelism=8-8"]); n != 1 {
-		t.Errorf("parallelism=8 samples = %d, want 1", n)
+	// Only the first parallelism=1 line carries -benchmem columns; the
+	// allocs series accumulates just that one sample.
+	if len(p1.AllocsPerOp) != 1 || p1.AllocsPerOp[0] != 12 {
+		t.Errorf("parallelism=1 allocs/op samples = %v", p1.AllocsPerOp)
+	}
+	p8 := got["BenchmarkSweep/parallelism=8-8"]
+	if n := len(p8.NsPerOp); n != 1 {
+		t.Errorf("parallelism=8 ns/op samples = %d, want 1", n)
+	}
+	if n := len(p8.AllocsPerOp); n != 0 {
+		t.Errorf("parallelism=8 allocs/op samples = %d, want 0", n)
 	}
 }
 
 func TestParseBenchRejectsBadNumbers(t *testing.T) {
 	if _, err := ParseBench(strings.NewReader("BenchmarkX-8 2 notanumber ns/op\n")); err == nil {
 		t.Fatal("bad ns/op parsed without error")
+	}
+	if _, err := ParseBench(strings.NewReader("BenchmarkX-8 2 100 ns/op 4 B/op bad allocs/op\n")); err == nil {
+		t.Fatal("bad allocs/op parsed without error")
+	}
+}
+
+func TestSummarizeAllocs(t *testing.T) {
+	cases := []struct {
+		name      string
+		samples   []float64
+		wantMin   float64
+		wantNoise float64
+		wantErr   bool
+	}{
+		{name: "typical counts", samples: []float64{404, 410, 404}, wantMin: 404, wantNoise: 100 * 6.0 / 404},
+		{name: "zero allocs is a valid figure", samples: []float64{0, 0, 0}, wantMin: 0, wantNoise: 0},
+		{name: "zero min takes spread relative to one alloc", samples: []float64{0, 2}, wantMin: 0, wantNoise: 200},
+		{name: "empty", samples: nil, wantErr: true},
+		{name: "negative sample", samples: []float64{4, -1}, wantErr: true},
+		{name: "NaN sample", samples: []float64{4, math.NaN()}, wantErr: true},
+		{name: "Inf sample", samples: []float64{4, math.Inf(1)}, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fig, err := SummarizeAllocs(tc.samples)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("SummarizeAllocs(%v) = %+v, want error", tc.samples, fig)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("SummarizeAllocs(%v): %v", tc.samples, err)
+			}
+			if fig.Min != tc.wantMin {
+				t.Errorf("Min = %v, want %v", fig.Min, tc.wantMin)
+			}
+			if math.Abs(fig.NoisePct-tc.wantNoise) > 1e-9 {
+				t.Errorf("NoisePct = %v, want %v", fig.NoisePct, tc.wantNoise)
+			}
+		})
 	}
 }

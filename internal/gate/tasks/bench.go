@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"strings"
 
 	"github.com/incprof/incprof/internal/gate"
 	"github.com/incprof/incprof/internal/gate/stat"
@@ -18,15 +19,27 @@ import (
 
 // sweepBench is the benchmark set tracked by the trajectory: the clustering
 // hot path. Names here become "sweep/<benchmark>" metrics, so they must stay
-// stable across PRs for the regression gate to bite.
-const sweepBench = "BenchmarkSweep|BenchmarkSilhouetteP|BenchmarkSelectSilhouetteP"
+// stable across PRs for the regression gate to bite. sweepAllocsBench is the
+// headline benchmark whose allocs/op becomes the sweep/allocs_per_op metric;
+// the reported name is bare on a single-CPU runner and carries a "-N"
+// GOMAXPROCS suffix otherwise, so isAllocsBench matches both forms.
+const (
+	sweepBench       = "BenchmarkSweep|BenchmarkSilhouetteP|BenchmarkSelectSilhouetteP"
+	sweepAllocsBench = "BenchmarkSweep/parallelism=1"
+)
+
+func isAllocsBench(name string) bool {
+	return name == sweepAllocsBench || strings.HasPrefix(name, sweepAllocsBench+"-")
+}
 
 // runSweep measures the clustering hot path and records one gated trajectory
-// metric per benchmark. The regression decision itself happens centrally in
-// cmd/gate, against the newest committed BENCH.json entry.
+// metric per benchmark, plus the headline benchmark's allocs/op so the
+// trajectory catches allocation regressions, not just time. The regression
+// decision itself happens centrally in cmd/gate, against the newest committed
+// BENCH.json entry.
 func runSweep(c *gate.Context) error {
 	out, err := capture(c, "go", "test", "./internal/cluster",
-		"-run", "^$", "-bench", sweepBench, "-benchtime", "2x", "-count", "3")
+		"-run", "^$", "-bench", sweepBench, "-benchtime", "2x", "-count", "3", "-benchmem")
 	if err != nil {
 		return fmt.Errorf("sweep benchmarks: %w\n%s", err, out)
 	}
@@ -42,13 +55,27 @@ func runSweep(c *gate.Context) error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	allocsRecorded := false
 	for _, name := range names {
-		fig, err := stat.Summarize(samples[name])
+		fig, err := stat.Summarize(samples[name].NsPerOp)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		c.Logf("%-55s %12.0f ns/op (noise %.1f%%, %d rounds)", name, fig.Min, fig.NoisePct, fig.Rounds)
 		c.Record("sweep/"+name, trajectory.Metric{Value: fig.Min, Unit: "ns/op", NoisePct: fig.NoisePct})
+		if !isAllocsBench(name) {
+			continue
+		}
+		afig, err := stat.SummarizeAllocs(samples[name].AllocsPerOp)
+		if err != nil {
+			return fmt.Errorf("%s allocs/op: %w", name, err)
+		}
+		c.Logf("%-55s %12.0f allocs/op (noise %.1f%%, %d rounds)", name, afig.Min, afig.NoisePct, afig.Rounds)
+		c.Record("sweep/allocs_per_op", trajectory.Metric{Value: afig.Min, Unit: "allocs/op", NoisePct: afig.NoisePct})
+		allocsRecorded = true
+	}
+	if !allocsRecorded {
+		return fmt.Errorf("no allocs/op reported for %s; -benchmem missing?", sweepAllocsBench)
 	}
 	return nil
 }
@@ -108,11 +135,11 @@ func runObs(c *gate.Context) error {
 	}
 	var failed []string
 	for _, name := range names {
-		bFig, err := stat.Summarize(base[name])
+		bFig, err := stat.Summarize(base[name].NsPerOp)
 		if err != nil {
 			return fmt.Errorf("%s (obs_off): %w", name, err)
 		}
-		cFig, err := stat.Summarize(cur[name])
+		cFig, err := stat.Summarize(cur[name].NsPerOp)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}

@@ -133,7 +133,7 @@ func runIngest(c *gate.Context) error {
 		}
 		sort.Strings(names)
 		for _, name := range names {
-			fig, err := stat.Summarize(samples[name])
+			fig, err := stat.Summarize(samples[name].NsPerOp)
 			if err != nil {
 				return fmt.Errorf("%s %s: %w", pkg.label, name, err)
 			}

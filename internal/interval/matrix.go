@@ -11,6 +11,8 @@ package interval
 import (
 	"sort"
 	"time"
+
+	"github.com/incprof/incprof/internal/xmath"
 )
 
 // MatrixBuilder accumulates interval profiles into a clustering matrix
@@ -149,6 +151,50 @@ func (b *MatrixBuilder) Matrix() Matrix {
 		m.Rows[i] = row
 	}
 	return m
+}
+
+// CSRMatrix materializes the canonical matrix in flat CSR form — the
+// builder's native sparsity handed to clustering with no densification.
+// Scattering each packed row reproduces Matrix().Rows bit for bit (the cells
+// emitted are exactly the non-zero cells Matrix writes, in the same
+// name-sorted column order), so analysis over either form yields identical
+// output. Like Matrix, the result shares no storage with the builder.
+func (b *MatrixBuilder) CSRMatrix() Matrix {
+	names := b.names()
+	cols := names
+	if b.opts.Kind == SelfPlusCalls {
+		cols = make([]string, 0, 2*len(names))
+		cols = append(cols, names...)
+		for _, n := range names {
+			cols = append(cols, "#calls:"+n)
+		}
+	}
+	csr := &xmath.CSR{NumCols: len(cols), RowPtr: make([]int, len(b.rows)+1)}
+	nnz := 0
+	for _, sparse := range b.rows {
+		nnz += len(sparse)
+	}
+	csr.Vals = make([]float64, 0, nnz)
+	csr.Cols = make([]int32, 0, nnz)
+	for i, sparse := range b.rows {
+		for j, fn := range names {
+			if v := sparse[fn]; v != 0 {
+				csr.Vals = append(csr.Vals, v)
+				csr.Cols = append(csr.Cols, int32(j))
+			}
+		}
+		if b.opts.Kind == SelfPlusCalls {
+			off := len(names)
+			for j, fn := range names {
+				if n := b.callRows[i][fn]; n != 0 {
+					csr.Vals = append(csr.Vals, float64(n))
+					csr.Cols = append(csr.Cols, int32(off+j))
+				}
+			}
+		}
+		csr.RowPtr[i+1] = len(csr.Vals)
+	}
+	return Matrix{FuncNames: append([]string(nil), cols...), Sparse: csr}
 }
 
 // Row materializes the i-th row alone in the current canonical space — the

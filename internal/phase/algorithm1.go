@@ -4,7 +4,6 @@ import (
 	"sort"
 
 	"github.com/incprof/incprof/internal/interval"
-	"github.com/incprof/incprof/internal/xmath"
 )
 
 // SelectPhaseSites runs Algorithm 1 for one phase, filling p.Sites and the
@@ -41,7 +40,7 @@ func selectSites(p *Phase, profiles []interval.Profile, m interval.Matrix, thres
 	ordered := append([]int(nil), p.Intervals...)
 	dist := make(map[int]float64, len(ordered))
 	for _, idx := range ordered {
-		dist[idx] = xmath.Euclidean(m.Rows[idx], p.Centroid)
+		dist[idx] = m.RowEuclidean(idx, p.Centroid)
 	}
 	sort.SliceStable(ordered, func(a, b int) bool { return dist[ordered[a]] < dist[ordered[b]] })
 

@@ -218,7 +218,9 @@ func Detect(profiles []interval.Profile, opts Options) (*Detection, error) {
 	defer sp.End()
 
 	feat := sp.Child("interval.features")
-	m := interval.Features(profiles, opts.Features)
+	// The batch path builds the flat CSR form directly: clustering and site
+	// selection consume it natively, so nothing densifies (DESIGN.md §14).
+	m := interval.FeaturesCSR(profiles, opts.Features)
 	feat.SetInt("dims", int64(m.Dims())).End()
 	return detectMatrix(profiles, m, opts, sp)
 }
@@ -234,8 +236,8 @@ func DetectMatrix(profiles []interval.Profile, m interval.Matrix, opts Options) 
 	if len(profiles) == 0 {
 		return nil, fmt.Errorf("phase: no interval profiles")
 	}
-	if len(m.Rows) != len(profiles) {
-		return nil, fmt.Errorf("phase: matrix has %d rows for %d profiles", len(m.Rows), len(profiles))
+	if m.NumRows() != len(profiles) {
+		return nil, fmt.Errorf("phase: matrix has %d rows for %d profiles", m.NumRows(), len(profiles))
 	}
 	sp := obs.Under(opts.Span, "phase.detect", 0)
 	sp.SetInt("profiles", int64(len(profiles))).
@@ -261,7 +263,13 @@ func detectMatrix(profiles []interval.Profile, m interval.Matrix, opts Options, 
 		if copts.Span == nil {
 			copts.Span = sp
 		}
-		results, err := cluster.Sweep(m.Rows, opts.KMax, copts)
+		var results []*cluster.Result
+		var err error
+		if m.Sparse != nil {
+			results, err = cluster.SweepCSR(m.Sparse, opts.KMax, copts)
+		} else {
+			results, err = cluster.Sweep(m.Rows, opts.KMax, copts)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -271,9 +279,12 @@ func detectMatrix(profiles []interval.Profile, m interval.Matrix, opts Options, 
 		}
 		sel := sp.Child("phase.select")
 		var best *cluster.Result
-		if opts.Selection == Silhouette {
+		switch {
+		case opts.Selection == Silhouette && m.Sparse != nil:
+			best = cluster.SelectSilhouetteCSR(m.Sparse, results, opts.Cluster.Parallelism)
+		case opts.Selection == Silhouette:
 			best = cluster.SelectSilhouetteP(m.Rows, results, opts.Cluster.Parallelism)
-		} else {
+		default:
 			best = cluster.SelectElbow(results)
 		}
 		sel.SetStr("method", opts.Selection.String()).SetInt("k", int64(best.K)).End()
@@ -281,14 +292,23 @@ func detectMatrix(profiles []interval.Profile, m interval.Matrix, opts Options, 
 		assign = best.Assign
 		centroids = best.Centroids
 	case DBSCANAlg:
-		eps := cluster.EstimateEps(m.Rows, opts.DBSCANMinPts, 0.9)
-		labels, k, err := cluster.DBSCAN(m.Rows, eps, opts.DBSCANMinPts)
+		var eps float64
+		var labels []int
+		var k int
+		var err error
+		if m.Sparse != nil {
+			eps = cluster.EstimateEpsCSR(m.Sparse, opts.DBSCANMinPts, 0.9)
+			labels, k, err = cluster.DBSCANCSR(m.Sparse, eps, opts.DBSCANMinPts)
+		} else {
+			eps = cluster.EstimateEps(m.Rows, opts.DBSCANMinPts, 0.9)
+			labels, k, err = cluster.DBSCAN(m.Rows, eps, opts.DBSCANMinPts)
+		}
 		if err != nil {
 			return nil, err
 		}
 		det.K = k
 		assign = labels
-		centroids = dbscanCentroids(m.Rows, labels, k)
+		centroids = dbscanCentroidsMatrix(m, labels, k)
 		for i, l := range labels {
 			if l == cluster.Noise {
 				det.NoiseIntervals = append(det.NoiseIntervals, i)
@@ -311,13 +331,16 @@ func detectMatrix(profiles []interval.Profile, m interval.Matrix, opts Options, 
 	return det, nil
 }
 
-// dbscanCentroids computes cluster means for DBSCAN labels so that
-// Algorithm 1's centroid-distance ordering applies unchanged.
-func dbscanCentroids(points [][]float64, labels []int, k int) [][]float64 {
+// dbscanCentroidsMatrix computes cluster means for DBSCAN labels on either
+// matrix backing so that Algorithm 1's centroid-distance ordering applies
+// unchanged. The CSR accumulation skips only exact-zero cells; a skipped
+// x += 0 cannot change x (accumulators never hold -0: sums starting at +0
+// stay +0 under zero addends), so both backings produce identical bits.
+func dbscanCentroidsMatrix(m interval.Matrix, labels []int, k int) [][]float64 {
 	if k == 0 {
 		return nil
 	}
-	dim := len(points[0])
+	dim := m.Dims()
 	cents := make([][]float64, k)
 	counts := make([]int, k)
 	for c := range cents {
@@ -328,8 +351,15 @@ func dbscanCentroids(points [][]float64, labels []int, k int) [][]float64 {
 			continue
 		}
 		counts[l]++
-		for d, v := range points[i] {
-			cents[l][d] += v
+		if m.Sparse != nil {
+			vals, cols := m.Sparse.Row(i)
+			for t, d := range cols {
+				cents[l][d] += vals[t]
+			}
+		} else {
+			for d, v := range m.Rows[i] {
+				cents[l][d] += v
+			}
 		}
 	}
 	for c := range cents {

@@ -40,3 +40,35 @@ func TestLiveRowUpdatePathAllocatesNothing(t *testing.T) {
 		t.Fatalf("steady-state live row path allocates %.1f per interval, want 0", n)
 	}
 }
+
+// TestLivePackedRowUpdatePathAllocatesNothing holds the same bar for the
+// packed path the engine actually runs since the CSR rework: SparseRow into
+// reused index/value buffers plus a packed mini-batch update, zero
+// allocations per interval in steady state.
+func TestLivePackedRowUpdatePathAllocatesNothing(t *testing.T) {
+	b := interval.NewMatrixBuilder(interval.FeatureOptions{})
+	for i := 0; i < 8; i++ {
+		b.Add(&interval.Profile{
+			Index: i,
+			Self: map[string]time.Duration{
+				"init":  time.Duration(10+i) * time.Millisecond,
+				"solve": time.Duration(20+i) * time.Millisecond,
+				"io":    time.Duration(5) * time.Millisecond,
+			},
+		})
+	}
+	mb := newMiniBatch([][]float64{{0.01, 0.005, 0.02}, {0.015, 0.004, 0.025}}, []int{4, 4})
+	var idxBuf []int32
+	var valBuf []float64
+	// Warm the buffers and the mini-batch centroid padding once.
+	idxBuf, valBuf = b.SparseRow(0, idxBuf, valBuf)
+	mb.updatePacked(valBuf, idxBuf, b.Dims())
+	row := 0
+	if n := testing.AllocsPerRun(200, func() {
+		idxBuf, valBuf = b.SparseRow(row, idxBuf, valBuf)
+		mb.updatePacked(valBuf, idxBuf, b.Dims())
+		row = (row + 1) % b.NumRows()
+	}); n != 0 {
+		t.Fatalf("steady-state packed live row path allocates %.1f per interval, want 0", n)
+	}
+}

@@ -58,3 +58,35 @@ func (m *miniBatch) update(v []float64) int {
 	m.centroids[best] = c
 	return best
 }
+
+// updatePacked is update on a packed sparse row (vals at sorted column
+// indices cols, logical length dim) — the engine's zero-densify per-interval
+// path. The nearest-centroid scan runs on the packed padded kernel and the
+// drift walks every logical dimension (a zero cell still pulls the centroid
+// coordinate toward zero, exactly as the dense loop does), so the model
+// state after each call is bit-identical to update on the scattered row.
+func (m *miniBatch) updatePacked(vals []float64, cols []int32, dim int) int {
+	best, bestD := 0, xmath.SquaredEuclideanPackedPadded(vals, cols, dim, m.centroids[0])
+	for c := 1; c < len(m.centroids); c++ {
+		if d := xmath.SquaredEuclideanPackedPadded(vals, cols, dim, m.centroids[c]); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	m.counts[best]++
+	eta := 1 / float64(m.counts[best])
+	c := m.centroids[best]
+	for len(c) < dim {
+		c = append(c, 0)
+	}
+	t := 0
+	for d := 0; d < dim; d++ {
+		var v float64
+		if t < len(cols) && int(cols[t]) == d {
+			v = vals[t]
+			t++
+		}
+		c[d] += eta * (v - c[d])
+	}
+	m.centroids[best] = c
+	return best
+}

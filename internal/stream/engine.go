@@ -91,7 +91,11 @@ type Engine struct {
 	mb       *miniBatch
 	sites    *siteCache
 
-	rowBuf []float64 // reused per-interval row scratch for mb.update
+	// Reused per-interval packed-row scratch for mb.updatePacked: the
+	// builder's SparseRow fills these without densifying, and steady state
+	// (feature space no longer growing) reallocates neither.
+	idxBuf []int32
+	valBuf []float64
 
 	snaps        int
 	sinceRefresh int
@@ -152,10 +156,11 @@ func (e *Engine) consume(p interval.Profile) error {
 		}
 	}
 	if e.mb != nil {
-		// RowInto reuses rowBuf: once the feature space stops growing, the
-		// per-interval live path stops allocating (asserted in alloc_test.go).
-		e.rowBuf = e.builder.RowInto(len(e.profiles)-1, e.rowBuf)
-		e.mb.update(e.rowBuf)
+		// SparseRow reuses idxBuf/valBuf: once the feature space stops
+		// growing, the per-interval live path stops allocating (asserted in
+		// alloc_test.go), and the row is never densified.
+		e.idxBuf, e.valBuf = e.builder.SparseRow(len(e.profiles)-1, e.idxBuf, e.valBuf)
+		e.mb.updatePacked(e.valBuf, e.idxBuf, e.builder.Dims())
 	}
 	if e.opts.RefreshEvery > 0 {
 		e.sinceRefresh++
@@ -198,7 +203,10 @@ func (e *Engine) Flush() error {
 // candidate when it strictly beats the seeded sweep at its k, and serve
 // unchanged phases' site selections from the incremental cache.
 func (e *Engine) refresh(final bool) error {
-	m := e.builder.Matrix()
+	// The refresh matrix is built in flat CSR form: every consumer below —
+	// the batch-equivalent DetectMatrix, the incremental sweep, the warm
+	// start, and silhouette selection — runs on it without densifying.
+	m := e.builder.CSRMatrix()
 	if !final && (len(e.profiles) == 0 || m.Dims() == 0) {
 		// Too early to cluster (no rows, or no function active yet): a live
 		// stream just waits for the next refresh; only the terminal pass
@@ -280,7 +288,7 @@ func (e *Engine) refreshIncremental(m interval.Matrix) (*phase.Detection, refres
 
 	copts := popts.Cluster
 	copts.Span = rsp
-	results, err := cluster.Sweep(m.Rows, popts.KMax, copts)
+	results, err := cluster.SweepCSR(m.Sparse, popts.KMax, copts)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -292,8 +300,8 @@ func (e *Engine) refreshIncremental(m interval.Matrix) (*phase.Detection, refres
 	// the batch model.
 	if e.mb != nil {
 		k := len(e.mb.centroids)
-		if k >= 1 && k <= len(results) && k <= len(m.Rows) {
-			warm, werr := cluster.WarmStart(m.Rows, e.mb.centroids, copts)
+		if k >= 1 && k <= len(results) && k <= m.NumRows() {
+			warm, werr := cluster.WarmStartCSR(m.Sparse, e.mb.centroids, copts)
 			if werr == nil && warm.WCSS < results[k-1].WCSS {
 				results[k-1] = warm
 				stats.warmAccepted = true
@@ -311,7 +319,7 @@ func (e *Engine) refreshIncremental(m interval.Matrix) (*phase.Detection, refres
 	}
 	var best *cluster.Result
 	if popts.Selection == phase.Silhouette {
-		best = cluster.SelectSilhouetteP(m.Rows, results, copts.Parallelism)
+		best = cluster.SelectSilhouetteCSR(m.Sparse, results, copts.Parallelism)
 	} else {
 		best = cluster.SelectElbow(results)
 	}
